@@ -1,0 +1,216 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every evaluation table (experiments E1..E13 — the
+   paper's Section-4 analysis turned quantitative; see EXPERIMENTS.md for
+   the paper-vs-measured discussion).  Part 2 runs bechamel
+   microbenchmarks of the hot operations underneath: deterministic
+   selection, unit-database maintenance, wire marshalling, the risk-model
+   integral, the event engine and a whole in-simulation GCS multicast
+   round. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmark subjects                                              *)
+
+let bench_selection =
+  let prevs =
+    List.init 100 (fun i ->
+        {
+          Haf_core.Selection.p_session_id = Printf.sprintf "s%03d" i;
+          p_primary = (if i mod 7 = 0 then None else Some (i mod 5));
+          p_backups = [ (i + 1) mod 5 ];
+        })
+  in
+  Test.make ~name:"selection.assign (100 sessions, 5 members)"
+    (Staged.stage (fun () ->
+         ignore
+           (Haf_core.Selection.assign ~n_backups:2 ~members:[ 0; 1; 2; 3; 4 ]
+              ~rebalance:true prevs)))
+
+let bench_unit_db =
+  Test.make ~name:"unit_db add+propagate+export (20 sessions)"
+    (Staged.stage (fun () ->
+         let db = Haf_core.Unit_db.create ~unit_id:"u" in
+         for i = 0 to 19 do
+           let sid = Printf.sprintf "s%02d" i in
+           ignore (Haf_core.Unit_db.add_session db ~session_id:sid ~client:i ~started_at:0.);
+           Haf_core.Unit_db.set_propagated db sid
+             {
+               Haf_core.Unit_db.snap_ctx = i;
+               snap_req_seq = i;
+               snap_applied = [ i ];
+               snap_at = float_of_int i;
+             }
+         done;
+         ignore (Haf_core.Unit_db.export db)))
+
+let bench_db_merge =
+  let export =
+    let db = Haf_core.Unit_db.create ~unit_id:"u" in
+    for i = 0 to 49 do
+      ignore
+        (Haf_core.Unit_db.add_session db
+           ~session_id:(Printf.sprintf "s%02d" i)
+           ~client:i ~started_at:0.)
+    done;
+    Haf_core.Unit_db.export db
+  in
+  Test.make ~name:"unit_db state-exchange merge (3x50 sessions)"
+    (Staged.stage (fun () ->
+         let db = Haf_core.Unit_db.create ~unit_id:"u" in
+         Haf_core.Unit_db.replace_with_merge db [ export; export; export ]))
+
+let bench_marshal =
+  let payload = String.make 256 'x' in
+  Test.make ~name:"wire marshal round-trip (data msg, 256B payload)"
+    (Staged.stage (fun () ->
+         let msg =
+           Haf_gcs.Wire.Data
+             {
+               group = "session:c004-0";
+               vid = { Haf_gcs.View.Id.epoch = 12; coord = 3 };
+               seq = 42;
+               entry =
+                 {
+                   uid = { origin = 1; incarnation = 77; serial = 1042 };
+                   orig = 1;
+                   payload;
+                 };
+             }
+         in
+         ignore (Haf_gcs.Wire.decode (Haf_gcs.Wire.encode msg))))
+
+let bench_model =
+  Test.make ~name:"risk model loss integral"
+    (Staged.stage (fun () ->
+         ignore
+           (Haf_analysis.Model.update_loss_probability ~lambda:0.01 ~period:0.5
+              ~group_size:3.)))
+
+let bench_engine =
+  Test.make ~name:"engine schedule+run 1000 events"
+    (Staged.stage (fun () ->
+         let e = Haf_sim.Engine.create () in
+         for i = 1 to 1000 do
+           ignore (Haf_sim.Engine.schedule e ~delay:(float_of_int i *. 0.001) ignore)
+         done;
+         Haf_sim.Engine.run e))
+
+let bench_rng =
+  Test.make ~name:"rng exponential sample"
+    (let r = Haf_sim.Rng.create 1 in
+     Staged.stage (fun () -> ignore (Haf_sim.Rng.exponential r ~mean:1.0)))
+
+let bench_gcs_round =
+  Test.make ~name:"gcs: 3-member group formation + 10 multicasts (full sim)"
+    (Staged.stage (fun () ->
+         let engine = Haf_sim.Engine.create ~seed:3 () in
+         let gcs = Haf_gcs.Gcs.create ~num_servers:3 engine in
+         List.iter (fun p -> Haf_gcs.Gcs.join gcs p "g") (Haf_gcs.Gcs.servers gcs);
+         Haf_sim.Engine.run ~until:2. engine;
+         for i = 1 to 10 do
+           Haf_gcs.Gcs.multicast gcs 0 "g" (string_of_int i)
+         done;
+         Haf_sim.Engine.run ~until:3. engine))
+
+let bench_metrics =
+  let tl =
+    let sink = Haf_core.Events.make_sink () in
+    for i = 1 to 200 do
+      Haf_core.Events.emit sink ~now:(float_of_int i)
+        (Haf_core.Events.Response_received
+           {
+             client = 9;
+             session_id = "s";
+             id = i mod 150;
+             critical = false;
+             from_server = 0;
+           })
+    done;
+    Haf_core.Events.events sink
+  in
+  Test.make ~name:"metrics duplicates+missing (200 events)"
+    (Staged.stage (fun () ->
+         ignore (Haf_stats.Metrics.duplicates tl ~sid:"s");
+         ignore (Haf_stats.Metrics.missing tl ~sid:"s")))
+
+let bench_framework_session =
+  (* The whole stack end to end: 3 VoD servers form their groups, a
+     client starts a session and streams for two simulated seconds. *)
+  let module F = Haf_core.Framework.Make (Haf_services.Vod) in
+  Test.make ~name:"framework: session start + 2s of streaming (full sim)"
+    (Staged.stage (fun () ->
+         let engine = Haf_sim.Engine.create ~seed:9 () in
+         let gcs = Haf_gcs.Gcs.create ~num_servers:3 engine in
+         let events = Haf_core.Events.make_sink () in
+         let policy = Haf_core.Policy.default in
+         List.iter
+           (fun p ->
+             ignore
+               (F.Server.create gcs ~proc:p ~policy ~units:[ "m" ] ~catalog:[ "m" ]
+                  ~events))
+           (Haf_gcs.Gcs.servers gcs);
+         let cp = Haf_gcs.Gcs.add_client gcs in
+         let client = F.Client.create gcs ~proc:cp ~policy ~events in
+         Haf_sim.Engine.run ~until:1. engine;
+         ignore
+           (F.Client.start_session client ~unit_id:"m" ~duration:10.
+              ~request_interval:0.);
+         Haf_sim.Engine.run ~until:3. engine))
+
+let microbenches =
+  [
+    bench_selection;
+    bench_unit_db;
+    bench_db_merge;
+    bench_marshal;
+    bench_model;
+    bench_engine;
+    bench_rng;
+    bench_gcs_round;
+    bench_framework_session;
+    bench_metrics;
+  ]
+
+let run_microbenches () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000)
+      ~stabilize:true ()
+  in
+  let table =
+    Haf_stats.Table.create ~title:"microbenchmarks (monotonic clock)"
+      ~columns:[ ("operation", Haf_stats.Table.Left); ("time/run", Haf_stats.Table.Right) ]
+      ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      Hashtbl.iter
+        (fun name raw ->
+          let est = Analyze.one ols instance raw in
+          match Analyze.OLS.estimates est with
+          | Some [ t ] ->
+              let pretty =
+                if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+                else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+                else Printf.sprintf "%.0f ns" t
+              in
+              Haf_stats.Table.add_row table [ name; pretty ]
+          | Some _ | None -> Haf_stats.Table.add_row table [ name; "n/a" ])
+        results)
+    microbenches;
+  Haf_stats.Table.print table
+
+let () =
+  print_endline "=== Part 1: evaluation tables (experiments E1..E13, quick mode) ===";
+  print_newline ();
+  Haf_experiments.Registry.run_all ~quick:true ();
+  print_endline "=== Part 2: microbenchmarks ===";
+  print_newline ();
+  run_microbenches ()

@@ -1,0 +1,79 @@
+(* CLI driver for the experiment suite: `haf_experiments all` or
+   `haf_experiments e3 e7 --full`. *)
+
+open Cmdliner
+
+let ids =
+  let doc =
+    "Experiments to run (e1..e10), or 'all'.  Default: all."
+  in
+  Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let full =
+  let doc = "Run the full-size sweeps (more seeds, longer simulations)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let list_flag =
+  let doc = "List available experiments and exit." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let csv_dir =
+  let doc = "Also write each table as CSV into $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+let run ids full list_flag csv_dir =
+  let module Reg = Haf_experiments.Registry in
+  if list_flag then begin
+    List.iter (fun e -> Printf.printf "%-4s %s\n" e.Reg.id e.Reg.title) Reg.all;
+    0
+  end
+  else begin
+    let quick = not full in
+    let targets =
+      if List.mem "all" ids then Reg.all
+      else
+        List.filter_map
+          (fun id ->
+            match Reg.find id with
+            | Some e -> Some e
+            | None ->
+                Printf.eprintf "unknown experiment %S (try --list)\n" id;
+                None)
+          ids
+    in
+    if targets = [] then 1
+    else begin
+      (match csv_dir with
+      | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+      | Some _ | None -> ());
+      List.iter
+        (fun e ->
+          let tables = e.Reg.run ~quick in
+          List.iter Haf_stats.Table.print tables;
+          match csv_dir with
+          | Some dir ->
+              List.iteri
+                (fun i t ->
+                  let path =
+                    Filename.concat dir
+                      (if i = 0 then e.Reg.id ^ ".csv"
+                       else Printf.sprintf "%s-%d.csv" e.Reg.id i)
+                  in
+                  let oc = open_out path in
+                  output_string oc (Haf_stats.Table.to_csv t);
+                  output_char oc '\n';
+                  close_out oc;
+                  Printf.printf "wrote %s\n" path)
+                tables
+          | None -> ())
+        targets;
+      0
+    end
+  end
+
+let cmd =
+  let doc = "Regenerate the evaluation tables of the HA-services framework paper" in
+  let info = Cmd.info "haf_experiments" ~doc in
+  Cmd.v info Term.(const run $ ids $ full $ list_flag $ csv_dir)
+
+let () = exit (Cmd.eval' cmd)

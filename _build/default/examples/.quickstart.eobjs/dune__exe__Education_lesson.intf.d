@@ -1,0 +1,1 @@
+examples/education_lesson.mli:

@@ -1,0 +1,1 @@
+examples/partition_drill.ml: Haf_core Haf_gcs Haf_services Haf_sim Haf_stats List Printf String

@@ -1,0 +1,1 @@
+examples/policy_planner.ml: Haf_analysis Haf_core Haf_stats List Printf

@@ -1,0 +1,1 @@
+examples/run_report.ml: Haf_core Haf_experiments Haf_services Haf_stats

@@ -1,0 +1,1 @@
+examples/search_explorer.ml: Haf_core Haf_gcs Haf_services Haf_sim Haf_stats List Marshal Printf

@@ -1,0 +1,1 @@
+examples/shared_state.ml: Haf_core Haf_gcs Haf_sim List Printf String

@@ -1,0 +1,1 @@
+examples/vod_session.ml: Haf_core Haf_gcs Haf_services Haf_sim Haf_stats List Printf String

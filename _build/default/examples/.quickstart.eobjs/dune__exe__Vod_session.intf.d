@@ -1,0 +1,1 @@
+examples/vod_session.mli:

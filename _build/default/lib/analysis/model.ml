@@ -1,0 +1,38 @@
+(* Numerical integration is plenty here: the integrand is smooth and the
+   domain is one propagation period. *)
+let integrate f a b =
+  let steps = 1000 in
+  let h = (b -. a) /. float_of_int steps in
+  let rec go i acc =
+    if i >= steps then acc
+    else
+      let x = a +. ((float_of_int i +. 0.5) *. h) in
+      go (i + 1) (acc +. (f x *. h))
+  in
+  go 0 0.
+
+let update_loss_probability ~lambda ~period ~group_size =
+  if period <= 0. then 0.
+  else
+    integrate (fun d -> (1. -. exp (-.lambda *. d)) ** group_size) 0. period /. period
+
+let update_loss_probability_approx ~lambda ~period ~group_size =
+  ((lambda *. period) ** group_size) /. (group_size +. 1.)
+
+let no_replica_unavailability ~lambda ~repair ~replicas =
+  let q = lambda *. repair /. (1. +. (lambda *. repair)) in
+  q ** float_of_int replicas
+
+let expected_duplicates_per_takeover ~response_rate ~period =
+  response_rate *. period /. 2.
+
+let expected_missing_per_takeover = expected_duplicates_per_takeover
+
+let takeover_latency ~suspect_timeout ~rtt ~with_exchange =
+  suspect_timeout +. (1.5 *. rtt) +. (if with_exchange then 1.5 *. rtt else 0.)
+
+let propagation_msgs_per_sec ~sessions_primary ~period ~group_size =
+  float_of_int sessions_primary /. period *. float_of_int (Int.max 0 (group_size - 1))
+
+let backup_request_load ~sessions_backup ~request_rate =
+  float_of_int sessions_backup *. request_rate

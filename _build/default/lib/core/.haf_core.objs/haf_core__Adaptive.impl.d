@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Haf_analysis List Policy

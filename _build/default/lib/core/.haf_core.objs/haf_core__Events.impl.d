@@ -1,0 +1,1 @@
+lib/core/events.ml: Format List String

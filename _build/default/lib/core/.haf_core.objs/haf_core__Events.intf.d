@@ -1,0 +1,1 @@
+lib/core/events.mli: Format

@@ -1,0 +1,1 @@
+lib/core/framework.ml: Events Format Haf_gcs Haf_sim Hashtbl Int List Marshal Naming Option Policy Printf Selection Service_intf String Sys Unit_db

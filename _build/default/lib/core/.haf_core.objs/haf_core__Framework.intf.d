@@ -1,0 +1,1 @@
+lib/core/framework.mli: Events Haf_gcs Policy Service_intf Unit_db

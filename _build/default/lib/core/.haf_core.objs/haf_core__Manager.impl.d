@@ -1,0 +1,1 @@
+lib/core/manager.ml: Haf_sim List Option Printf

@@ -1,0 +1,1 @@
+lib/core/manager.mli: Haf_sim

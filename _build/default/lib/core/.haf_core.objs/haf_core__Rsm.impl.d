@@ -1,0 +1,1 @@
+lib/core/rsm.ml: Haf_gcs List Marshal String

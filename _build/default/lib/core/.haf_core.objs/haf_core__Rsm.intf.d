@@ -1,0 +1,1 @@
+lib/core/rsm.mli: Haf_gcs

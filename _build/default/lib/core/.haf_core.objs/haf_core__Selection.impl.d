@@ -1,0 +1,1 @@
+lib/core/selection.ml: Float Hashtbl List String

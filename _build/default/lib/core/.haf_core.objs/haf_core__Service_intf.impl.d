@@ -1,0 +1,1 @@
+lib/core/service_intf.ml: Haf_sim

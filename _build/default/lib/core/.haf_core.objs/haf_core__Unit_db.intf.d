@@ -1,0 +1,1 @@
+lib/core/unit_db.mli:

@@ -1,0 +1,25 @@
+type recommendation = { backups : int; period : float; achieved_loss : float }
+
+let loss ~lambda ~period ~backups =
+  Haf_analysis.Model.update_loss_probability ~lambda ~period
+    ~group_size:(float_of_int (backups + 1))
+
+let recommend ~lambda ~target_loss ~periods ~max_backups =
+  let periods = List.sort_uniq compare periods in
+  let rec try_backups backups =
+    if backups > max_backups then None
+    else
+      (* Longest admissible period at this backup count (cheapest in
+         propagation load). *)
+      let admissible =
+        List.filter (fun p -> loss ~lambda ~period:p ~backups <= target_loss) periods
+      in
+      match List.rev admissible with
+      | period :: _ ->
+          Some { backups; period; achieved_loss = loss ~lambda ~period ~backups }
+      | [] -> try_backups (backups + 1)
+  in
+  try_backups 0
+
+let to_policy r =
+  { Policy.default with Policy.n_backups = r.backups; propagation_period = r.period }

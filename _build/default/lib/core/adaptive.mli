@@ -1,0 +1,32 @@
+(** Policy recommendation from availability targets: the paper's
+    future-work extension ("the user might express a desired service
+    quality in terms of a chance of losing a context update, and the
+    system could then adjust the needed number of backups in each session
+    group", Section 5).
+
+    Uses the Section-4 risk model to search the (backups, propagation
+    period) space for the cheapest configuration meeting a target
+    per-update loss probability.  "Cheapest" prefers fewer backups first
+    (they cost request fan-out on every update), then the longest
+    propagation period that still meets the target (propagation dominates
+    steady-state load). *)
+
+type recommendation = {
+  backups : int;
+  period : float;
+  achieved_loss : float;  (** Model-predicted loss at this setting. *)
+}
+
+val recommend :
+  lambda:float ->
+  target_loss:float ->
+  periods:float list ->
+  max_backups:int ->
+  recommendation option
+(** [recommend ~lambda ~target_loss ~periods ~max_backups] returns the
+    cheapest configuration whose modelled per-update loss probability is
+    at most [target_loss] under per-server crash rate [lambda], or [None]
+    if even [max_backups] with the shortest period cannot meet it. *)
+
+val to_policy : recommendation -> Policy.t
+(** Materialize a recommendation over {!Policy.default}. *)

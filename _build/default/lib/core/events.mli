@@ -1,0 +1,69 @@
+(** Framework instrumentation.
+
+    Servers and clients emit typed events into a sink; the experiment
+    harness and the metrics layer consume the timeline afterwards.  This
+    keeps measurement entirely out of the protocol code paths. *)
+
+type role = Primary | Backup
+
+type takeover_kind =
+  | Initial  (** First assignment of a fresh session. *)
+  | Crash  (** The previous primary left the view involuntarily. *)
+  | Rebalance  (** Load-balancing migration; previous primary alive. *)
+
+type t =
+  | Session_requested of { client : int; session_id : string; unit_id : string }
+  | Session_granted of { client : int; session_id : string; primary : int }
+  | Session_ended of { session_id : string }
+  | Request_sent of { client : int; session_id : string; seq : int }
+  | Request_applied of { server : int; session_id : string; seq : int; role : role }
+  | Response_sent of { server : int; session_id : string; id : int; critical : bool }
+  | Response_received of {
+      client : int;
+      session_id : string;
+      id : int;
+      critical : bool;
+      from_server : int;
+    }
+  | Role_assumed of { server : int; session_id : string; role : role }
+  | Role_dropped of { server : int; session_id : string; role : role }
+  | Takeover of {
+      server : int;
+      session_id : string;
+      kind : takeover_kind;
+      from_primary : int option;
+      had_live_context : bool;
+          (** The new primary held a live (backup) context rather than
+              reconstructing from the unit database. *)
+    }
+  | Propagated of {
+      server : int;
+      session_id : string;
+      req_seq : int;
+      applied : int list;  (* exact request seqs incorporated in the snapshot *)
+    }
+  | View_noted of { server : int; group : string; members : int list }
+  | Server_crashed of { server : int }
+      (** Emitted by the fault injector, not the framework: lets the
+          metrics layer compute takeover latencies and primary-interval
+          truncation. *)
+  | Server_restarted of { server : int }
+
+type sink
+
+val make_sink : unit -> sink
+
+val emit : sink -> now:float -> t -> unit
+
+val events : sink -> (float * t) list
+(** Oldest first. *)
+
+val count : sink -> (t -> bool) -> int
+
+val clear : sink -> unit
+
+val role_to_string : role -> string
+
+val kind_to_string : takeover_kind -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,848 @@
+(** The highly-available service framework (the paper's contribution),
+    instantiated over a concrete {!Service_intf.SERVICE}.
+
+    See DESIGN.md for the architecture.  In brief: servers join the
+    service group and one content group per unit they replicate.  Client
+    start-session requests arrive totally ordered in the content group;
+    every member applies the same deterministic selection over the same
+    replicated unit database, so primary and backups elect themselves
+    consistently with no extra messages.  The primary streams responses
+    point-to-point and periodically propagates session context to the
+    content group; backups additionally see every client request in the
+    session group.  On a crash-only view change, survivors reassign
+    immediately (virtual synchrony guarantees identical databases); when
+    servers join, members first run a state exchange, then rebalance. *)
+
+module Engine = Haf_sim.Engine
+module Rng = Haf_sim.Rng
+module Gcs = Haf_gcs.Gcs
+module View = Haf_gcs.View
+module Daemon = Haf_gcs.Daemon
+
+module Make (S : Service_intf.SERVICE) = struct
+  type group_msg =
+    | List_units of { client : int }
+    | Start_session of { session_id : string; unit_id : string; client : int }
+    | Propagate of { session_id : string; snap : S.context Unit_db.snapshot }
+    | End_session of { session_id : string }
+    | State_exchange of {
+        sender : int;
+        vid : View.Id.t;
+        records : S.context Unit_db.record list;
+      }
+    | Request of { session_id : string; seq : int; body : S.request }
+
+  type p2p_msg =
+    | Unit_list of string list
+    | Granted of { session_id : string; unit_id : string; primary : int }
+    | Response of { session_id : string; id : int; body : S.response }
+    | Handoff of {
+        session_id : string;
+        ctx : S.context;
+        req_seq : int;
+        applied : int list;
+        at : float;
+      }
+
+  let encode_group (m : group_msg) = Marshal.to_string m []
+  let decode_group (s : string) : group_msg = Marshal.from_string s 0
+  let encode_p2p (m : p2p_msg) = Marshal.to_string m []
+  let decode_p2p (s : string) : p2p_msg = Marshal.from_string s 0
+
+  (* ================================================================ *)
+
+  module Server = struct
+    type role = Events.role = Primary | Backup
+
+    type slocal = {
+      sl_session : string;
+      sl_unit : string;
+      sl_client : int;
+      mutable sl_role : role option;
+      mutable sl_ctx : S.context;
+      mutable sl_base_at : float;  (* when sl_ctx's progress was last authoritative *)
+      mutable sl_req_seq : int;  (* highest applied request *)
+      mutable sl_applied : int list;  (* applied request seqs, newest first *)
+      mutable sl_reqs : (int * S.request) list;  (* retained, newest first *)
+      mutable sl_tick : Engine.timer option;
+      mutable sl_prop : Engine.timer option;
+      mutable sl_ending : bool;
+    }
+
+    type exchange = {
+      ex_vid : View.Id.t;
+      ex_expected : int list;
+      mutable ex_records : (int * S.context Unit_db.record list) list;
+      mutable ex_deferred : (int * group_msg) list;  (* newest first *)
+    }
+
+    type ustate = {
+      u_id : string;
+      u_db : S.context Unit_db.t;
+      mutable u_view : View.t option;
+      mutable u_exchange : exchange option;
+    }
+
+    type t = {
+      proc : int;
+      gcs : Gcs.t;
+      engine : Engine.t;
+      policy : Policy.t;
+      events : Events.sink;
+      catalog : string list;
+      units : (string, ustate) Hashtbl.t;
+      sessions : (string, slocal) Hashtbl.t;
+      mutable svc_view : View.t option;
+      mutable running : bool;
+    }
+
+    let proc t = t.proc
+
+    let now t = Engine.now t.engine
+
+    let emit t ev = Events.emit t.events ~now:(now t) ev
+
+    let multicast_content t unit_id msg =
+      Gcs.multicast t.gcs t.proc (Naming.content_group unit_id) (encode_group msg)
+
+    let send_p2p t dst msg = Gcs.p2p t.gcs t.proc ~dst (encode_p2p msg)
+
+    (* -------------------------------------------------------------- *)
+    (* Session-local state                                             *)
+
+    let stop_timers sl =
+      (match sl.sl_tick with Some tm -> Engine.cancel tm | None -> ());
+      (match sl.sl_prop with Some tm -> Engine.cancel tm | None -> ());
+      sl.sl_tick <- None;
+      sl.sl_prop <- None
+
+    let reapply_requests sl ~above ctx =
+      (* Rebase: replay retained client requests newer than [above] on a
+         fresh context (propagated snapshot or handoff). *)
+      let newer =
+        List.filter (fun (seq, _) -> seq > above) sl.sl_reqs |> List.sort compare
+      in
+      List.fold_left (fun ctx (_, body) -> S.apply_request ctx body) ctx newer
+
+    let fresh_local (sess : S.context Unit_db.session) =
+      let ctx, base_at, req_seq, applied =
+        match sess.Unit_db.propagated with
+        | Some snap ->
+            ( snap.Unit_db.snap_ctx,
+              snap.Unit_db.snap_at,
+              snap.Unit_db.snap_req_seq,
+              snap.Unit_db.snap_applied )
+        | None ->
+            (S.initial_context ~unit_id:sess.Unit_db.unit_id, sess.Unit_db.started_at, 0, [])
+      in
+      {
+        sl_session = sess.Unit_db.session_id;
+        sl_unit = sess.Unit_db.unit_id;
+        sl_client = sess.Unit_db.client;
+        sl_role = None;
+        sl_ctx = ctx;
+        sl_base_at = base_at;
+        sl_req_seq = req_seq;
+        sl_applied = applied;
+        sl_reqs = [];
+        sl_tick = None;
+        sl_prop = None;
+        sl_ending = false;
+      }
+
+    let local_of t sess =
+      match Hashtbl.find_opt t.sessions sess.Unit_db.session_id with
+      | Some sl -> sl
+      | None ->
+          let sl = fresh_local sess in
+          Hashtbl.replace t.sessions sess.Unit_db.session_id sl;
+          sl
+
+    (* -------------------------------------------------------------- *)
+    (* Primary duties                                                  *)
+
+    let do_tick t sl =
+      if t.running && sl.sl_role = Some Primary then begin
+        let responses, ctx = S.tick sl.sl_ctx in
+        sl.sl_ctx <- ctx;
+        List.iter
+          (fun r ->
+            emit t
+              (Events.Response_sent
+                 {
+                   server = t.proc;
+                   session_id = sl.sl_session;
+                   id = S.response_id r;
+                   critical = S.response_critical r;
+                 });
+            send_p2p t sl.sl_client
+              (Response { session_id = sl.sl_session; id = S.response_id r; body = r }))
+          responses;
+        if S.session_finished ctx && not sl.sl_ending then begin
+          sl.sl_ending <- true;
+          multicast_content t sl.sl_unit (End_session { session_id = sl.sl_session })
+        end
+      end
+
+    let do_propagate t sl =
+      if t.running && sl.sl_role = Some Primary then begin
+        let snap =
+          {
+            Unit_db.snap_ctx = sl.sl_ctx;
+            snap_req_seq = sl.sl_req_seq;
+            snap_applied = List.sort_uniq compare sl.sl_applied;
+            snap_at = now t;
+          }
+        in
+        emit t
+          (Events.Propagated
+             {
+               server = t.proc;
+               session_id = sl.sl_session;
+               req_seq = sl.sl_req_seq;
+               applied = List.sort compare sl.sl_applied;
+             });
+        multicast_content t sl.sl_unit (Propagate { session_id = sl.sl_session; snap })
+      end
+
+    let start_primary_timers t sl =
+      if sl.sl_tick = None then
+        sl.sl_tick <-
+          Some (Engine.every t.engine ~period:S.tick_period (fun () -> do_tick t sl));
+      if sl.sl_prop = None then
+        sl.sl_prop <-
+          Some
+            (Engine.every t.engine ~period:t.policy.Policy.propagation_period (fun () ->
+                 do_propagate t sl))
+
+    (* Takeover position adjustment: the new primary only knows the
+       position as of [sl_base_at].  Under [Resume] it simply continues
+       from there, re-sending anything the dead primary may already have
+       delivered.  Under [Skip_ahead]/[Hybrid] it fast-forwards through
+       the uncertainty window; [Hybrid] re-sends the critical responses
+       from that window. *)
+    let adjust_position_for_takeover t sl =
+      match t.policy.Policy.takeover with
+      | Policy.Resume -> ()
+      | Policy.Skip_ahead | Policy.Hybrid ->
+          let elapsed = now t -. sl.sl_base_at in
+          let ticks = int_of_float (elapsed /. S.tick_period) in
+          let ticks = Int.min ticks 100_000 in
+          let skipped = ref [] in
+          for _ = 1 to ticks do
+            let responses, ctx = S.tick sl.sl_ctx in
+            sl.sl_ctx <- ctx;
+            skipped := List.rev_append responses !skipped
+          done;
+          sl.sl_base_at <- now t;
+          if t.policy.Policy.takeover = Policy.Hybrid then
+            List.iter
+              (fun r ->
+                if S.response_critical r then begin
+                  emit t
+                    (Events.Response_sent
+                       {
+                         server = t.proc;
+                         session_id = sl.sl_session;
+                         id = S.response_id r;
+                         critical = true;
+                       });
+                  send_p2p t sl.sl_client
+                    (Response
+                       { session_id = sl.sl_session; id = S.response_id r; body = r })
+                end)
+              (List.rev !skipped)
+
+    (* -------------------------------------------------------------- *)
+    (* Role transitions                                                *)
+
+    let become_primary t us (sess : S.context Unit_db.session) ~prev_primary =
+      let sl = local_of t sess in
+      let had_live = sl.sl_role <> None in
+      let kind =
+        match prev_primary with
+        | None -> Events.Initial
+        | Some p when p = t.proc -> Events.Initial  (* already primary: no-op *)
+        | Some p ->
+            let members =
+              match us.u_view with Some v -> v.View.members | None -> [ t.proc ]
+            in
+            if List.mem p members then Events.Rebalance else Events.Crash
+      in
+      if sl.sl_role <> Some Primary then begin
+        if kind <> Events.Initial then begin
+          adjust_position_for_takeover t sl;
+          emit t
+            (Events.Takeover
+               {
+                 server = t.proc;
+                 session_id = sl.sl_session;
+                 kind;
+                 from_primary = prev_primary;
+                 had_live_context = had_live;
+               })
+        end;
+        sl.sl_role <- Some Primary;
+        Gcs.join t.gcs t.proc (Naming.session_group sl.sl_session);
+        emit t
+          (Events.Role_assumed { server = t.proc; session_id = sl.sl_session; role = Primary });
+        start_primary_timers t sl
+      end
+
+    let become_backup t (sess : S.context Unit_db.session) =
+      let sl = local_of t sess in
+      if sl.sl_role <> Some Backup then begin
+        (match sl.sl_role with
+        | Some Primary ->
+            stop_timers sl;
+            emit t
+              (Events.Role_dropped
+                 { server = t.proc; session_id = sl.sl_session; role = Primary })
+        | Some Backup | None -> ());
+        sl.sl_role <- Some Backup;
+        Gcs.join t.gcs t.proc (Naming.session_group sl.sl_session);
+        emit t
+          (Events.Role_assumed { server = t.proc; session_id = sl.sl_session; role = Backup })
+      end
+
+    let relinquish t sl ~new_primary =
+      (match sl.sl_role with
+      | Some Primary ->
+          stop_timers sl;
+          emit t
+            (Events.Role_dropped
+               { server = t.proc; session_id = sl.sl_session; role = Primary });
+          (* Load-balancing migration: hand the exact context to the new
+             primary so the client sees no duplicates or gaps. *)
+          (match new_primary with
+          | Some p when p <> t.proc ->
+              send_p2p t p
+                (Handoff
+                   {
+                     session_id = sl.sl_session;
+                     ctx = sl.sl_ctx;
+                     req_seq = sl.sl_req_seq;
+                     applied = List.sort_uniq compare sl.sl_applied;
+                     at = now t;
+                   })
+          | Some _ | None -> ())
+      | Some Backup ->
+          emit t
+            (Events.Role_dropped
+               { server = t.proc; session_id = sl.sl_session; role = Backup })
+      | None -> ());
+      sl.sl_role <- None;
+      Gcs.leave t.gcs t.proc (Naming.session_group sl.sl_session);
+      Hashtbl.remove t.sessions sl.sl_session
+
+    let apply_assignment t us (a : Selection.assignment) =
+      match Unit_db.find us.u_db a.Selection.a_session_id with
+      | None -> ()
+      | Some sess ->
+          let prev_primary = sess.Unit_db.primary in
+          Unit_db.set_assignment us.u_db a.Selection.a_session_id
+            ~primary:a.Selection.a_primary ~backups:a.Selection.a_backups;
+          let target =
+            if a.Selection.a_primary = t.proc then Some Primary
+            else if List.mem t.proc a.Selection.a_backups then Some Backup
+            else None
+          in
+          let current =
+            Option.bind (Hashtbl.find_opt t.sessions a.Selection.a_session_id)
+              (fun sl -> sl.sl_role)
+          in
+          (match (current, target) with
+          | _, Some Primary -> become_primary t us sess ~prev_primary
+          | _, Some Backup -> become_backup t sess
+          | Some _, None -> (
+              match Hashtbl.find_opt t.sessions a.Selection.a_session_id with
+              | Some sl -> relinquish t sl ~new_primary:(Some a.Selection.a_primary)
+              | None -> ())
+          | None, None -> ())
+
+    let reassign t us ~rebalance =
+      match us.u_view with
+      | None -> ()
+      | Some view ->
+          let prevs =
+            Unit_db.sessions us.u_db
+            |> List.map (fun (s : S.context Unit_db.session) ->
+                   {
+                     Selection.p_session_id = s.Unit_db.session_id;
+                     p_primary = s.Unit_db.primary;
+                     p_backups = s.Unit_db.backups;
+                   })
+          in
+          let assignments =
+            Selection.assign ~n_backups:t.policy.Policy.n_backups
+              ~members:view.View.members ~rebalance prevs
+          in
+          List.iter (apply_assignment t us) assignments
+
+    (* -------------------------------------------------------------- *)
+    (* Content-group message processing                                *)
+
+    let grant_if_primary t us session_id =
+      match Unit_db.find us.u_db session_id with
+      | Some sess when sess.Unit_db.primary = Some t.proc ->
+          emit t
+            (Events.Session_granted
+               { client = sess.Unit_db.client; session_id; primary = t.proc });
+          send_p2p t sess.Unit_db.client
+            (Granted { session_id; unit_id = us.u_id; primary = t.proc })
+      | Some _ | None -> ()
+
+    let process_content_msg t us ~sender msg =
+      match msg with
+      | Start_session { session_id; unit_id = _; client } ->
+          let existed = Unit_db.mem us.u_db session_id in
+          ignore
+            (Unit_db.add_session us.u_db ~session_id ~client ~started_at:(now t));
+          if not existed then reassign t us ~rebalance:false;
+          grant_if_primary t us session_id
+      | Propagate { session_id; snap } -> (
+          Unit_db.set_propagated us.u_db session_id snap;
+          (* A backup folds the propagation into its live context: take
+             the primary's context and replay the requests it has seen
+             that the snapshot predates. *)
+          match Hashtbl.find_opt t.sessions session_id with
+          | Some sl when sl.sl_role = Some Backup && sender <> t.proc ->
+              sl.sl_ctx <-
+                reapply_requests sl ~above:snap.Unit_db.snap_req_seq
+                  snap.Unit_db.snap_ctx;
+              sl.sl_base_at <- snap.Unit_db.snap_at;
+              sl.sl_req_seq <- Int.max sl.sl_req_seq snap.Unit_db.snap_req_seq;
+              sl.sl_applied <-
+                List.sort_uniq compare (snap.Unit_db.snap_applied @ sl.sl_applied)
+          | Some _ | None -> ())
+      | End_session { session_id } ->
+          (match Hashtbl.find_opt t.sessions session_id with
+          | Some sl ->
+              if sl.sl_role = Some Primary then
+                emit t (Events.Session_ended { session_id });
+              stop_timers sl;
+              (match sl.sl_role with
+              | Some role ->
+                  emit t (Events.Role_dropped { server = t.proc; session_id; role })
+              | None -> ());
+              sl.sl_role <- None;
+              Hashtbl.remove t.sessions session_id;
+              Gcs.leave t.gcs t.proc (Naming.session_group session_id)
+          | None -> ());
+          Unit_db.remove_session us.u_db session_id
+      | State_exchange _ -> ()  (* handled by the exchange machinery *)
+      | List_units _ | Request _ -> ()
+
+    let dbgpr fmt = if Sys.getenv_opt "HAF_DEBUG_EXCHANGE" <> None then Printf.eprintf fmt else Printf.ifprintf stderr fmt
+
+    let exchange_complete t us ex =
+      dbgpr "[%8.3f] s%d exchange COMPLETE %s vid=%s senders=[%s]\n" (now t) t.proc us.u_id
+        (Format.asprintf "%a" View.Id.pp ex.ex_vid)
+        (String.concat "," (List.map (fun (s,_) -> string_of_int s) ex.ex_records));
+      let snapshots =
+        List.sort (fun (a, _) (b, _) -> compare a b) ex.ex_records |> List.map snd
+      in
+      Unit_db.replace_with_merge us.u_db snapshots;
+      us.u_exchange <- None;
+      reassign t us ~rebalance:t.policy.Policy.rebalance_on_join;
+      (* Replay messages that arrived during the exchange, in their
+         totally ordered delivery order. *)
+      List.iter
+        (fun (sender, msg) -> process_content_msg t us ~sender msg)
+        (List.rev ex.ex_deferred)
+
+    let start_exchange t us view ~carried =
+      let ex =
+        {
+          ex_vid = view.View.id;
+          ex_expected = view.View.members;
+          ex_records = [];
+          ex_deferred = carried;
+        }
+      in
+      us.u_exchange <- Some ex;
+      dbgpr "[%8.3f] s%d exchange START %s vid=%s expect=[%s]\n" (now t) t.proc us.u_id
+        (Format.asprintf "%a" View.Id.pp view.View.id)
+        (String.concat "," (List.map string_of_int view.View.members));
+      multicast_content t us.u_id
+        (State_exchange
+           { sender = t.proc; vid = view.View.id; records = Unit_db.export us.u_db })
+
+    let on_content_view t us view =
+      let prev = us.u_view in
+      us.u_view <- Some view;
+      emit t
+        (Events.View_noted
+           { server = t.proc; group = view.View.group; members = view.View.members });
+      let crash_only =
+        match prev with
+        | Some pv ->
+            List.for_all (fun m -> List.mem m pv.View.members) view.View.members
+        | None -> view.View.members = [ t.proc ]
+      in
+      let carried = match us.u_exchange with Some ex -> ex.ex_deferred | None -> [] in
+      if crash_only && us.u_exchange = None then
+        (* Virtual synchrony: every survivor has the same database, so
+           everyone recomputes the same assignment with no extra round. *)
+        reassign t us ~rebalance:false
+      else start_exchange t us view ~carried
+
+    let on_content_msg t us ~sender msg =
+      match us.u_exchange with
+      | Some ex -> (
+          match msg with
+          | State_exchange { sender = xsender; vid; records }
+            when View.Id.equal vid ex.ex_vid ->
+              dbgpr "[%8.3f] s%d exchange RECV %s from s%d vid=%s\n" (now t) t.proc us.u_id
+                xsender (Format.asprintf "%a" View.Id.pp vid);
+              if not (List.mem_assoc xsender ex.ex_records) then begin
+                ex.ex_records <- (xsender, records) :: ex.ex_records;
+                if
+                  List.for_all
+                    (fun m -> List.mem_assoc m ex.ex_records)
+                    ex.ex_expected
+                then exchange_complete t us ex
+              end
+          | State_exchange { sender = xsender; vid; _ } ->
+              dbgpr "[%8.3f] s%d exchange STALE %s from s%d vid=%s (want %s)\n" (now t) t.proc
+                us.u_id xsender
+                (Format.asprintf "%a" View.Id.pp vid)
+                (Format.asprintf "%a" View.Id.pp ex.ex_vid)
+          | other -> ex.ex_deferred <- (sender, other) :: ex.ex_deferred)
+      | None -> process_content_msg t us ~sender msg
+
+    (* -------------------------------------------------------------- *)
+    (* Session-group and service-group messages                        *)
+
+    let on_request t ~session_id ~seq ~body =
+      match Hashtbl.find_opt t.sessions session_id with
+      | Some sl when sl.sl_role <> None ->
+          if not (List.mem seq sl.sl_applied) then begin
+            sl.sl_applied <- seq :: sl.sl_applied;
+            sl.sl_reqs <- (seq, body) :: sl.sl_reqs;
+            sl.sl_ctx <- S.apply_request sl.sl_ctx body;
+            sl.sl_req_seq <- Int.max sl.sl_req_seq seq;
+            let role = match sl.sl_role with Some r -> r | None -> assert false in
+            emit t (Events.Request_applied { server = t.proc; session_id; seq; role })
+          end
+      | Some _ | None -> ()
+
+    let on_service_msg t msg =
+      match msg with
+      | List_units { client } -> (
+          (* One designated member answers: the service-view coordinator. *)
+          match t.svc_view with
+          | Some v when View.coordinator v = t.proc ->
+              send_p2p t client (Unit_list t.catalog)
+          | Some _ | None -> ())
+      | Start_session _ | Propagate _ | End_session _ | State_exchange _ | Request _ ->
+          ()
+
+    (* -------------------------------------------------------------- *)
+    (* GCS callbacks                                                   *)
+
+    let on_view t view =
+      if t.running then begin
+        let g = view.View.group in
+        if Naming.is_service_group g then t.svc_view <- Some view
+        else
+          match Naming.content_unit_of g with
+          | Some u -> (
+              match Hashtbl.find_opt t.units u with
+              | Some us -> on_content_view t us view
+              | None -> ())
+          | None -> ()  (* session groups need no view handling *)
+      end
+
+    let on_message t ~group ~sender payload =
+      if t.running then
+        let msg = decode_group payload in
+        if Naming.is_service_group group then on_service_msg t msg
+        else
+          match Naming.content_unit_of group with
+          | Some u -> (
+              match Hashtbl.find_opt t.units u with
+              | Some us -> on_content_msg t us ~sender msg
+              | None -> ())
+          | None -> (
+              match (Naming.session_of group, msg) with
+              | Some _, Request { session_id; seq; body } ->
+                  on_request t ~session_id ~seq ~body
+              | _, _ -> ())
+
+    let on_p2p t ~sender:_ payload =
+      if t.running then
+        match decode_p2p payload with
+        | Handoff { session_id; ctx; req_seq; applied; at } -> (
+            match Hashtbl.find_opt t.sessions session_id with
+            | Some sl when sl.sl_role = Some Primary ->
+                sl.sl_ctx <- reapply_requests sl ~above:req_seq ctx;
+                sl.sl_base_at <- at;
+                sl.sl_req_seq <- Int.max sl.sl_req_seq req_seq;
+                sl.sl_applied <- List.sort_uniq compare (applied @ sl.sl_applied)
+            | Some _ | None -> ())
+        | Unit_list _ | Granted _ | Response _ -> ()
+
+    (* -------------------------------------------------------------- *)
+
+    let create gcs ~proc ~policy ~units ~catalog ~events =
+      (match Policy.validate policy with
+      | Ok _ -> ()
+      | Error msg -> invalid_arg ("Server.create: " ^ msg));
+      let t =
+        {
+          proc;
+          gcs;
+          engine = Gcs.engine gcs;
+          policy;
+          events;
+          catalog;
+          units = Hashtbl.create 4;
+          sessions = Hashtbl.create 16;
+          svc_view = None;
+          running = true;
+        }
+      in
+      List.iter
+        (fun u ->
+          Hashtbl.replace t.units u
+            { u_id = u; u_db = Unit_db.create ~unit_id:u; u_view = None; u_exchange = None })
+        units;
+      Gcs.set_app gcs proc
+        {
+          Daemon.on_view = (fun v -> on_view t v);
+          on_message = (fun ~group ~sender payload -> on_message t ~group ~sender payload);
+          on_p2p = (fun ~sender payload -> on_p2p t ~sender payload);
+        };
+      Gcs.join gcs proc Naming.service_group;
+      List.iter (fun u -> Gcs.join gcs proc (Naming.content_group u)) units;
+      t
+
+    let stop t =
+      t.running <- false;
+      Hashtbl.iter (fun _ sl -> stop_timers sl) t.sessions
+
+    let units t = Hashtbl.fold (fun u _ acc -> u :: acc) t.units [] |> List.sort compare
+
+    let db t u = Option.map (fun us -> us.u_db) (Hashtbl.find_opt t.units u)
+
+    let sessions_served t =
+      Hashtbl.fold
+        (fun sid sl acc -> match sl.sl_role with Some r -> (sid, r) :: acc | None -> acc)
+        t.sessions []
+      |> List.sort compare
+
+    let is_primary_of t sid =
+      match Hashtbl.find_opt t.sessions sid with
+      | Some sl -> sl.sl_role = Some Primary
+      | None -> false
+  end
+
+  (* ================================================================ *)
+
+  module Client = struct
+    type csession = {
+      c_session : string;
+      c_unit : string;
+      mutable c_granted : bool;
+      mutable c_next_seq : int;
+      mutable c_received : (int * float) list;  (* response id, time; newest first *)
+      mutable c_grant_timer : Engine.timer option;
+      mutable c_req_timer : Engine.timer option;
+      mutable c_end_timer : Engine.timer option;
+      mutable c_watchdog : Engine.timer option;
+      mutable c_last_response : float;
+      mutable c_reestablishes : int;
+      mutable c_done : bool;
+    }
+
+    type t = {
+      proc : int;
+      gcs : Gcs.t;
+      engine : Engine.t;
+      events : Events.sink;
+      rng : Rng.t;
+      policy : Policy.t;
+      sessions : (string, csession) Hashtbl.t;
+      mutable serial : int;
+      mutable on_units : (string list -> unit) option;
+      mutable running : bool;
+    }
+
+    let create gcs ~proc ~policy ~events =
+      let engine = Gcs.engine gcs in
+      let t =
+        {
+          proc;
+          gcs;
+          engine;
+          events;
+          rng = Engine.fork_rng engine;
+          policy;
+          sessions = Hashtbl.create 4;
+          serial = 0;
+          on_units = None;
+          running = true;
+        }
+      in
+      let on_p2p ~sender payload =
+        if t.running then
+          match decode_p2p payload with
+          | Unit_list units -> (
+              match t.on_units with
+              | Some k ->
+                  t.on_units <- None;
+                  k units
+              | None -> ())
+          | Granted { session_id; unit_id = _; primary } -> (
+              match Hashtbl.find_opt t.sessions session_id with
+              | Some cs when not cs.c_granted ->
+                  cs.c_granted <- true;
+                  (match cs.c_grant_timer with
+                  | Some tm -> Engine.cancel tm
+                  | None -> ());
+                  cs.c_grant_timer <- None;
+                  Events.emit t.events ~now:(Engine.now engine)
+                    (Events.Session_granted { client = t.proc; session_id; primary })
+              | Some _ | None -> ())
+          | Response { session_id; id; body } -> (
+              match Hashtbl.find_opt t.sessions session_id with
+              | Some cs when not cs.c_done ->
+                  cs.c_received <- (id, Engine.now engine) :: cs.c_received;
+                  cs.c_last_response <- Engine.now engine;
+                  Events.emit t.events ~now:(Engine.now engine)
+                    (Events.Response_received
+                       {
+                         client = t.proc;
+                         session_id;
+                         id;
+                         critical = S.response_critical body;
+                         from_server = sender;
+                       })
+              | Some _ | None -> ())
+          | Handoff _ -> ()
+      in
+      Gcs.set_app gcs proc
+        { Daemon.on_view = (fun _ -> ()); on_message = (fun ~group:_ ~sender:_ _ -> ()); on_p2p };
+      t
+
+    let proc t = t.proc
+
+    let now t = Engine.now t.engine
+
+    let discover_units t k =
+      t.on_units <- Some k;
+      Gcs.open_send t.gcs t.proc Naming.service_group
+        (encode_group (List_units { client = t.proc }))
+
+    let send_request t cs =
+      if t.running && not cs.c_done then begin
+        let seq = cs.c_next_seq in
+        cs.c_next_seq <- seq + 1;
+        let body = S.gen_request t.rng ~seq in
+        Events.emit t.events ~now:(now t)
+          (Events.Request_sent { client = t.proc; session_id = cs.c_session; seq });
+        Gcs.open_send t.gcs t.proc
+          (Naming.session_group cs.c_session)
+          (encode_group (Request { session_id = cs.c_session; seq; body }))
+      end
+
+    let finish_session t cs =
+      if not cs.c_done then begin
+        cs.c_done <- true;
+        (match cs.c_req_timer with Some tm -> Engine.cancel tm | None -> ());
+        (match cs.c_grant_timer with Some tm -> Engine.cancel tm | None -> ());
+        (match cs.c_end_timer with Some tm -> Engine.cancel tm | None -> ());
+        (match cs.c_watchdog with Some tm -> Engine.cancel tm | None -> ());
+        Gcs.open_send t.gcs t.proc
+          (Naming.content_group cs.c_unit)
+          (encode_group (End_session { session_id = cs.c_session }))
+      end
+
+    let start_session t ~unit_id ~duration ~request_interval =
+      let session_id = Printf.sprintf "c%03d-%d" t.proc t.serial in
+      t.serial <- t.serial + 1;
+      let cs =
+        {
+          c_session = session_id;
+          c_unit = unit_id;
+          c_granted = false;
+          c_next_seq = 1;
+          c_received = [];
+          c_grant_timer = None;
+          c_req_timer = None;
+          c_end_timer = None;
+          c_watchdog = None;
+          c_last_response = now t;
+          c_reestablishes = 0;
+          c_done = false;
+        }
+      in
+      Hashtbl.replace t.sessions session_id cs;
+      Events.emit t.events ~now:(now t)
+        (Events.Session_requested { client = t.proc; session_id; unit_id });
+      let ask () =
+        if t.running && not cs.c_done then
+          Gcs.open_send t.gcs t.proc
+            (Naming.content_group unit_id)
+            (encode_group (Start_session { session_id; unit_id; client = t.proc }))
+      in
+      ask ();
+      (* Re-ask until granted: covers the primary crashing before the
+         grant reaches us. *)
+      cs.c_grant_timer <-
+        Some
+          (Engine.every t.engine ~period:t.policy.Policy.grant_timeout (fun () ->
+               if not cs.c_granted then ask ()));
+      (* Watchdog: if the stream goes silent for several grant timeouts,
+         re-issue the start-session request.  Idempotent while the session
+         exists in the unit database (the primary simply re-grants); after
+         a total content-group loss it re-creates the session, which is
+         the only client-side recovery the framework needs. *)
+      cs.c_watchdog <-
+        Some
+          (Engine.every t.engine ~period:t.policy.Policy.grant_timeout (fun () ->
+               if
+                 cs.c_granted
+                 && now t -. cs.c_last_response
+                    > 3. *. t.policy.Policy.grant_timeout
+               then begin
+                 cs.c_reestablishes <- cs.c_reestablishes + 1;
+                 cs.c_last_response <- now t;
+                 ask ()
+               end));
+      if request_interval > 0. then
+        cs.c_req_timer <-
+          Some
+            (Engine.every t.engine
+               ~first:(Rng.float t.rng request_interval)
+               ~period:request_interval
+               (fun () -> send_request t cs));
+      cs.c_end_timer <-
+        Some (Engine.schedule t.engine ~delay:duration (fun () -> finish_session t cs));
+      session_id
+
+    let stop t =
+      t.running <- false;
+      Hashtbl.iter
+        (fun _ cs ->
+          (match cs.c_req_timer with Some tm -> Engine.cancel tm | None -> ());
+          (match cs.c_grant_timer with Some tm -> Engine.cancel tm | None -> ());
+          (match cs.c_end_timer with Some tm -> Engine.cancel tm | None -> ());
+          (match cs.c_watchdog with Some tm -> Engine.cancel tm | None -> ()))
+        t.sessions
+
+    let received t session_id =
+      match Hashtbl.find_opt t.sessions session_id with
+      | Some cs -> List.rev cs.c_received
+      | None -> []
+
+    let granted t session_id =
+      match Hashtbl.find_opt t.sessions session_id with
+      | Some cs -> cs.c_granted
+      | None -> false
+
+    let session_ids t =
+      Hashtbl.fold (fun sid _ acc -> sid :: acc) t.sessions [] |> List.sort compare
+  end
+end

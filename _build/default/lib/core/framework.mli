@@ -1,0 +1,138 @@
+(** The highly-available service framework — the paper's contribution.
+
+    {!Make} instantiates the framework over a concrete service
+    description (see {!Service_intf.SERVICE}) and yields two engines:
+
+    - {!Make.Server}: joins the service group and one content group per
+      replicated unit; maintains the replicated unit database; elects
+      itself primary or backup via the deterministic selection function;
+      streams responses, applies client requests, propagates context,
+      and migrates sessions across crashes, joins and rebalances.
+    - {!Make.Client}: session-oriented client that addresses the service
+      purely through abstract group names — it never learns which server
+      serves it, exactly as the paper prescribes.
+
+    One [Server.t]/[Client.t] is created per process on a
+    {!Haf_gcs.Gcs.t} fabric; all instances must share one
+    {!Events.sink} if the run is to be analyzed with {!Haf_stats}. *)
+
+module Make (S : Service_intf.SERVICE) : sig
+  (** {2 Wire messages}
+
+      Exposed so that tests and harnesses can inject hand-crafted
+      traffic; normal applications never construct these. *)
+
+  type group_msg =
+    | List_units of { client : int }  (** Client -> service group. *)
+    | Start_session of { session_id : string; unit_id : string; client : int }
+        (** Client -> content group (totally ordered at every replica). *)
+    | Propagate of { session_id : string; snap : S.context Unit_db.snapshot }
+        (** Primary -> content group, every propagation period. *)
+    | End_session of { session_id : string }
+    | State_exchange of {
+        sender : int;
+        vid : Haf_gcs.View.Id.t;
+        records : S.context Unit_db.record list;
+      }
+        (** Members -> content group after a view change with joiners. *)
+    | Request of { session_id : string; seq : int; body : S.request }
+        (** Client -> session group: a context update, seen by the
+            primary and every backup. *)
+
+  type p2p_msg =
+    | Unit_list of string list
+    | Granted of { session_id : string; unit_id : string; primary : int }
+    | Response of { session_id : string; id : int; body : S.response }
+    | Handoff of {
+        session_id : string;
+        ctx : S.context;
+        req_seq : int;
+        applied : int list;
+        at : float;
+      }
+        (** Old primary -> new primary on a load-balancing migration:
+            the exact context, so the move is hitless. *)
+
+  val encode_group : group_msg -> string
+
+  val decode_group : string -> group_msg
+
+  val encode_p2p : p2p_msg -> string
+
+  val decode_p2p : string -> p2p_msg
+
+  module Server : sig
+    type t
+
+    val create :
+      Haf_gcs.Gcs.t ->
+      proc:int ->
+      policy:Policy.t ->
+      units:string list ->
+      catalog:string list ->
+      events:Events.sink ->
+      t
+    (** Start a server process: registers the GCS callbacks, joins the
+        service group and the content group of every unit in [units].
+        [catalog] is the unit list advertised to clients (the paper's
+        "list of available content units").
+
+        @raise Invalid_argument if [policy] fails {!Policy.validate}. *)
+
+    val stop : t -> unit
+    (** Crash/stop this server instance: cancels every timer and makes
+        all callbacks inert.  Call together with {!Haf_gcs.Gcs.crash};
+        after {!Haf_gcs.Gcs.restart}, build a fresh server with
+        {!create}. *)
+
+    val proc : t -> int
+
+    val units : t -> string list
+    (** Units this server replicates, sorted. *)
+
+    val db : t -> string -> S.context Unit_db.t option
+    (** This replica's unit database (identical across content-group
+        members — a property the test suite checks). *)
+
+    val sessions_served : t -> (string * Events.role) list
+    (** Sessions this server currently holds a role for, sorted. *)
+
+    val is_primary_of : t -> string -> bool
+  end
+
+  module Client : sig
+    type t
+
+    val create :
+      Haf_gcs.Gcs.t -> proc:int -> policy:Policy.t -> events:Events.sink -> t
+    (** A client process (created on a {!Haf_gcs.Gcs.add_client}
+        process).  [policy] supplies the grant timeout used for retries
+        and the silence watchdog. *)
+
+    val proc : t -> int
+
+    val discover_units : t -> (string list -> unit) -> unit
+    (** Ask the service group for the catalog; the callback fires once
+        with the answer (from whichever server currently coordinates the
+        service view). *)
+
+    val start_session :
+      t -> unit_id:string -> duration:float -> request_interval:float -> string
+    (** Begin a session on a content unit; returns the session id.
+        The client re-sends the start request until granted, emits a
+        request drawn from [S.gen_request] every [request_interval]
+        seconds (0 = never), re-establishes the session if the response
+        stream stays silent for several grant timeouts, and ends the
+        session after [duration] seconds.  All delivery anomalies are
+        recorded in the event sink for offline analysis. *)
+
+    val stop : t -> unit
+
+    val granted : t -> string -> bool
+
+    val received : t -> string -> (int * float) list
+    (** (response id, arrival time) for a session, oldest first. *)
+
+    val session_ids : t -> string list
+  end
+end

@@ -1,0 +1,21 @@
+let service_group = "svc"
+
+let content_prefix = "content:"
+
+let session_prefix = "session:"
+
+let content_group unit_id = content_prefix ^ unit_id
+
+let session_group session_id = session_prefix ^ session_id
+
+let is_service_group g = String.equal g service_group
+
+let strip prefix g =
+  if String.length g > String.length prefix
+     && String.sub g 0 (String.length prefix) = prefix
+  then Some (String.sub g (String.length prefix) (String.length g - String.length prefix))
+  else None
+
+let content_unit_of g = strip content_prefix g
+
+let session_of g = strip session_prefix g

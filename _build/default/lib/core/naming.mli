@@ -1,0 +1,24 @@
+(** Group naming conventions.
+
+    The paper's three group scales map to deterministic names, so that
+    every server — and the deterministic selection function — computes the
+    same group name with no extra coordination ("the group name is
+    computed deterministically by each of the servers"). *)
+
+val service_group : string
+(** The group of all servers; the clients' a-priori-known contact point. *)
+
+val content_group : string -> string
+(** [content_group unit_id]: the group of servers replicating one content
+    unit. *)
+
+val session_group : string -> string
+(** [session_group session_id]: primary + backups of one live session. *)
+
+val is_service_group : string -> bool
+
+val content_unit_of : string -> string option
+(** Inverse of {!content_group}. *)
+
+val session_of : string -> string option
+(** Inverse of {!session_group}. *)

@@ -1,0 +1,35 @@
+type takeover = Resume | Skip_ahead | Hybrid
+
+type t = {
+  n_backups : int;
+  propagation_period : float;
+  takeover : takeover;
+  rebalance_on_join : bool;
+  grant_timeout : float;
+}
+
+let default =
+  {
+    n_backups = 1;
+    propagation_period = 0.5;
+    takeover = Resume;
+    rebalance_on_join = true;
+    grant_timeout = 2.0;
+  }
+
+let vod_paper = { default with n_backups = 0; propagation_period = 0.5 }
+
+let validate t =
+  if t.n_backups < 0 then Error "n_backups must be non-negative"
+  else if t.propagation_period <= 0. then Error "propagation_period must be positive"
+  else if t.grant_timeout <= 0. then Error "grant_timeout must be positive"
+  else Ok t
+
+let takeover_to_string = function
+  | Resume -> "resume"
+  | Skip_ahead -> "skip-ahead"
+  | Hybrid -> "hybrid"
+
+let pp ppf t =
+  Format.fprintf ppf "backups=%d prop=%gs takeover=%s rebalance=%b" t.n_backups
+    t.propagation_period (takeover_to_string t.takeover) t.rebalance_on_join

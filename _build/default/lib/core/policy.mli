@@ -1,0 +1,46 @@
+(** Availability policy: the paper's configurable parameters.
+
+    "The key configurable parameters in our framework are the number of
+    servers at each level of synchronization, and the frequency with
+    which the primary propagates context to the other servers." *)
+
+type takeover =
+  | Resume
+      (** Retransmit every response since the last known position.  The
+          client may see duplicates, but never misses a response
+          (paper: favour duplicates for MPEG I-frames). *)
+  | Skip_ahead
+      (** Fast-forward to the estimated live position.  No duplicates,
+          but responses sent in the uncertainty window may be lost. *)
+  | Hybrid
+      (** Fast-forward, but retransmit the {e critical} responses from
+          the skipped range: the paper's per-frame-class MPEG policy. *)
+
+type t = {
+  n_backups : int;
+      (** Backup servers per session group (0 reproduces the VoD design
+          of [2], i.e. session group = primary only). *)
+  propagation_period : float;
+      (** Seconds between the primary's context propagations to the
+          content group ([2] used 0.5 s). *)
+  takeover : takeover;
+  rebalance_on_join : bool;
+      (** Move sessions off overloaded servers when servers join
+          ("the servers evenly re-distribute the clients among them"). *)
+  grant_timeout : float;
+      (** Client-side: re-send the start-session request if no grant
+          arrived within this long. *)
+}
+
+val default : t
+(** 1 backup, 0.5 s propagation, [Resume] takeover, rebalancing on. *)
+
+val vod_paper : t
+(** The configuration of the VoD service of [2]: no backups, 0.5 s
+    propagation. *)
+
+val validate : t -> (t, string) result
+
+val pp : Format.formatter -> t -> unit
+
+val takeover_to_string : takeover -> string

@@ -1,0 +1,157 @@
+module Gcs = Haf_gcs.Gcs
+module View = Haf_gcs.View
+module Daemon = Haf_gcs.Daemon
+
+module type MACHINE = sig
+  type state
+
+  type command
+
+  val initial : state
+
+  val apply : state -> command -> state
+end
+
+module Make (M : MACHINE) = struct
+  type wire =
+    | Cmd of M.command
+    | Sync of { vid : View.Id.t; sender : int; applied : int; state : M.state }
+
+  let encode (w : wire) = Marshal.to_string w []
+
+  let decode (s : string) : wire = Marshal.from_string s 0
+
+  type sync_round = {
+    sr_vid : View.Id.t;
+    sr_expected : int list;
+    mutable sr_best : int * M.state;  (* highest applied count seen *)
+    mutable sr_got : int list;
+    mutable sr_deferred : (int * M.command) list;  (* sender, cmd; newest first *)
+  }
+
+  type t = {
+    gcs : Gcs.t;
+    proc : int;
+    group : string;
+    total : int;
+    on_apply : M.command -> M.state -> unit;
+    mutable st : M.state;
+    mutable applied : int;
+    mutable view : View.t option;
+    mutable sync : sync_round option;
+    mutable buffered : M.command list;  (* own submissions awaiting majority *)
+  }
+
+  let in_majority_view t = function
+    | Some v -> 2 * View.size v > t.total
+    | None -> false
+
+  let in_majority t = in_majority_view t t.view
+
+  let state t = t.st
+
+  let applied_count t = t.applied
+
+  let pending t = List.length t.buffered
+
+  let apply_cmd t cmd =
+    t.st <- M.apply t.st cmd;
+    t.applied <- t.applied + 1;
+    t.on_apply cmd t.st
+
+  let flush_buffered t =
+    if in_majority t && t.sync = None then begin
+      let cmds = List.rev t.buffered in
+      t.buffered <- [];
+      List.iter (fun c -> Gcs.multicast t.gcs t.proc t.group (encode (Cmd c))) cmds
+    end
+
+  let finish_sync t sr =
+    let best_applied, best_state = sr.sr_best in
+    if best_applied > t.applied then begin
+      t.st <- best_state;
+      t.applied <- best_applied
+    end;
+    t.sync <- None;
+    (* Deferred commands were delivered in this view's total order after
+       every member's sync, so replaying them in order is deterministic
+       across the membership. *)
+    List.iter
+      (fun (sender, c) ->
+        if in_majority t then apply_cmd t c
+        else if sender = t.proc then t.buffered <- c :: t.buffered)
+      (List.rev sr.sr_deferred);
+    flush_buffered t
+
+  let on_view t view =
+    t.view <- Some view;
+    let deferred = match t.sync with Some sr -> sr.sr_deferred | None -> [] in
+    let sr =
+      {
+        sr_vid = view.View.id;
+        sr_expected = view.View.members;
+        sr_best = (t.applied, t.st);
+        sr_got = [];
+        sr_deferred = deferred;
+      }
+    in
+    t.sync <- Some sr;
+    Gcs.multicast t.gcs t.proc t.group
+      (encode (Sync { vid = view.View.id; sender = t.proc; applied = t.applied; state = t.st }))
+
+  let on_message t ~sender payload =
+    match decode payload with
+    | Cmd cmd -> (
+        match t.sync with
+        | Some sr -> sr.sr_deferred <- (sender, cmd) :: sr.sr_deferred
+        | None ->
+            if in_majority t then apply_cmd t cmd
+            else if sender = t.proc then
+              (* Sequenced into a minority view (e.g. resubmitted there
+                 after a partition): every member rejects it
+                 consistently; the origin re-buffers it for the next
+                 majority. *)
+              t.buffered <- cmd :: t.buffered)
+    | Sync { vid; sender; applied; state } -> (
+        match t.sync with
+        | Some sr when View.Id.equal vid sr.sr_vid ->
+            if not (List.mem sender sr.sr_got) then begin
+              sr.sr_got <- sender :: sr.sr_got;
+              if applied > fst sr.sr_best then sr.sr_best <- (applied, state);
+              if List.for_all (fun m -> List.mem m sr.sr_got) sr.sr_expected then
+                finish_sync t sr
+            end
+        | Some _ | None -> ())
+
+  let create gcs ~proc ~group ~total ?(on_apply = fun _ _ -> ()) () =
+    if total <= 0 then invalid_arg "Rsm.create: total must be positive";
+    let t =
+      {
+        gcs;
+        proc;
+        group;
+        total;
+        on_apply;
+        st = M.initial;
+        applied = 0;
+        view = None;
+        sync = None;
+        buffered = [];
+      }
+    in
+    Gcs.set_app gcs proc
+      {
+        Daemon.on_view =
+          (fun v -> if String.equal v.View.group group then on_view t v);
+        on_message =
+          (fun ~group:g ~sender payload ->
+            if String.equal g group then on_message t ~sender payload);
+        on_p2p = (fun ~sender:_ _ -> ());
+      };
+    Gcs.join gcs proc group;
+    t
+
+  let submit t cmd =
+    t.buffered <- cmd :: t.buffered;
+    flush_buffered t
+end

@@ -1,0 +1,62 @@
+(** Replicated state machine over the GCS — the paper's second
+    future-work item: "integrate into the design a mechanism for
+    consistently updating the state that is shared between clients, using
+    the well-known replicated state machine technique [6]" (Section 5).
+
+    Commands are disseminated with the group's totally ordered multicast
+    and applied deterministically at every replica, so replicas that
+    deliver the same sequence hold identical state.  Because the GCS is
+    partitionable, consistency across partitions uses the standard
+    primary-partition rule: only a component holding a {e majority} of
+    the configured replica set applies commands; minority members buffer
+    their own submissions and catch up through a state synchronization
+    round when views merge (mirroring the framework's unit-database
+    exchange).
+
+    The intended use in the framework is consistent updates to the
+    shared {e content} (e.g. adding a movie to the VoD catalog), which
+    the paper otherwise scopes out; `examples/shared_state.exe` shows it
+    standing alone.  An RSM endpoint owns its process's GCS callbacks, so
+    run it on a dedicated process or multiplex externally. *)
+
+module type MACHINE = sig
+  type state
+
+  type command
+
+  val initial : state
+
+  val apply : state -> command -> state
+  (** Must be pure and deterministic. *)
+end
+
+module Make (M : MACHINE) : sig
+  type t
+
+  val create :
+    Haf_gcs.Gcs.t ->
+    proc:int ->
+    group:string ->
+    total:int ->
+    ?on_apply:(M.command -> M.state -> unit) ->
+    unit ->
+    t
+  (** Join [group] as one of [total] configured replicas.  [on_apply]
+      fires after each command is applied locally. *)
+
+  val submit : t -> M.command -> unit
+  (** Propose a command.  Applied (everywhere) only once this replica is
+      part of a majority component; until then it is buffered and
+      resubmitted automatically after merges. *)
+
+  val state : t -> M.state
+
+  val applied_count : t -> int
+  (** Number of commands applied; replicas with equal counts hold equal
+      states. *)
+
+  val in_majority : t -> bool
+
+  val pending : t -> int
+  (** Commands buffered awaiting a majority. *)
+end

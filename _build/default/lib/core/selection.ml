@@ -1,0 +1,131 @@
+type prev = {
+  p_session_id : string;
+  p_primary : int option;
+  p_backups : int list;
+}
+
+type assignment = { a_session_id : string; a_primary : int; a_backups : int list }
+
+let backup_weight = 0.5
+
+(* Least-loaded member, ties broken by id: deterministic. *)
+let least_loaded loads candidates =
+  match candidates with
+  | [] -> None
+  | _ ->
+      Some
+        (List.fold_left
+           (fun best c ->
+             let lb = Hashtbl.find loads best and lc = Hashtbl.find loads c in
+             if lc < lb || (lc = lb && c < best) then c else best)
+           (List.hd candidates) (List.tl candidates))
+
+(* Three phases, all deterministic in the inputs:
+   1. sticky primaries keep their sessions and their load is counted,
+      so that newly arriving sessions see the true load picture;
+   2. orphaned/new sessions are placed on a surviving former backup if
+      one exists (context freshness), else the least-loaded member;
+   3. backups are chosen against the final primary loads. *)
+let assign ~n_backups ~members ~rebalance prevs =
+  if members = [] then invalid_arg "Selection.assign: no members";
+  let members = List.sort_uniq compare members in
+  let loads = Hashtbl.create 8 in
+  List.iter (fun m -> Hashtbl.replace loads m 0.) members;
+  let bump m w = Hashtbl.replace loads m (Hashtbl.find loads m +. w) in
+  let total = List.length prevs in
+  let cap = ceil (float_of_int total /. float_of_int (List.length members)) in
+  let prevs =
+    List.sort (fun a b -> String.compare a.p_session_id b.p_session_id) prevs
+  in
+  let kept = Hashtbl.create 16 in
+  List.iter
+    (fun prev ->
+      match prev.p_primary with
+      | Some p when List.mem p members && ((not rebalance) || Hashtbl.find loads p < cap)
+        ->
+          Hashtbl.replace kept prev.p_session_id p;
+          bump p 1.
+      | Some _ | None -> ())
+    prevs;
+  let primaries =
+    List.map
+      (fun prev ->
+        match Hashtbl.find_opt kept prev.p_session_id with
+        | Some p -> (prev, p)
+        | None ->
+            (* If the former primary is gone, a surviving backup has the
+               freshest context and takes over ("or one of the former
+               backups, if the former primary has failed").  If the
+               former primary is alive — the session is only being moved
+               to even the load, and it will hand the exact context over
+               — pure least-loaded placement spreads it to the joiner. *)
+            let former_primary_crashed =
+              match prev.p_primary with
+              | Some p -> not (List.mem p members)
+              | None -> false
+            in
+            let surviving_backups =
+              List.filter (fun b -> List.mem b members) prev.p_backups
+            in
+            (* Under rebalancing, the freshness preference for a backup
+               must not overfill it beyond the even share — otherwise the
+               next rebalance pass would immediately move the session
+               again (flapping). *)
+            let surviving_backups =
+              if rebalance then
+                List.filter (fun b -> Hashtbl.find loads b < cap) surviving_backups
+              else surviving_backups
+            in
+            let p =
+              match
+                if former_primary_crashed then least_loaded loads surviving_backups
+                else None
+              with
+              | Some b -> b
+              | None -> (
+                  match least_loaded loads members with
+                  | Some m -> m
+                  | None -> assert false)
+            in
+            bump p 1.;
+            (prev, p))
+      prevs
+  in
+  List.map
+    (fun (prev, primary) ->
+      let surviving_backups = List.filter (fun b -> List.mem b members) prev.p_backups in
+      let rec pick_backups chosen k =
+        if k = 0 then List.rev chosen
+        else
+          let candidates =
+            List.filter (fun m -> m <> primary && not (List.mem m chosen)) members
+          in
+          let preferred =
+            List.filter (fun m -> List.mem m surviving_backups) candidates
+          in
+          match
+            least_loaded loads (if preferred <> [] then preferred else candidates)
+          with
+          | None -> List.rev chosen
+          | Some b ->
+              bump b backup_weight;
+              pick_backups (b :: chosen) (k - 1)
+      in
+      let backups = pick_backups [] n_backups in
+      { a_session_id = prev.p_session_id; a_primary = primary; a_backups = backups })
+    primaries
+
+let load_of assignments server =
+  List.fold_left
+    (fun acc a ->
+      let acc = if a.a_primary = server then acc +. 1. else acc in
+      if List.mem server a.a_backups then acc +. backup_weight else acc)
+    0. assignments
+
+let imbalance assignments ~members =
+  match members with
+  | [] -> 0.
+  | _ ->
+      let ls = List.map (load_of assignments) members in
+      List.fold_left Float.max neg_infinity ls
+      -. List.fold_left Float.min infinity ls

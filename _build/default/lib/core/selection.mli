@@ -1,0 +1,44 @@
+(** Deterministic primary/backup selection.
+
+    "Each server ... applies a deterministic function to the unit
+    database in order to select lightly-loaded primary and backup servers
+    for this client.  Thanks to total message ordering, the function is
+    evaluated over identical databases at the different servers, and all
+    the servers choose the same primary and backup servers."
+
+    The function implements the paper's preferences: "the new primary
+    assigned will be the former primary if possible, or one of the former
+    backups, if the former primary has failed but some former backup
+    remains in the group"; otherwise the least-loaded member.  Load
+    counts a primary role as 1 and a backup role as 1/2 (backups only
+    receive and record requests; only the primary responds). *)
+
+type prev = {
+  p_session_id : string;
+  p_primary : int option;  (** Assignment before this view, if any. *)
+  p_backups : int list;
+}
+
+type assignment = { a_session_id : string; a_primary : int; a_backups : int list }
+
+val assign :
+  n_backups:int ->
+  members:int list ->
+  rebalance:bool ->
+  prev list ->
+  assignment list
+(** Pure and deterministic in all arguments: same inputs on every replica
+    yield the same output.  Sessions are processed in session-id order.
+    With [rebalance] set, a former primary whose load would exceed the
+    even share [ceil(sessions/members)] loses the stickiness preference
+    (used after servers join); without it, former primaries always keep
+    their sessions ("immediately reach a consistent decision ... without
+    exchanging additional information").
+
+    @raise Invalid_argument if [members] is empty. *)
+
+val load_of : assignment list -> int -> float
+(** [load_of assignments server]: primaries count 1, backups 1/2. *)
+
+val imbalance : assignment list -> members:int list -> float
+(** Max load minus min load across members — 0 is perfectly even. *)

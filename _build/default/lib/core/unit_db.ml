@@ -1,0 +1,150 @@
+type 'ctx snapshot = {
+  snap_ctx : 'ctx;
+  snap_req_seq : int;
+  snap_applied : int list;
+  snap_at : float;
+}
+
+type 'ctx session = {
+  session_id : string;
+  client : int;
+  unit_id : string;
+  started_at : float;
+  mutable primary : int option;
+  mutable backups : int list;
+  mutable propagated : 'ctx snapshot option;
+}
+
+type 'ctx t = { uid : string; table : (string, 'ctx session) Hashtbl.t }
+
+let create ~unit_id = { uid = unit_id; table = Hashtbl.create 16 }
+
+let unit_id t = t.uid
+
+let find t sid = Hashtbl.find_opt t.table sid
+
+let mem t sid = Hashtbl.mem t.table sid
+
+let add_session t ~session_id ~client ~started_at =
+  match find t session_id with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          session_id;
+          client;
+          unit_id = t.uid;
+          started_at;
+          primary = None;
+          backups = [];
+          propagated = None;
+        }
+      in
+      Hashtbl.replace t.table session_id s;
+      s
+
+let remove_session t sid = Hashtbl.remove t.table sid
+
+let sessions t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.table []
+  |> List.sort (fun a b -> String.compare a.session_id b.session_id)
+
+let size t = Hashtbl.length t.table
+
+let fresher a b =
+  (* Newest request first, then wall-clock as a tiebreak. *)
+  if a.snap_req_seq <> b.snap_req_seq then a.snap_req_seq > b.snap_req_seq
+  else a.snap_at > b.snap_at
+
+let set_propagated t sid snap =
+  match find t sid with
+  | None -> ()
+  | Some s -> (
+      match s.propagated with
+      | Some old when not (fresher snap old) -> ()
+      | Some _ | None -> s.propagated <- Some snap)
+
+let set_assignment t sid ~primary ~backups =
+  match find t sid with
+  | None -> ()
+  | Some s ->
+      s.primary <- Some primary;
+      s.backups <- backups
+
+type 'ctx record = {
+  r_session_id : string;
+  r_client : int;
+  r_unit_id : string;
+  r_started_at : float;
+  r_propagated : 'ctx snapshot option;
+  r_primary : int option;
+  r_backups : int list;
+}
+
+let export t =
+  sessions t
+  |> List.map (fun s ->
+         {
+           r_session_id = s.session_id;
+           r_client = s.client;
+           r_unit_id = s.unit_id;
+           r_started_at = s.started_at;
+           r_propagated = s.propagated;
+           r_primary = s.primary;
+           r_backups = s.backups;
+         })
+
+(* Total preference order over (snapshot, primary) pairs so that merges
+   are deterministic and order-independent: fresher snapshot wins; a
+   snapshot beats none; ties go to the lower primary id. *)
+let record_beats ~cand_snap ~cand_primary ~cur_snap ~cur_primary =
+  match (cand_snap, cur_snap) with
+  | Some c, Some o when fresher c o -> true
+  | Some c, Some o when fresher o c -> false
+  | Some _, None -> true
+  | None, Some _ -> false
+  | (Some _ | None), _ -> (
+      match (cand_primary, cur_primary) with
+      | Some c, Some o -> c < o
+      | Some _, None -> true
+      | None, (Some _ | None) -> false)
+
+let merge_records t records =
+  List.iter
+    (fun r ->
+      let s =
+        add_session t ~session_id:r.r_session_id ~client:r.r_client
+          ~started_at:r.r_started_at
+      in
+      if
+        record_beats ~cand_snap:r.r_propagated ~cand_primary:r.r_primary
+          ~cur_snap:s.propagated ~cur_primary:s.primary
+      then begin
+        s.propagated <- r.r_propagated;
+        s.primary <- r.r_primary;
+        s.backups <- r.r_backups
+      end)
+    records
+
+let replace_with_merge t snapshots =
+  Hashtbl.reset t.table;
+  List.iter (merge_records t) snapshots
+
+let equal_assignments a b =
+  let summary t =
+    sessions t
+    |> List.map (fun s -> (s.session_id, s.client, s.primary, s.backups))
+  in
+  summary a = summary b
+
+let equal_shape a b =
+  let summary t =
+    sessions t
+    |> List.map (fun s ->
+           ( s.session_id,
+             s.client,
+             s.primary,
+             s.backups,
+             Option.map (fun p -> (p.snap_req_seq, p.snap_at)) s.propagated ))
+  in
+  summary a = summary b

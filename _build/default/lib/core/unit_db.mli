@@ -1,0 +1,95 @@
+(** The replicated unit database.
+
+    One instance lives at every member of a content group.  It "keeps
+    track of the sessions that exist for a particular content unit, the
+    allocation of servers to these sessions, and session context
+    information as periodically propagated by each primary."
+
+    Consistency is not this module's job: the framework applies the same
+    totally ordered stream of operations at every member (or merges
+    explicit state-exchange snapshots after a view change with joiners),
+    so replicas stay identical — a property the test suite checks.  All
+    operations here are deterministic. *)
+
+type 'ctx snapshot = {
+  snap_ctx : 'ctx;
+  snap_req_seq : int;  (** Highest incorporated request seq. *)
+  snap_applied : int list;  (** Exact incorporated request seqs. *)
+  snap_at : float;
+}
+
+type 'ctx session = {
+  session_id : string;
+  client : int;
+  unit_id : string;
+  started_at : float;
+  mutable primary : int option;
+  mutable backups : int list;
+  mutable propagated : 'ctx snapshot option;
+}
+
+type 'ctx t
+
+val create : unit_id:string -> 'ctx t
+
+val unit_id : _ t -> string
+
+val add_session :
+  'ctx t -> session_id:string -> client:int -> started_at:float -> 'ctx session
+(** Idempotent: re-adding an existing session returns the original. *)
+
+val remove_session : 'ctx t -> string -> unit
+
+val find : 'ctx t -> string -> 'ctx session option
+
+val mem : 'ctx t -> string -> bool
+
+val sessions : 'ctx t -> 'ctx session list
+(** Sorted by session id — the deterministic iteration order everything
+    else relies on. *)
+
+val size : _ t -> int
+
+val set_propagated : 'ctx t -> string -> 'ctx snapshot -> unit
+(** Keeps the freshest snapshot: older [snap_req_seq]/[snap_at] pairs
+    never overwrite newer ones (relevant when merging partitions). *)
+
+val set_assignment : 'ctx t -> string -> primary:int -> backups:int list -> unit
+
+(** {2 State exchange} *)
+
+type 'ctx record = {
+  r_session_id : string;
+  r_client : int;
+  r_unit_id : string;
+  r_started_at : float;
+  r_propagated : 'ctx snapshot option;
+  r_primary : int option;
+  r_backups : int list;
+}
+
+val export : 'ctx t -> 'ctx record list
+
+val merge_records : 'ctx t -> 'ctx record list -> unit
+(** Union by session id.  For sessions known on both sides, the side with
+    the fresher propagated snapshot wins both the snapshot and the
+    recorded assignment (ties broken by lower primary id) — a
+    deterministic, order-independent rule, so replicas merging the same
+    snapshots in any order converge. *)
+
+val replace_with_merge : 'ctx t -> 'ctx record list list -> unit
+(** Rebuild the database as the merge of several exported snapshots (the
+    post-view-change state exchange). *)
+
+val equal_shape : 'ctx t -> 'ctx t -> bool
+(** Same sessions with the same assignments and snapshot metadata
+    (contexts compared structurally is up to the service; we compare
+    req_seq/at).  Exact equality holds at every message-delivery point;
+    sampled between deliveries, a propagation can be in flight — use
+    {!equal_assignments} for probes at arbitrary instants. *)
+
+val equal_assignments : 'ctx t -> 'ctx t -> bool
+(** Same sessions with the same clients and primary/backup assignments —
+    the coordination-relevant state, which must agree at {e any} instant
+    on members sharing a view (snapshots are only eventually equal by
+    design: they lag by at most one propagation in flight). *)

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Haf_core Haf_stats List

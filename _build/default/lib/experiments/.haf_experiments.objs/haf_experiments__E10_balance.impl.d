@@ -1,0 +1,1 @@
+lib/experiments/e10_balance.ml: Common Haf_core Haf_services Haf_sim Hashtbl Int List Metrics Policy Runner Scenario Table

@@ -1,0 +1,1 @@
+lib/experiments/e11_detector.ml: Common Haf_gcs Haf_net Haf_services Int List Metrics Printf Runner Scenario Summary Table

@@ -1,0 +1,1 @@
+lib/experiments/e12_scale.ml: Common Events Haf_net Haf_services List Metrics Policy Printf Runner Scenario Summary Table

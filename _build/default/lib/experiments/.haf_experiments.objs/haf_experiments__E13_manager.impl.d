@@ -1,0 +1,1 @@
+lib/experiments/e13_manager.ml: Common Haf_core Haf_gcs Haf_services List Policy Runner Scenario Summary Table

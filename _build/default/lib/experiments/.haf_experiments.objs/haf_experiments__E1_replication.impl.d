@@ -1,0 +1,1 @@
+lib/experiments/e1_replication.ml: Common Haf_analysis Haf_services List Metrics Runner Scenario Summary Table

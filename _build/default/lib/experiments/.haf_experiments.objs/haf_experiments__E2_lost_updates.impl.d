@@ -1,0 +1,1 @@
+lib/experiments/e2_lost_updates.ml: Common Haf_services List Policy Printf Runner Scenario Table

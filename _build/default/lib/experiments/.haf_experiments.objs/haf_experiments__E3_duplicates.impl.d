@@ -1,0 +1,1 @@
+lib/experiments/e3_duplicates.ml: Common Events Haf_analysis Haf_services List Metrics Policy Printf Runner Scenario Table

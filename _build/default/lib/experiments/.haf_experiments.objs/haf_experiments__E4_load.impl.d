@@ -1,0 +1,1 @@
+lib/experiments/e4_load.ml: Common Haf_core Haf_net Haf_services List Metrics Policy Printf Runner Scenario Summary Table

@@ -1,0 +1,1 @@
+lib/experiments/e5_takeover.ml: Common Events Haf_analysis Haf_gcs Haf_net Haf_services List Metrics Policy Printf Runner Scenario Summary Table

@@ -1,0 +1,1 @@
+lib/experiments/e6_dual_primary.ml: Common Haf_gcs Haf_services Haf_sim List Metrics Policy Printf Runner Scenario Table

@@ -1,0 +1,1 @@
+lib/experiments/e7_policy.ml: Common Haf_services List Policy Runner Scenario Table

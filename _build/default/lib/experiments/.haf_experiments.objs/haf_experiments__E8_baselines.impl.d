@@ -1,0 +1,1 @@
+lib/experiments/e8_baselines.ml: Common Haf_core Haf_services List Metrics Policy Runner Scenario Summary Table

@@ -1,0 +1,1 @@
+lib/experiments/e9_model.ml: Common Haf_analysis Haf_sim List Printf Table

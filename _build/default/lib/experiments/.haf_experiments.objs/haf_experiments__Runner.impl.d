@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Haf_core Haf_gcs Haf_net Haf_sim List Option Scenario

@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Haf_core Haf_gcs Haf_net Haf_sim Haf_stats Scenario

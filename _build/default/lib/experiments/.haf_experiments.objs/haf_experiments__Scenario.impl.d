@@ -1,0 +1,1 @@
+lib/experiments/scenario.ml: Format Haf_core Haf_gcs Haf_net Int List Printf

@@ -1,0 +1,1 @@
+lib/experiments/scenario.mli: Format Haf_core Haf_gcs Haf_net

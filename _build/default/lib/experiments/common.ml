@@ -1,0 +1,41 @@
+(** Shared helpers for the experiment suite. *)
+
+module Metrics = Haf_stats.Metrics
+module Summary = Haf_stats.Summary
+module Table = Haf_stats.Table
+module Events = Haf_core.Events
+module Policy = Haf_core.Policy
+
+let seeds ~quick ~base = List.init (if quick then 3 else 8) (fun i -> base + (31 * i))
+
+(* A stall threshold for availability: several tick periods of silence
+   means the client is not being served. *)
+let stall_threshold = 1.5
+
+let mean_availability tl ~until =
+  let sids = Metrics.session_ids tl in
+  let avs =
+    List.map
+      (fun sid -> Metrics.availability tl ~sid ~threshold:stall_threshold ~until)
+      sids
+  in
+  Summary.mean avs
+
+let total_lost_sent tl =
+  List.fold_left
+    (fun (l, s) sid ->
+      let lost, sent = Metrics.requests_lost tl ~sid in
+      (l + lost, s + sent))
+    (0, 0) (Metrics.session_ids tl)
+
+let total_duplicates ?critical tl =
+  List.fold_left
+    (fun acc sid -> acc + Metrics.duplicates ?critical tl ~sid)
+    0 (Metrics.session_ids tl)
+
+let total_missing ?critical tl =
+  List.fold_left
+    (fun acc sid -> acc + Metrics.missing ?critical tl ~sid)
+    0 (Metrics.session_ids tl)
+
+let ratio num den = if den = 0 then 0. else float_of_int num /. float_of_int den

@@ -1,0 +1,90 @@
+(** E12 — Scaling with the client population.
+
+    Paper (Section 2): "The service should be able to overcome process
+    and network failures, and should be able to serve a variable number
+    of clients"; and Section 4 notes the per-server work grows with the
+    sessions each server carries.
+
+    Fault-free runs sweeping the number of concurrent sessions over a
+    fixed 5-server deployment: per-server message load should grow
+    linearly with sessions (each session costs its response stream,
+    propagations and backup deliveries), while the time from
+    start-session to grant stays flat — admission is one totally ordered
+    multicast regardless of population. *)
+
+module R = Runner.Make (Haf_services.Synthetic)
+open Common
+
+let id = "e12"
+
+let title = "E12: scaling with concurrent sessions (Sec. 2, variable client load)"
+
+let grant_latencies tl =
+  List.filter_map
+    (fun (at, e) ->
+      match e with
+      | Events.Session_granted { session_id; _ } -> (
+          match
+            List.find_map
+              (fun (t0, e0) ->
+                match e0 with
+                | Events.Session_requested { session_id = s0; _ } when s0 = session_id ->
+                    Some t0
+                | _ -> None)
+              tl
+          with
+          | Some t0 -> Some (at -. t0)
+          | None -> None)
+      | _ -> None)
+    tl
+
+let run ~quick =
+  let table =
+    Table.create ~title
+      ~columns:
+        [
+          ("sessions", Table.Right);
+          ("responses sent", Table.Right);
+          ("srv datagrams/s", Table.Right);
+          ("grant latency p95", Table.Right);
+          ("availability", Table.Right);
+        ]
+      ()
+  in
+  let duration = if quick then 40. else 80. in
+  let populations = if quick then [ 4; 16; 48 ] else [ 4; 8; 16; 32; 64 ] in
+  List.iter
+    (fun n_clients ->
+      let sc =
+        {
+          Scenario.default with
+          seed = 1200 + n_clients;
+          n_servers = 5;
+          n_units = 2;
+          replication = 4;
+          n_clients;
+          request_interval = 2.;
+          session_duration = duration +. 30.;
+          duration;
+          policy = { Policy.default with n_backups = 1 };
+        }
+      in
+      let tl, w = R.run_scenario sc in
+      let per_server =
+        List.map
+          (fun (_, c) ->
+            float_of_int Haf_net.Network.(c.datagrams_sent + c.datagrams_received)
+            /. duration)
+          (R.server_counters w)
+      in
+      let grants = Summary.of_list (grant_latencies tl) in
+      Table.add_row table
+        [
+          Table.fint n_clients;
+          Table.fint (Metrics.responses_sent tl);
+          Table.ffloat ~prec:1 (Summary.mean per_server);
+          Printf.sprintf "%.3fs" grants.Summary.p95;
+          Table.fpct (mean_availability tl ~until:duration);
+        ])
+    populations;
+  [ table ]

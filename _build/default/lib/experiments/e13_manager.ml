@@ -1,0 +1,126 @@
+(** E13 (extension) — automated availability management.
+
+    Paper §1: "once a policy is chosen, its enforcement could be
+    automated through techniques such as spawning new servers when
+    needed, as described in [5]"; §5 lists "automatic invocation of new
+    servers" as future work.
+
+    Servers crash permanently (no self-repair).  Without management the
+    replica sets dwindle and sessions go dark.  With the availability
+    manager (lib/core/manager.ml) watching per-unit health and spawning a
+    replacement whenever a unit drops below the replica floor, the
+    service rides through the same fault schedule. *)
+
+module R = Runner.Make (Haf_services.Synthetic)
+open Common
+
+let id = "e13"
+
+let title = "E13 (extension): availability manager — spawn-on-demand (Sec. 1/5)"
+
+let lambda = 1. /. 45.
+
+let observe w () =
+  let live = R.live_servers w in
+  List.map
+    (fun k ->
+      let unit_id = Scenario.unit_name k in
+      let replicas =
+        List.filter (fun (_, srv) -> List.mem unit_id (R.Fw.Server.units srv)) live
+      in
+      let sessions =
+        match replicas with
+        | (_, srv) :: _ -> (
+            match R.Fw.Server.db srv unit_id with
+            | Some db -> Haf_core.Unit_db.size db
+            | None -> 0)
+        | [] -> 0
+      in
+      {
+        Haf_core.Manager.h_unit = unit_id;
+        h_live_replicas = List.length replicas;
+        h_sessions = sessions;
+      })
+    (List.init w.R.scenario.Scenario.n_units (fun k -> k))
+
+let spawn w _reason =
+  (* Bring a crashed machine back as a fresh server process (the
+     simulation's stand-in for provisioning a new node). *)
+  let crashed =
+    List.filter
+      (fun (p, _) -> not (Haf_gcs.Gcs.alive w.R.gcs p))
+      w.R.servers
+  in
+  match crashed with (p, _) :: _ -> R.restart_server w p | [] -> ()
+
+let run_case ~quick ~managed =
+  let duration = if quick then 120. else 240. in
+  let spawns = ref 0 in
+  let stats =
+    List.map
+      (fun seed ->
+        let sc =
+          {
+            Scenario.default with
+            seed;
+            n_servers = 5;
+            n_units = 2;
+            replication = 3;
+            n_clients = 6;
+            request_interval = 2.;
+            session_duration = duration +. 30.;
+            duration;
+            policy = { Policy.default with n_backups = 1 };
+          }
+        in
+        let tl, w =
+          R.run_scenario sc ~prepare:(fun w ->
+              (* Crashes with NO self-repair: dead machines stay dead
+                 unless the manager provisions replacements. *)
+              R.schedule_poisson_crashes w ~lambda ~start:10.
+                ~stop:(duration -. 30.) ();
+              if managed then
+                ignore
+                  (Haf_core.Manager.create ~engine:w.R.engine ~check_period:2.
+                     ~min_replicas:2 ~max_load:12. ~observe:(observe w)
+                     ~spawn:(fun r ->
+                       incr spawns;
+                       spawn w r)
+                     ()))
+        in
+        (mean_availability tl ~until:duration, List.length (R.live_servers w)))
+      (seeds ~quick ~base:1300)
+  in
+  let avail = Summary.mean (List.map fst stats) in
+  let live = Summary.mean (List.map (fun (_, l) -> float_of_int l) stats) in
+  (avail, live, !spawns)
+
+let run ~quick =
+  let table =
+    Table.create ~title
+      ~columns:
+        [
+          ("configuration", Table.Left);
+          ("availability", Table.Right);
+          ("live servers at end", Table.Right);
+          ("spawns", Table.Right);
+        ]
+      ()
+  in
+  let unmanaged_avail, unmanaged_live, _ = run_case ~quick ~managed:false in
+  let managed_avail, managed_live, spawns = run_case ~quick ~managed:true in
+  Table.add_row table
+    [
+      "crashes, no management";
+      Table.fpct unmanaged_avail;
+      Table.ffloat ~prec:1 unmanaged_live;
+      "0";
+    ];
+  Table.add_row table
+    [
+      "crashes + availability manager";
+      Table.fpct managed_avail;
+      Table.ffloat ~prec:1 managed_live;
+      Table.fint spawns;
+    ];
+  [ table ]

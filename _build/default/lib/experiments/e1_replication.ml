@@ -1,0 +1,91 @@
+(** E1 — Availability vs. degree of replication.
+
+    Paper claim (Section 4): a client loses service when "every server
+    which can provide this content may have either crashed or
+    disconnected ... The probability of this scenario can be reduced by
+    increasing the degree of replication."
+
+    We run the synthetic service under independent server crashes with
+    repair, sweeping the number of replicas per content unit, and measure
+    client-side availability (fraction of session time the response
+    stream is flowing) and no-primary time.  The analytical column is the
+    steady-state probability that all k replicas are down at once. *)
+
+module R = Runner.Make (Haf_services.Synthetic)
+open Common
+
+let id = "e1"
+
+let title = "E1: availability vs replication degree (Sec. 4, replication claim)"
+
+let lambda = 1. /. 40.
+
+let repair = 8.
+
+let run ~quick =
+  let table =
+    Table.create ~title
+      ~columns:
+        [
+          ("replicas", Table.Right);
+          ("runs", Table.Right);
+          ("availability", Table.Right);
+          ("no-primary frac", Table.Right);
+          ("model all-down", Table.Right);
+          ("model availability ceiling", Table.Right);
+        ]
+      ()
+  in
+  let duration = if quick then 90. else 180. in
+  List.iter
+    (fun replicas ->
+      let metrics =
+        List.map
+          (fun seed ->
+            let sc =
+              {
+                Scenario.default with
+                seed;
+                n_servers = 5;
+                n_units = 1;
+                replication = replicas;
+                n_clients = 3;
+                request_interval = 0.;
+                session_duration = duration +. 30.;
+                duration;
+              }
+            in
+            let tl, _ =
+              R.run_scenario sc ~prepare:(fun w ->
+                  R.schedule_poisson_crashes w ~lambda ~repair ~start:5. ())
+            in
+            let avail = mean_availability tl ~until:duration in
+            let nop =
+              let sids = Metrics.session_ids tl in
+              let fracs =
+                List.map
+                  (fun sid ->
+                    Metrics.no_primary_time tl ~sid ~horizon:duration /. duration)
+                  sids
+              in
+              Summary.mean fracs
+            in
+            (avail, nop))
+          (seeds ~quick ~base:100)
+      in
+      let avail = Summary.mean (List.map fst metrics) in
+      let nop = Summary.mean (List.map snd metrics) in
+      let all_down =
+        Haf_analysis.Model.no_replica_unavailability ~lambda ~repair ~replicas
+      in
+      Table.add_row table
+        [
+          Table.fint replicas;
+          Table.fint (List.length metrics);
+          Table.fpct avail;
+          Table.fpct nop;
+          Table.fprob all_down;
+          Table.fpct (1. -. all_down);
+        ])
+    [ 1; 2; 3; 4 ];
+  [ table ]

@@ -1,0 +1,108 @@
+(** E2 — Probability of losing a client context update vs. propagation
+    period and session-group size.
+
+    Paper claim (Section 4): "The probability of losing context updates
+    sent by the client is the chance of every session group member
+    failing or separating from the client during the period between
+    propagations.  Thus this probability decreases as either the
+    propagation frequency or the size of the session group rise."
+
+    We inject exactly that fault pattern: every [wipe_every] seconds each
+    server holding a role for some session crashes independently with
+    probability [kill_prob] (and is repaired shortly after).  An update
+    is lost only when {e all} session-group members die before the
+    update's information reaches the content group — so the measured
+    loss rate should fall geometrically with the number of backups
+    (factor [kill_prob] per backup) and grow with the propagation
+    period.  The model column is
+
+      kill_prob^(1+backups) * (P/2 + detection) / wipe_every
+
+    the per-update probability that a wipe hits this session, lands in
+    the update's exposure window, and takes the whole group with it
+    (each event targets one session, chosen uniformly). *)
+
+module R = Runner.Make (Haf_services.Synthetic)
+open Common
+
+let id = "e2"
+
+let title = "E2: lost context updates vs propagation period x backups (Sec. 4)"
+
+let kill_prob = 0.5
+
+let wipe_every = 10.
+
+let repair = 4.
+
+let detection = 0.4  (* suspicion + flush, from E5 *)
+
+let run ~quick =
+  let table =
+    Table.create ~title
+      ~columns:
+        [
+          ("prop period", Table.Right);
+          ("backups", Table.Right);
+          ("updates sent", Table.Right);
+          ("lost", Table.Right);
+          ("loss rate", Table.Right);
+          ("model", Table.Right);
+        ]
+      ()
+  in
+  let duration = if quick then 120. else 240. in
+  let periods = if quick then [ 0.5; 4. ] else [ 0.25; 0.5; 1.; 2.; 4. ] in
+  List.iter
+    (fun period ->
+      List.iter
+        (fun backups ->
+          let lost, sent =
+            List.fold_left
+              (fun (l, s) seed ->
+                let sc =
+                  {
+                    Scenario.default with
+                    seed;
+                    n_servers = 5;
+                    n_units = 1;
+                    replication = 5;
+                    n_clients = 4;
+                    request_interval = 1.0;
+                    session_duration = duration +. 30.;
+                    duration;
+                    policy =
+                      {
+                        Policy.default with
+                        n_backups = backups;
+                        propagation_period = period;
+                      };
+                  }
+                in
+                let tl, _ =
+                  R.run_scenario sc ~prepare:(fun w ->
+                      R.schedule_group_wipes w ~every:wipe_every ~kill_prob ~repair ())
+                in
+                let l', s' = total_lost_sent tl in
+                (l + l', s + s'))
+              (0, 0)
+              (seeds ~quick ~base:(200 + int_of_float (period *. 10.)))
+          in
+          let n_sessions = 4 in
+          let model =
+            (kill_prob ** float_of_int (backups + 1))
+            *. ((period /. 2.) +. detection)
+            /. (wipe_every *. float_of_int n_sessions)
+          in
+          Table.add_row table
+            [
+              Printf.sprintf "%gs" period;
+              Table.fint backups;
+              Table.fint sent;
+              Table.fint lost;
+              Table.fprob (ratio lost sent);
+              Table.fprob model;
+            ])
+        [ 0; 1; 2 ])
+    periods;
+  [ table ]

@@ -1,0 +1,85 @@
+(** E3 — Duplicate responses after migration vs. propagation period.
+
+    Paper claim (Section 3.1, VoD): "upon migration, a new primary may
+    send half a second of duplicate video frames to the client" — i.e.
+    the duplicate volume is the response rate times roughly half the
+    propagation period, because the new primary rewinds to the last
+    propagated position (Resume policy, no backups, as in [2]).
+
+    We kill the current primary periodically and count duplicate frames
+    per takeover, sweeping the propagation period. *)
+
+module R = Runner.Make (Haf_services.Vod)
+open Common
+
+let id = "e3"
+
+let title = "E3: duplicate frames per takeover vs propagation period (Sec. 3.1, VoD)"
+
+let frame_rate =
+  float_of_int Haf_services.Vod.frames_per_tick /. Haf_services.Vod.tick_period
+
+let run ~quick =
+  let table =
+    Table.create ~title
+      ~columns:
+        [
+          ("prop period", Table.Right);
+          ("takeovers", Table.Right);
+          ("dup frames/takeover", Table.Right);
+          ("model rate*P/2", Table.Right);
+          ("missing frames", Table.Right);
+        ]
+      ()
+  in
+  let duration = if quick then 90. else 160. in
+  let periods = if quick then [ 0.25; 1. ] else [ 0.25; 0.5; 1.; 2. ] in
+  List.iter
+    (fun period ->
+      let dups, takeovers, missing =
+        List.fold_left
+          (fun (d, t, m) seed ->
+            let sc =
+              {
+                Scenario.default with
+                seed;
+                n_servers = 4;
+                n_units = 1;
+                replication = 4;
+                n_clients = 2;
+                request_interval = 0.;
+                session_duration = duration +. 30.;
+                duration;
+                policy =
+                  {
+                    Policy.vod_paper with
+                    propagation_period = period;
+                    takeover = Policy.Resume;
+                  };
+              }
+            in
+            let tl, _ =
+              R.run_scenario sc ~prepare:(fun w ->
+                  R.schedule_primary_kills w ~every:20. ~repair:5. ~start:15. ())
+            in
+            ( d + total_duplicates tl,
+              t + Metrics.count_takeovers ~kind:Events.Crash tl,
+              m + total_missing tl ))
+          (0, 0, 0)
+          (seeds ~quick ~base:(300 + int_of_float (period *. 100.)))
+      in
+      let per_takeover = ratio dups takeovers in
+      let model =
+        Haf_analysis.Model.expected_duplicates_per_takeover ~response_rate:frame_rate
+          ~period
+      in
+      Table.add_row table
+        [
+          Printf.sprintf "%gs" period;
+          Table.fint takeovers;
+          Table.ffloat ~prec:1 per_takeover;
+          Table.ffloat ~prec:1 model;
+          Table.fint missing;
+        ])
+    periods;
+  [ table ]

@@ -1,0 +1,86 @@
+(** E4 — Server load vs. propagation frequency and session-group size.
+
+    Paper claim (Section 4): "increasing either of these factors places
+    more work on each server.  Whenever client database information is
+    propagated, each server in the content group must process it; when
+    the session groups become larger, each server is a backup in more
+    groups, and must therefore receive more client requests."
+
+    Fault-free run; we count propagation multicasts, request deliveries
+    at backups, and the mean per-server network datagram rate. *)
+
+module R = Runner.Make (Haf_services.Synthetic)
+open Common
+
+let id = "e4"
+
+let title = "E4: server load vs propagation period x backups (Sec. 4, cost claim)"
+
+let run ~quick =
+  let table =
+    Table.create ~title
+      ~columns:
+        [
+          ("prop period", Table.Right);
+          ("backups", Table.Right);
+          ("propagations", Table.Right);
+          ("backup req deliveries", Table.Right);
+          ("srv datagrams/s", Table.Right);
+          ("srv KB/s", Table.Right);
+        ]
+      ()
+  in
+  let duration = if quick then 60. else 120. in
+  let periods = if quick then [ 0.25; 2. ] else [ 0.25; 0.5; 1.; 2.; 4. ] in
+  List.iter
+    (fun period ->
+      List.iter
+        (fun backups ->
+          let sc =
+            {
+              Scenario.default with
+              seed = 400;
+              n_servers = 5;
+              n_units = 2;
+              replication = 4;
+              n_clients = 6;
+              request_interval = 0.5;
+              session_duration = duration +. 30.;
+              duration;
+              policy =
+                { Policy.default with n_backups = backups; propagation_period = period };
+            }
+          in
+          let tl, w = R.run_scenario sc in
+          let props = Metrics.count_propagations tl in
+          let backup_reqs =
+            Metrics.count_requests_applied ~role:Haf_core.Events.Backup tl
+          in
+          let counters = R.server_counters w in
+          let per_server =
+            List.map
+              (fun (_, c) ->
+                float_of_int
+                  Haf_net.Network.(c.datagrams_sent + c.datagrams_received)
+                /. duration)
+              counters
+          in
+          let bytes_per_server =
+            List.map
+              (fun (_, c) ->
+                float_of_int Haf_net.Network.(c.bytes_sent + c.bytes_received)
+                /. duration /. 1024.)
+              counters
+          in
+          Table.add_row table
+            [
+              Printf.sprintf "%gs" period;
+              Table.fint backups;
+              Table.fint props;
+              Table.fint backup_reqs;
+              Table.ffloat ~prec:1 (Summary.mean per_server);
+              Table.ffloat ~prec:1 (Summary.mean bytes_per_server);
+            ])
+        [ 0; 1; 2 ])
+    periods;
+  [ table ]

@@ -1,0 +1,104 @@
+(** E5 — Take-over latency: crash-only view changes vs. joins.
+
+    Paper claim (Section 3.4): "If the content group membership change
+    notification reflects server failures only, then virtual synchrony
+    semantics allow the servers to immediately reach a consistent
+    decision ... without exchanging additional information ... The
+    ability to re-distribute the clients immediately without first
+    exchanging messages allows servers to quickly take over failed
+    servers' clients.  If a content group change reflects the joining of
+    new servers ... then all the servers first exchange information."
+
+    We measure (a) crash takeovers: time from the crash to the successor
+    assuming the primary role — dominated by failure detection plus one
+    flush round; and (b) join rebalances: time from the restarted server
+    rejoining to the rebalanced assignment — which additionally includes
+    the state-exchange round but no suspicion delay. *)
+
+module R = Runner.Make (Haf_services.Synthetic)
+open Common
+
+let id = "e5"
+
+let title = "E5: takeover latency, crash vs join (Sec. 3.4, virtual synchrony claim)"
+
+let rebalance_latencies tl =
+  (* Time from each Server_restarted to the next Rebalance takeover. *)
+  let restarts =
+    List.filter_map
+      (fun (at, e) ->
+        match e with Events.Server_restarted _ -> Some at | _ -> None)
+      tl
+  in
+  (* Only count a rebalance caused by this restart: within a short window
+     of the rejoin (later takeovers belong to later faults). *)
+  List.filter_map
+    (fun r ->
+      List.find_map
+        (fun (at, e) ->
+          match e with
+          | Events.Takeover { kind = Events.Rebalance; _ } when at >= r && at <= r +. 5.
+            ->
+              Some (at -. r)
+          | _ -> None)
+        tl)
+    restarts
+
+let run ~quick =
+  let table =
+    Table.create ~title
+      ~columns:
+        [
+          ("transition", Table.Left);
+          ("count", Table.Right);
+          ("mean latency", Table.Right);
+          ("p95 latency", Table.Right);
+          ("model", Table.Right);
+        ]
+      ()
+  in
+  let duration = if quick then 120. else 240. in
+  let crash_lats, join_lats =
+    List.fold_left
+      (fun (cl, jl) seed ->
+        let sc =
+          {
+            Scenario.default with
+            seed;
+            n_servers = 4;
+            n_units = 1;
+            replication = 4;
+            n_clients = 3;
+            request_interval = 2.;
+            session_duration = duration +. 30.;
+            duration;
+            policy = { Policy.default with n_backups = 1 };
+          }
+        in
+        let tl, _ =
+          R.run_scenario sc ~prepare:(fun w ->
+              R.schedule_primary_kills w ~every:30. ~repair:12. ~start:15. ())
+        in
+        (cl @ Metrics.takeover_latencies tl, jl @ rebalance_latencies tl))
+      ([], [])
+      (seeds ~quick ~base:500)
+  in
+  let gcs = Haf_gcs.Config.default in
+  let rtt = 2. *. Haf_net.Latency.mean Haf_net.Latency.lan in
+  let add name lats model =
+    let s = Summary.of_list lats in
+    Table.add_row table
+      [
+        name;
+        Table.fint s.Summary.n;
+        Printf.sprintf "%.3fs" s.Summary.mean;
+        Printf.sprintf "%.3fs" s.Summary.p95;
+        Printf.sprintf "%.3fs" model;
+      ]
+  in
+  add "crash (failure-only view change)" crash_lats
+    (Haf_analysis.Model.takeover_latency
+       ~suspect_timeout:gcs.Haf_gcs.Config.suspect_timeout ~rtt ~with_exchange:false);
+  add "join (state exchange + rebalance)" join_lats
+    (Haf_analysis.Model.takeover_latency ~suspect_timeout:0. ~rtt ~with_exchange:true);
+  [ table ]

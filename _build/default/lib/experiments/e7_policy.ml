@@ -1,0 +1,84 @@
+(** E7 — Uncertain-response policies: duplicate vs. drop, by frame class.
+
+    Paper claim (Section 4): "For these uncertain responses, there is a
+    clear choice for the new primary ... it can either transmit the
+    response (risking the client seeing a duplicate) or it can not
+    transmit (risking that the client never sees the response).  The
+    choice is application specific.  For example, for MPEG-encoded video,
+    one would favor duplicate delivery for full image (I) frames over the
+    risk of losing them, but would risk missing some incremental (P or B)
+    frames."
+
+    VoD with the GOP frame pattern; periodic primary kills; three
+    policies: Resume (transmit everything), Skip-ahead (transmit
+    nothing), Hybrid (the MPEG choice: retransmit only I-frames). *)
+
+module R = Runner.Make (Haf_services.Vod)
+open Common
+
+let id = "e7"
+
+let title = "E7: takeover policy vs duplicate/missing frames by class (Sec. 4, MPEG)"
+
+let run ~quick =
+  let table =
+    Table.create ~title
+      ~columns:
+        [
+          ("policy", Table.Left);
+          ("dup I-frames", Table.Right);
+          ("dup P/B-frames", Table.Right);
+          ("missing I-frames", Table.Right);
+          ("missing P/B-frames", Table.Right);
+        ]
+      ()
+  in
+  let duration = if quick then 90. else 160. in
+  List.iter
+    (fun (label, takeover) ->
+      let dup_i, dup_pb, miss_i, miss_pb =
+        List.fold_left
+          (fun (di, dp, mi, mp) seed ->
+            let sc =
+              {
+                Scenario.default with
+                seed;
+                n_servers = 4;
+                n_units = 1;
+                replication = 4;
+                n_clients = 2;
+                request_interval = 0.;
+                session_duration = duration +. 30.;
+                duration;
+                policy = { Policy.vod_paper with takeover };
+              }
+            in
+            let tl, _ =
+              R.run_scenario sc ~prepare:(fun w ->
+                  R.schedule_primary_kills w ~every:20. ~repair:5. ~start:15. ())
+            in
+            let dup_all = total_duplicates tl in
+            let dup_crit = total_duplicates ~critical:true tl in
+            let miss_all = total_missing tl in
+            let miss_crit = total_missing ~critical:true tl in
+            ( di + dup_crit,
+              dp + (dup_all - dup_crit),
+              mi + miss_crit,
+              mp + (miss_all - miss_crit) ))
+          (0, 0, 0, 0)
+          (seeds ~quick ~base:700)
+      in
+      Table.add_row table
+        [
+          label;
+          Table.fint dup_i;
+          Table.fint dup_pb;
+          Table.fint miss_i;
+          Table.fint miss_pb;
+        ])
+    [
+      ("resume (duplicate everything)", Policy.Resume);
+      ("skip-ahead (drop everything)", Policy.Skip_ahead);
+      ("hybrid (duplicate I, drop P/B)", Policy.Hybrid);
+    ];
+  [ table ]

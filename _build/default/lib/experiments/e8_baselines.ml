@@ -1,0 +1,97 @@
+(** E8 — The framework vs. its baselines.
+
+    Four configurations under the same fault schedule:
+
+    - single: one server, no replication — no availability story;
+    - vod-[2]: the paper's predecessor design — replication but session
+      group = primary only (no backups);
+    - framework b=1 and b=2 — the paper's contribution: backups give an
+      intermediate synchronization level, trading load for a lower
+      chance of losing context updates.
+
+    Expected shape: availability jumps once there is any replication;
+    lost updates fall as backups are added; load rises with backups. *)
+
+module R = Runner.Make (Haf_services.Synthetic)
+open Common
+
+let id = "e8"
+
+let title = "E8: baseline comparison — single server / [2] no-backup / framework"
+
+let lambda = 1. /. 30.
+
+let repair = 8.
+
+(* A 2 s propagation period (vs [2]'s 0.5 s) so that the no-backup
+   configurations' propagation-window losses are visible next to the
+   outage-window losses all configurations share. *)
+let propagation_period = 2.0
+
+let run ~quick =
+  let table =
+    Table.create ~title
+      ~columns:
+        [
+          ("configuration", Table.Left);
+          ("availability", Table.Right);
+          ("updates lost", Table.Right);
+          ("loss rate", Table.Right);
+          ("dup responses", Table.Right);
+          ("crash takeovers", Table.Right);
+        ]
+      ()
+  in
+  let duration = if quick then 100. else 200. in
+  List.iter
+    (fun (label, replication, backups) ->
+      let stats =
+        List.map
+          (fun seed ->
+            let sc =
+              {
+                Scenario.default with
+                seed;
+                n_servers = 4;
+                n_units = 1;
+                replication;
+                n_clients = 3;
+                request_interval = 1.5;
+                session_duration = duration +. 30.;
+                duration;
+                policy = { Policy.default with n_backups = backups; propagation_period };
+              }
+            in
+            let tl, _ =
+              R.run_scenario sc ~prepare:(fun w ->
+                  R.schedule_poisson_crashes w ~lambda ~repair ~start:5. ())
+            in
+            let lost, sent = total_lost_sent tl in
+            ( mean_availability tl ~until:duration,
+              lost,
+              sent,
+              total_duplicates tl,
+              Metrics.count_takeovers ~kind:Haf_core.Events.Crash tl ))
+          (seeds ~quick ~base:800)
+      in
+      let avail = Summary.mean (List.map (fun (a, _, _, _, _) -> a) stats) in
+      let lost = List.fold_left (fun acc (_, l, _, _, _) -> acc + l) 0 stats in
+      let sent = List.fold_left (fun acc (_, _, s, _, _) -> acc + s) 0 stats in
+      let dups = List.fold_left (fun acc (_, _, _, d, _) -> acc + d) 0 stats in
+      let tk = List.fold_left (fun acc (_, _, _, _, t) -> acc + t) 0 stats in
+      Table.add_row table
+        [
+          label;
+          Table.fpct avail;
+          Table.fint lost;
+          Table.fprob (ratio lost sent);
+          Table.fint dups;
+          Table.fint tk;
+        ])
+    [
+      ("single server (no replication)", 1, 0);
+      ("vod-[2]: replicated, no backups", 4, 0);
+      ("framework, 1 backup", 4, 1);
+      ("framework, 2 backups", 4, 2);
+    ];
+  [ table ]

@@ -1,0 +1,75 @@
+(** E9 — Cross-validation of the Section-4 risk model.
+
+    The analytical loss model (lib/analysis) claims
+
+      P(loss) = (1/P) \int_0^P (1 - e^{-lambda d})^g dd ~ (lambda P)^g/(g+1).
+
+    We validate it two ways: an abstract Monte Carlo of the crash process
+    itself (cheap, tight confidence) and the small-rate closed form.  The
+    full-system measurement of the same quantity is experiment E2; this
+    table shows the model is internally consistent so that E2's
+    sim-vs-model column is meaningful. *)
+
+open Common
+
+let id = "e9"
+
+let title = "E9: risk model cross-validation (analysis vs Monte Carlo)"
+
+let monte_carlo ~lambda ~period ~group_size ~trials rng =
+  (* An update arrives at u ~ U(0,P) before the next propagation; it is
+     lost iff every one of the g session-group members draws a crash
+     within the remaining window. *)
+  let losses = ref 0 in
+  for _ = 1 to trials do
+    let window = Haf_sim.Rng.float rng period in
+    let all_crash = ref true in
+    for _ = 1 to group_size do
+      let crash_in = Haf_sim.Rng.exponential rng ~mean:(1. /. lambda) in
+      if crash_in > window then all_crash := false
+    done;
+    if !all_crash then incr losses
+  done;
+  float_of_int !losses /. float_of_int trials
+
+let run ~quick =
+  let table =
+    Table.create ~title
+      ~columns:
+        [
+          ("group size", Table.Right);
+          ("prop period", Table.Right);
+          ("closed form", Table.Right);
+          ("small-rate approx", Table.Right);
+          ("monte carlo", Table.Right);
+        ]
+      ()
+  in
+  let lambda = 1. /. 25. in
+  let trials = if quick then 200_000 else 2_000_000 in
+  let rng = Haf_sim.Rng.create 909 in
+  List.iter
+    (fun group_size ->
+      List.iter
+        (fun period ->
+          let exact =
+            Haf_analysis.Model.update_loss_probability ~lambda ~period
+              ~group_size:(float_of_int group_size)
+          in
+          let approx =
+            Haf_analysis.Model.update_loss_probability_approx ~lambda ~period
+              ~group_size:(float_of_int group_size)
+          in
+          let mc = monte_carlo ~lambda ~period ~group_size ~trials rng in
+          Table.add_row table
+            [
+              Table.fint group_size;
+              Printf.sprintf "%gs" period;
+              Table.fprob exact;
+              Table.fprob approx;
+              Table.fprob mc;
+            ])
+        [ 0.5; 2.; 8. ])
+    [ 1; 2; 3 ];
+  ignore quick;
+  [ table ]

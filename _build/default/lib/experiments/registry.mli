@@ -1,0 +1,17 @@
+(** The experiment registry: every Section-4 claim as a runnable table.
+    See DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-
+    measured discussion. *)
+
+type experiment = {
+  id : string;  (** "e1" .. "e10" *)
+  title : string;
+  run : quick:bool -> Haf_stats.Table.t list;
+}
+
+val all : experiment list
+
+val find : string -> experiment option
+
+val run_and_print : ?quick:bool -> experiment -> unit
+
+val run_all : ?quick:bool -> unit -> unit

@@ -1,0 +1,221 @@
+(** Scenario runner: builds a world (engine, GCS fabric, servers,
+    clients), injects faults, runs to the horizon and hands back the event
+    timeline for analysis. *)
+
+module Engine = Haf_sim.Engine
+module Rng = Haf_sim.Rng
+module Gcs = Haf_gcs.Gcs
+module Network = Haf_net.Network
+module Events = Haf_core.Events
+module Policy = Haf_core.Policy
+
+module Make (S : Haf_core.Service_intf.SERVICE) = struct
+  module Fw = Haf_core.Framework.Make (S)
+
+  type world = {
+    scenario : Scenario.t;
+    engine : Engine.t;
+    gcs : Gcs.t;
+    events : Events.sink;
+    mutable servers : (int * Fw.Server.t) list;
+    clients : Fw.Client.t list;
+    rng : Rng.t;
+  }
+
+  let units_of_server sc p =
+    List.filter
+      (fun k -> List.mem p (Scenario.servers_for_unit sc k))
+      (List.init sc.Scenario.n_units (fun k -> k))
+    |> List.map Scenario.unit_name
+
+  let catalog sc = List.init sc.Scenario.n_units Scenario.unit_name
+
+  let setup (sc : Scenario.t) =
+    let engine = Engine.create ~seed:sc.seed () in
+    let gcs =
+      Gcs.create ~net_config:sc.net_config ~gcs_config:sc.gcs_config
+        ~num_servers:sc.n_servers engine
+    in
+    let events = Events.make_sink () in
+    let servers =
+      List.map
+        (fun p ->
+          ( p,
+            Fw.Server.create gcs ~proc:p ~policy:sc.policy ~units:(units_of_server sc p)
+              ~catalog:(catalog sc) ~events ))
+        (Gcs.servers gcs)
+    in
+    let rng = Engine.fork_rng engine in
+    let clients =
+      List.init sc.n_clients (fun _ ->
+          let proc = Gcs.add_client gcs in
+          Fw.Client.create gcs ~proc ~policy:sc.policy ~events)
+    in
+    let w = { scenario = sc; engine; gcs; events; servers; clients; rng } in
+    (* Client workload: staggered session starts, units chosen
+       round-robin so load spreads across content groups. *)
+    List.iteri
+      (fun ci client ->
+        for si = 0 to sc.sessions_per_client - 1 do
+          let at =
+            sc.warmup
+            +. (float_of_int si *. (sc.session_duration +. 3.))
+            +. Rng.float rng 1.0
+          in
+          let unit_id = Scenario.unit_name ((ci + si) mod sc.n_units) in
+          ignore
+            (Engine.schedule_at engine ~time:at (fun () ->
+                 ignore
+                   (Fw.Client.start_session client ~unit_id
+                      ~duration:sc.session_duration
+                      ~request_interval:sc.request_interval)))
+        done)
+      clients;
+    w
+
+  (* ---------------------------------------------------------------- *)
+  (* Fault injection                                                   *)
+
+  let crash_server w p =
+    match List.assoc_opt p w.servers with
+    | Some srv when Gcs.alive w.gcs p ->
+        Fw.Server.stop srv;
+        Gcs.crash w.gcs p;
+        Events.emit w.events ~now:(Engine.now w.engine) (Events.Server_crashed { server = p })
+    | Some _ | None -> ()
+
+  let restart_server w p =
+    if not (Gcs.alive w.gcs p) then begin
+      Gcs.restart w.gcs p;
+      let srv =
+        Fw.Server.create w.gcs ~proc:p ~policy:w.scenario.Scenario.policy
+          ~units:(units_of_server w.scenario p)
+          ~catalog:(catalog w.scenario) ~events:w.events
+      in
+      w.servers <- (p, srv) :: List.remove_assoc p w.servers;
+      Events.emit w.events ~now:(Engine.now w.engine)
+        (Events.Server_restarted { server = p })
+    end
+
+  let live_servers w = List.filter (fun (p, _) -> Gcs.alive w.gcs p) w.servers
+
+  let current_primary w sid =
+    List.find_map
+      (fun (p, srv) -> if Fw.Server.is_primary_of srv sid then Some p else None)
+      (live_servers w)
+
+  let all_session_ids w = List.concat_map Fw.Client.session_ids w.clients
+
+  (* Independent Poisson crash processes per server, with optional
+     exponential repair (a repaired server rejoins as a fresh process and
+     triggers the state-exchange/rebalance path). *)
+  let schedule_poisson_crashes w ~lambda ?repair ?(start = 0.) ?stop () =
+    let stop = Option.value stop ~default:w.scenario.Scenario.duration in
+    let rng = Rng.split w.rng in
+    List.iter
+      (fun (p, _) ->
+        let rec plan t =
+          let t = t +. Rng.exponential rng ~mean:(1. /. lambda) in
+          if t < stop then begin
+            ignore (Engine.schedule_at w.engine ~time:t (fun () -> crash_server w p));
+            match repair with
+            | Some mean ->
+                let back = t +. Rng.exponential rng ~mean in
+                if back < stop then begin
+                  ignore
+                    (Engine.schedule_at w.engine ~time:back (fun () ->
+                         restart_server w p));
+                  plan back
+                end
+            | None -> ()
+          end
+        in
+        plan start)
+      w.servers
+
+  (* Periodically crash the current primary of some active session: the
+     targeted schedule used to measure takeover behaviour. *)
+  let schedule_primary_kills w ~every ?repair ?(start = 10.) ?stop () =
+    let stop = Option.value stop ~default:(w.scenario.Scenario.duration -. 5.) in
+    let rng = Rng.split w.rng in
+    let rec plan t =
+      if t < stop then begin
+        ignore
+          (Engine.schedule_at w.engine ~time:t (fun () ->
+               let sids = all_session_ids w in
+               let primaries = List.filter_map (current_primary w) sids in
+               match List.sort_uniq compare primaries with
+               | [] -> ()
+               | ps ->
+                   let victim = Rng.pick rng ps in
+                   crash_server w victim;
+                   (match repair with
+                   | Some mean ->
+                       ignore
+                         (Engine.schedule w.engine
+                            ~delay:(Rng.exponential rng ~mean)
+                            (fun () -> restart_server w victim))
+                   | None -> ())));
+        plan (t +. every)
+      end
+    in
+    plan start
+
+  (* Correlated failure events aimed at session groups: every [every]
+     seconds, each server currently serving some session (primary or
+     backup) crashes independently with probability [kill_prob], and is
+     repaired [repair] seconds later.  This is the fault pattern of the
+     paper's loss analysis — "every session group member failing during
+     the period between propagations" — with P(all die) decaying
+     geometrically in the group size. *)
+  let schedule_group_wipes w ~every ~kill_prob ~repair ?(start = 10.) ?stop () =
+    let stop = Option.value stop ~default:(w.scenario.Scenario.duration -. 5.) in
+    let rng = Rng.split w.rng in
+    let rec plan t =
+      if t < stop then begin
+        ignore
+          (Engine.schedule_at w.engine ~time:t (fun () ->
+               (* One session's group per event: the blast radius is the
+                  session group, never the whole cluster, so the unit
+                  database always survives somewhere. *)
+               match all_session_ids w with
+               | [] -> ()
+               | sids ->
+                   let sid = Rng.pick rng sids in
+                   let group_members =
+                     List.filter_map
+                       (fun (p, srv) ->
+                         if List.mem_assoc sid (Fw.Server.sessions_served srv) then
+                           Some p
+                         else None)
+                       (live_servers w)
+                   in
+                   List.iter
+                     (fun p ->
+                       if Rng.chance rng kill_prob then begin
+                         crash_server w p;
+                         ignore
+                           (Engine.schedule w.engine ~delay:repair (fun () ->
+                                restart_server w p))
+                       end)
+                     group_members));
+        plan (t +. every)
+      end
+    in
+    plan start
+
+  (* ---------------------------------------------------------------- *)
+
+  let run w =
+    Engine.run ~until:w.scenario.Scenario.duration w.engine;
+    Events.events w.events
+
+  let run_scenario ?prepare (sc : Scenario.t) =
+    let w = setup sc in
+    (match prepare with Some f -> f w | None -> ());
+    let tl = run w in
+    (tl, w)
+
+  let server_counters w =
+    List.map (fun (p, _) -> (p, Network.counters (Gcs.network w.gcs) p)) w.servers
+end

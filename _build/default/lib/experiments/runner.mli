@@ -1,0 +1,87 @@
+(** Scenario runner: deploys a {!Scenario.t} onto a fresh simulated
+    fabric, drives the client workload, injects faults, and returns the
+    event timeline for analysis with {!Haf_stats.Metrics}. *)
+
+module Make (S : Haf_core.Service_intf.SERVICE) : sig
+  module Fw : module type of Haf_core.Framework.Make (S)
+
+  type world = {
+    scenario : Scenario.t;
+    engine : Haf_sim.Engine.t;
+    gcs : Haf_gcs.Gcs.t;
+    events : Haf_core.Events.sink;
+    mutable servers : (int * Fw.Server.t) list;
+    clients : Fw.Client.t list;
+    rng : Haf_sim.Rng.t;
+  }
+
+  val setup : Scenario.t -> world
+  (** Build the fabric, servers and clients, and schedule the client
+      sessions (staggered starts, round-robin unit choice). *)
+
+  val run : world -> Haf_stats.Metrics.timeline
+  (** Run the engine to the scenario horizon and return the recorded
+      events, oldest first. *)
+
+  val run_scenario :
+    ?prepare:(world -> unit) -> Scenario.t -> Haf_stats.Metrics.timeline * world
+  (** [setup], then [prepare] (schedule fault injections there), then
+      {!run}. *)
+
+  (** {2 Fault injection}
+
+      All injectors emit [Server_crashed]/[Server_restarted] events so
+      the metrics layer can compute takeover latencies. *)
+
+  val crash_server : world -> int -> unit
+
+  val restart_server : world -> int -> unit
+  (** Fresh GCS daemon and a fresh framework server re-join their
+      groups, triggering the state-exchange/rebalance path. *)
+
+  val schedule_poisson_crashes :
+    world ->
+    lambda:float ->
+    ?repair:float ->
+    ?start:float ->
+    ?stop:float ->
+    unit ->
+    unit
+  (** Independent Poisson crash processes per server; with [repair],
+      exponential repair and further crashes after each return. *)
+
+  val schedule_primary_kills :
+    world ->
+    every:float ->
+    ?repair:float ->
+    ?start:float ->
+    ?stop:float ->
+    unit ->
+    unit
+  (** Periodically crash the current primary of a random live session:
+      the targeted schedule used by the takeover experiments. *)
+
+  val schedule_group_wipes :
+    world ->
+    every:float ->
+    kill_prob:float ->
+    repair:float ->
+    ?start:float ->
+    ?stop:float ->
+    unit ->
+    unit
+  (** Every [every] seconds pick one session and crash each of its
+      session-group members independently with probability [kill_prob]
+      — the paper's "every session group member failing" loss pattern,
+      with P(all die) = kill_prob^(group size). *)
+
+  (** {2 Introspection} *)
+
+  val live_servers : world -> (int * Fw.Server.t) list
+
+  val current_primary : world -> string -> int option
+
+  val all_session_ids : world -> string list
+
+  val server_counters : world -> (int * Haf_net.Network.counters) list
+end

@@ -1,0 +1,42 @@
+type t = {
+  seed : int;
+  n_servers : int;
+  n_units : int;
+  replication : int;
+  n_clients : int;
+  sessions_per_client : int;
+  session_duration : float;
+  request_interval : float;
+  policy : Haf_core.Policy.t;
+  gcs_config : Haf_gcs.Config.t;
+  net_config : Haf_net.Network.config;
+  warmup : float;
+  duration : float;
+}
+
+let default =
+  {
+    seed = 1;
+    n_servers = 5;
+    n_units = 2;
+    replication = 3;
+    n_clients = 3;
+    sessions_per_client = 1;
+    session_duration = 100.;
+    request_interval = 2.;
+    policy = Haf_core.Policy.default;
+    gcs_config = Haf_gcs.Config.default;
+    net_config = Haf_net.Network.default_config;
+    warmup = 3.;
+    duration = 120.;
+  }
+
+let unit_name k = Printf.sprintf "u%02d" k
+
+let servers_for_unit t k =
+  List.init (Int.min t.replication t.n_servers) (fun i -> (k + i) mod t.n_servers)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "servers=%d units=%d repl=%d clients=%d policy=(%a) dur=%gs seed=%d" t.n_servers
+    t.n_units t.replication t.n_clients Haf_core.Policy.pp t.policy t.duration t.seed

@@ -1,0 +1,32 @@
+(** Experiment scenario description: one deployment of the framework on
+    the simulated fabric, with a client workload.
+
+    Every experiment is a sweep over scenarios; a scenario plus a seed is
+    fully deterministic. *)
+
+type t = {
+  seed : int;
+  n_servers : int;
+  n_units : int;
+  replication : int;  (** Servers per content unit (round-robin placement). *)
+  n_clients : int;
+  sessions_per_client : int;
+  session_duration : float;
+  request_interval : float;  (** 0 = the client sends no context updates. *)
+  policy : Haf_core.Policy.t;
+  gcs_config : Haf_gcs.Config.t;
+  net_config : Haf_net.Network.config;
+  warmup : float;  (** Views settle before clients arrive. *)
+  duration : float;  (** Total simulated seconds. *)
+}
+
+val default : t
+(** 5 servers, 2 units at replication 3, 3 clients with one long session
+    each, 120 simulated seconds. *)
+
+val unit_name : int -> string
+
+val servers_for_unit : t -> int -> int list
+(** Deterministic round-robin placement of unit replicas. *)
+
+val pp : Format.formatter -> t -> unit

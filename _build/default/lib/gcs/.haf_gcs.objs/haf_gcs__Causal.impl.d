@@ -1,0 +1,1 @@
+lib/gcs/causal.ml: Array List

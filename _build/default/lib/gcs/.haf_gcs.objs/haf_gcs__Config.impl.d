@@ -1,0 +1,1 @@
+lib/gcs/config.ml: Format

@@ -1,0 +1,1 @@
+lib/gcs/daemon.ml: Config Failure_detector Format Haf_net Haf_sim Hashtbl Int Int64 List Option Printf String View Wire

@@ -1,0 +1,1 @@
+lib/gcs/daemon.mli: Config Haf_net Haf_sim View

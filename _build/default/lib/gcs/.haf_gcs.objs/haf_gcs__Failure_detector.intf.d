@@ -1,0 +1,1 @@
+lib/gcs/failure_detector.mli:

@@ -1,0 +1,1 @@
+lib/gcs/gcs.ml: Config Daemon Haf_net Haf_sim Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/gcs/gcs.mli: Config Daemon Haf_net Haf_sim View

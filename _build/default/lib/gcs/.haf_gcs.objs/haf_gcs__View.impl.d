@@ -1,0 +1,1 @@
+lib/gcs/view.ml: Format Int List String

@@ -1,0 +1,1 @@
+lib/gcs/view.mli: Format

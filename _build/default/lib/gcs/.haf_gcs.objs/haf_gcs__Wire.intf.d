@@ -1,0 +1,1 @@
+lib/gcs/wire.mli: View

@@ -1,0 +1,58 @@
+type 'a stamped = { origin : int; vc : int array; body : 'a }
+
+type 'a t = {
+  who : int;
+  clock : int array;  (* deliveries seen per origin *)
+  mutable buffer : 'a stamped list;
+}
+
+let create ~n ~me =
+  if me < 0 || me >= n then invalid_arg "Causal.create: me out of range";
+  { who = me; clock = Array.make n 0; buffer = [] }
+
+let me t = t.who
+
+let stamp t body =
+  t.clock.(t.who) <- t.clock.(t.who) + 1;
+  { origin = t.who; vc = Array.copy t.clock; body }
+
+let deliverable t m =
+  let ok = ref true in
+  Array.iteri
+    (fun i v ->
+      if i = m.origin then begin
+        if v <> t.clock.(i) + 1 then ok := false
+      end
+      else if v > t.clock.(i) then ok := false)
+    m.vc;
+  !ok
+
+let duplicate t m = m.vc.(m.origin) <= t.clock.(m.origin)
+
+let receive t m =
+  if m.origin = t.who || duplicate t m then []
+  else begin
+    t.buffer <- t.buffer @ [ m ];
+    let delivered = ref [] in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      let rec scan acc = function
+        | [] -> List.rev acc
+        | x :: rest ->
+            if deliverable t x then begin
+              t.clock.(x.origin) <- t.clock.(x.origin) + 1;
+              delivered := x :: !delivered;
+              progress := true;
+              List.rev_append acc rest
+            end
+            else scan (x :: acc) rest
+      in
+      t.buffer <- scan [] t.buffer
+    done;
+    List.rev !delivered
+  end
+
+let pending t = List.length t.buffer
+
+let clock t = Array.copy t.clock

@@ -1,0 +1,26 @@
+(** GCS timing parameters. *)
+
+type t = {
+  heartbeat_interval : float;
+      (** Period of Ping probes and of the local sweep that re-evaluates
+          suspicions and membership. *)
+  suspect_timeout : float;
+      (** Silence after which a monitored peer is suspected.  Must exceed
+          a couple of heartbeat intervals plus round-trip latency. *)
+  flush_timeout : float;
+      (** How long a coordinator waits for flush replies before
+          re-proposing without the laggards, and how long a flushed member
+          waits for an install before giving up on the proposer. *)
+  open_send_ttl : int;
+      (** Relay hops allowed for open-group sends routed through
+          non-member daemons. *)
+}
+
+val default : t
+(** LAN-oriented defaults: 100 ms heartbeats, 350 ms suspicion,
+    600 ms flush timeout. *)
+
+val validate : t -> (t, string) result
+(** Check the cross-parameter constraints documented above. *)
+
+val pp : Format.formatter -> t -> unit

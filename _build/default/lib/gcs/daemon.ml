@@ -1,0 +1,683 @@
+module Engine = Haf_sim.Engine
+module Trace = Haf_sim.Trace
+module Transport = Haf_net.Transport
+module Fd = Failure_detector
+
+type proc = int
+
+type callbacks = {
+  on_view : View.t -> unit;
+  on_message : group:string -> sender:proc -> string -> unit;
+  on_p2p : sender:proc -> string -> unit;
+}
+
+let no_callbacks =
+  {
+    on_view = (fun _ -> ());
+    on_message = (fun ~group:_ ~sender:_ _ -> ());
+    on_p2p = (fun ~sender:_ _ -> ());
+  }
+
+type mstate =
+  | Stable
+  | Proposing of {
+      epoch : int;
+      candidates : proc list;
+      replies : (proc, Wire.flush_info) Hashtbl.t;
+      started : float;
+    }
+  | Flushed of { epoch : int; coord : proc; since : float }
+
+type gstate = {
+  group : string;
+  mutable view : View.t;
+  log : (int, Wire.entry) Hashtbl.t;  (* seq -> entry, current view only *)
+  mutable delivered_up_to : int;
+  mutable next_seq : int;  (* sequencer-side counter *)
+  mutable mstate : mstate;
+  mutable max_epoch : int;
+  seen_uids : (Wire.uid, unit) Hashtbl.t;
+  delivered_uids : (Wire.uid, unit) Hashtbl.t;
+      (* Application-level exactly-once guard: a stale copy of a message
+         can be re-sequenced after a merge (e.g. a Data_req parked in a
+         transport retransmission queue across a partition reaches a new
+         sequencer that never saw the uid); the duplicate is dropped at
+         the delivery boundary. *)
+  mutable outstanding : (Wire.uid * string) list;  (* newest first *)
+  relayed : (Wire.uid, Wire.entry) Hashtbl.t;
+      (* Entries this member forwarded to the sequencer on behalf of a
+         non-member (or a stale-view member): held until seen in the log,
+         resubmitted after view changes — otherwise a request forwarded
+         to a crashed, not-yet-suspected sequencer would vanish. *)
+  mutable pending_open : Wire.entry list;  (* open sends held during flush *)
+  mutable left : proc list;
+}
+
+type t = {
+  me : proc;
+  engine : Engine.t;
+  transport : Transport.t;
+  config : Config.t;
+  hb_interval : float;
+  trace : Trace.t;
+  rng : Haf_sim.Rng.t;
+  mutable is_alive : bool;
+  mutable callbacks : callbacks;
+  fd : Fd.t;
+  gstates : (string, gstate) Hashtbl.t;
+  adverts : (proc, Wire.advert list) Hashtbl.t;
+  vid_mismatch : (string * proc, float) Hashtbl.t;
+      (* (group, peer) -> since: the peer advertises a different view id
+         for a group we are in.  Persistent mismatch (it survives a few
+         heartbeats) means a missed merge — e.g. the peer restarted
+         faster than the suspicion timeout — and forces reconciliation. *)
+  contacts : proc list;
+  incarnation : int;
+  mutable next_serial : int;
+  mutable timers : Engine.timer list;
+  mutable view_changes : int;
+}
+
+let proc t = t.me
+
+let alive t = t.is_alive
+
+let set_callbacks t cb = t.callbacks <- cb
+
+let now t = Engine.now t.engine
+
+let tr t fmt =
+  Trace.emitf t.trace ~time:(now t) ~component:(Printf.sprintf "gcs.%d" t.me) fmt
+
+let create ~engine ~transport ~config ~trace ?heartbeat_interval ~contacts me =
+  let hb = Option.value heartbeat_interval ~default:config.Config.heartbeat_interval in
+  {
+    me;
+    engine;
+    transport;
+    config;
+    hb_interval = hb;
+    trace;
+    rng = Engine.fork_rng engine;
+    is_alive = false;
+    callbacks = no_callbacks;
+    fd = Fd.create ~me ~suspect_timeout:config.Config.suspect_timeout;
+    gstates = Hashtbl.create 8;
+    adverts = Hashtbl.create 16;
+    vid_mismatch = Hashtbl.create 16;
+    contacts = List.filter (fun p -> p <> me) contacts;
+    incarnation = Int64.to_int (Int64.shift_right_logical (Haf_sim.Rng.bits64 (Engine.rng engine)) 2);
+    next_serial = 0;
+    timers = [];
+    view_changes = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Low-level sends                                                     *)
+
+let send_reliable t dst msg =
+  if dst = t.me then
+    (* Local loopback still goes through the simulated network so that
+       timing stays uniform; handled by the dispatcher like any other. *)
+    Transport.send t.transport ~src:t.me ~dst (Wire.encode msg)
+  else Transport.send t.transport ~src:t.me ~dst (Wire.encode msg)
+
+let send_raw t dst msg =
+  Transport.send_unreliable t.transport ~src:t.me ~dst (Wire.encode msg)
+
+let my_adverts t =
+  Hashtbl.fold
+    (fun g gs acc -> { Wire.adv_group = g; adv_vid = gs.view.View.id } :: acc)
+    t.gstates []
+
+let fresh_uid t =
+  let serial = t.next_serial in
+  t.next_serial <- serial + 1;
+  { Wire.origin = t.me; incarnation = t.incarnation; serial }
+
+(* ------------------------------------------------------------------ *)
+(* Beliefs                                                             *)
+
+let advertisers t group =
+  Hashtbl.fold
+    (fun p advs acc ->
+      if List.exists (fun a -> String.equal a.Wire.adv_group group) advs then p :: acc
+      else acc)
+    t.adverts []
+  |> List.sort compare
+
+let believed_members t group =
+  match Hashtbl.find_opt t.gstates group with
+  | Some gs -> gs.view.View.members
+  | None -> advertisers t group
+
+let reachable t p = p = t.me || Fd.reachable t.fd p
+
+let monitor_peer t p = Fd.monitor t.fd p ~now:(now t)
+
+let suspects t = Fd.suspects t.fd
+
+let groups t = Hashtbl.fold (fun g _ acc -> g :: acc) t.gstates [] |> List.sort compare
+
+let is_member t group = Hashtbl.mem t.gstates group
+
+let view_of t group =
+  Option.map (fun gs -> gs.view) (Hashtbl.find_opt t.gstates group)
+
+let stats_view_changes t = t.view_changes
+
+(* ------------------------------------------------------------------ *)
+(* Delivery                                                            *)
+
+let note_logged t gs (entry : Wire.entry) =
+  Hashtbl.replace gs.seen_uids entry.uid ();
+  Hashtbl.remove gs.relayed entry.uid;
+  if entry.uid.origin = t.me then
+    gs.outstanding <-
+      List.filter (fun (uid, _) -> uid <> entry.uid) gs.outstanding
+
+let deliver t gs (entry : Wire.entry) =
+  if not (Hashtbl.mem gs.delivered_uids entry.uid) then begin
+    Hashtbl.replace gs.delivered_uids entry.uid ();
+    t.callbacks.on_message ~group:gs.group ~sender:entry.orig entry.payload
+  end
+
+let deliver_contiguous t gs =
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt gs.log (gs.delivered_up_to + 1) with
+    | Some entry ->
+        gs.delivered_up_to <- gs.delivered_up_to + 1;
+        deliver t gs entry
+    | None -> continue := false
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Sequencing (this daemon is the coordinator of the current view)     *)
+
+let sequence t gs (entry : Wire.entry) =
+  if not (Hashtbl.mem gs.seen_uids entry.uid) then begin
+    let seq = gs.next_seq in
+    gs.next_seq <- seq + 1;
+    Hashtbl.replace gs.log seq entry;
+    note_logged t gs entry;
+    List.iter
+      (fun m ->
+        if m <> t.me then
+          send_reliable t m (Wire.Data { group = gs.group; vid = gs.view.View.id; seq; entry }))
+      gs.view.View.members;
+    match gs.mstate with Stable -> deliver_contiguous t gs | _ -> ()
+  end
+
+let submit t gs (entry : Wire.entry) =
+  match gs.mstate with
+  | Stable ->
+      let coord = View.coordinator gs.view in
+      if coord = t.me then sequence t gs entry
+      else send_reliable t coord (Wire.Data_req { group = gs.group; entry })
+  | Proposing _ | Flushed _ ->
+      (* Buffered; the install path resubmits outstanding/pending. *)
+      ()
+
+(* ------------------------------------------------------------------ *)
+(* Membership                                                          *)
+
+let candidates_for t gs =
+  let base = gs.view.View.members @ advertisers t gs.group @ [ t.me ] in
+  base
+  |> List.sort_uniq compare
+  |> List.filter (fun p ->
+         p = t.me
+         || ((not (Fd.suspected t.fd p)) && Fd.is_monitored t.fd p
+            && not (List.mem p gs.left)))
+
+let flush_info_of t gs =
+  {
+    Wire.fi_sender = t.me;
+    fi_member = true;
+    fi_prev_vid = gs.view.View.id;
+    fi_log =
+      Hashtbl.fold (fun seq entry acc -> (seq, entry) :: acc) gs.log []
+      |> List.sort compare;
+  }
+
+let merge_sync_sets replies =
+  (* Group the repliers' logs by previous view id and take unions. *)
+  let tbl = Hashtbl.create 4 in
+  List.iter
+    (fun (info : Wire.flush_info) ->
+      if info.fi_member then begin
+        let key = info.fi_prev_vid in
+        let log =
+          match Hashtbl.find_opt tbl key with
+          | Some l -> l
+          | None ->
+              let l = Hashtbl.create 16 in
+              Hashtbl.replace tbl key l;
+              l
+        in
+        List.iter (fun (seq, entry) -> Hashtbl.replace log seq entry) info.fi_log
+      end)
+    replies;
+  Hashtbl.fold
+    (fun vid log acc ->
+      let entries =
+        Hashtbl.fold (fun seq e acc -> (seq, e) :: acc) log [] |> List.sort compare
+      in
+      (vid, entries) :: acc)
+    tbl []
+
+let rec apply_install t gs ~epoch ~view_id ~members ~sync =
+  (* Virtual synchrony: deliver the synchronization set of our previous
+     view (messages some surviving member had that we may not have
+     delivered) before switching views. *)
+  (match List.assoc_opt gs.view.View.id sync with
+  | Some entries ->
+      List.iter
+        (fun (seq, entry) ->
+          Hashtbl.replace gs.seen_uids entry.Wire.uid ();
+          note_logged t gs entry;
+          if seq > gs.delivered_up_to then begin
+            gs.delivered_up_to <- seq;
+            deliver t gs entry
+          end)
+        entries
+  | None -> ());
+  let view = View.make ~id:view_id ~group:gs.group ~members in
+  gs.view <- view;
+  Hashtbl.reset gs.log;
+  gs.delivered_up_to <- 0;
+  gs.next_seq <- 1;
+  gs.mstate <- Stable;
+  gs.max_epoch <- Int.max gs.max_epoch epoch;
+  gs.left <- [];
+  let stale_keys =
+    Hashtbl.fold
+      (fun ((g, _) as k) _ acc -> if String.equal g gs.group then k :: acc else acc)
+      t.vid_mismatch []
+  in
+  List.iter (Hashtbl.remove t.vid_mismatch) stale_keys;
+  t.view_changes <- t.view_changes + 1;
+  List.iter (fun m -> monitor_peer t m) members;
+  tr t "installed %s" (Format.asprintf "%a" View.pp view);
+  t.callbacks.on_view view;
+  (* Resubmit multicasts not yet sequenced, oldest first, and any open
+     sends buffered during the flush. *)
+  let mine = List.rev gs.outstanding in
+  List.iter
+    (fun (uid, payload) -> submit t gs { Wire.uid; orig = t.me; payload })
+    mine;
+  let opens = List.rev gs.pending_open in
+  gs.pending_open <- [];
+  List.iter (fun entry -> submit t gs entry) opens;
+  let relayed =
+    Hashtbl.fold (fun _ entry acc -> entry :: acc) gs.relayed []
+    |> List.sort (fun (a : Wire.entry) b -> compare a.uid b.uid)
+  in
+  List.iter (fun entry -> submit t gs entry) relayed
+
+and finalize_proposal t gs ~epoch ~candidates ~replies =
+  let infos = Hashtbl.fold (fun _ i acc -> i :: acc) replies [] in
+  let members =
+    List.filter
+      (fun c ->
+        match Hashtbl.find_opt replies c with
+        | Some info -> info.Wire.fi_member
+        | None -> false)
+      candidates
+  in
+  let view_id = { View.Id.epoch; coord = t.me } in
+  let sync = merge_sync_sets infos in
+  List.iter
+    (fun m ->
+      if m <> t.me then
+        send_reliable t m
+          (Wire.Install { group = gs.group; epoch; view_id; members; sync }))
+    members;
+  apply_install t gs ~epoch ~view_id ~members ~sync
+
+and check_finalize t gs =
+  match gs.mstate with
+  | Proposing { epoch; candidates; replies; _ } ->
+      if List.for_all (fun c -> Hashtbl.mem replies c) candidates then
+        finalize_proposal t gs ~epoch ~candidates ~replies
+  | Stable | Flushed _ -> ()
+
+and propose t gs =
+  let candidates = candidates_for t gs in
+  let epoch = Int.max gs.max_epoch gs.view.View.id.View.Id.epoch + 1 in
+  gs.max_epoch <- epoch;
+  let replies = Hashtbl.create 8 in
+  Hashtbl.replace replies t.me (flush_info_of t gs);
+  gs.mstate <- Proposing { epoch; candidates; replies; started = now t };
+  tr t "propose %s e%d cands=[%s]" gs.group epoch
+    (String.concat "," (List.map string_of_int candidates));
+  List.iter
+    (fun c ->
+      if c <> t.me then
+        send_reliable t c (Wire.Propose { group = gs.group; epoch; candidates }))
+    candidates;
+  check_finalize t gs
+
+(* A co-member has been advertising a different view id for longer
+   than the advert-refresh lag: a merge was missed. *)
+let stale_vid_mismatch t gs =
+  let threshold = 2.5 *. t.hb_interval in
+  let cands = candidates_for t gs in
+  Hashtbl.fold
+    (fun (g, q) since acc ->
+      acc
+      || String.equal g gs.group && List.mem q cands
+         && now t -. since > threshold)
+    t.vid_mismatch false
+
+let membership_needed t gs =
+  let candidates = candidates_for t gs in
+  candidates <> gs.view.View.members || stale_vid_mismatch t gs
+
+(* Who should coordinate the next view change: the lowest candidate that
+   is actually advertising membership (a candidate that is only a stale
+   entry in our view has no daemon state for the group and will never
+   propose).  Two components merging after a heal both have a coordinator;
+   without a single agreed proposer they duel with ever-increasing epochs
+   — the higher-ranked one must yield. *)
+let should_coordinate t gs =
+  let advertising = advertisers t gs.group in
+  let eligible =
+    List.filter (fun p -> p = t.me || List.mem p advertising) (candidates_for t gs)
+  in
+  match eligible with leader :: _ -> leader = t.me | [] -> true
+
+let membership_stable t group =
+  match Hashtbl.find_opt t.gstates group with
+  | None -> true
+  | Some gs -> ( match gs.mstate with Stable -> not (membership_needed t gs) | _ -> false)
+
+let sweep_group t gs =
+  match gs.mstate with
+  | Stable ->
+      if membership_needed t gs && should_coordinate t gs then propose t gs
+      (* otherwise wait for the legitimate coordinator's proposal *)
+  | Proposing { started; candidates; _ } ->
+      let current = candidates_for t gs in
+      let timed_out = now t -. started > t.config.Config.flush_timeout in
+      if
+        timed_out
+        || List.exists (fun c -> Fd.suspected t.fd c) candidates
+        || List.exists (fun c -> not (List.mem c candidates)) current
+      then
+        if should_coordinate t gs then
+          (* Re-propose with a fresh epoch and the current perception. *)
+          propose t gs
+        else
+          (* A lower-ranked coordinator exists (e.g. discovered during a
+             merge): yield to it rather than duelling epochs. *)
+          gs.mstate <- Stable
+  | Flushed { coord; since; _ } ->
+      if Fd.suspected t.fd coord || now t -. since > 2. *. t.config.Config.flush_timeout
+      then begin
+        gs.mstate <- Stable;
+        (* Next sweep will re-run the protocol with a fresh perception. *)
+        if membership_needed t gs then
+          match candidates_for t gs with
+          | leader :: _ when leader = t.me -> propose t gs
+          | _ -> ()
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeats                                                          *)
+
+let record_adverts t sender advs =
+  Hashtbl.replace t.adverts sender advs;
+  (* Hearing adverts implies direct reachability: monitor the peer so the
+     failure detector can vouch for it as a membership candidate. *)
+  monitor_peer t sender;
+  Fd.heard_from t.fd sender ~now:(now t);
+  if sender <> t.me then
+    Hashtbl.iter
+      (fun g gs ->
+        match
+          List.find_opt (fun a -> String.equal a.Wire.adv_group g) advs
+        with
+        | Some a ->
+            (* A peer we saw leave is advertising membership again: it
+               rejoined; stop excluding it from candidate sets. *)
+            if List.mem sender gs.left then
+              gs.left <- List.filter (fun p -> p <> sender) gs.left;
+            if not (View.Id.equal a.Wire.adv_vid gs.view.View.id) then begin
+              if not (Hashtbl.mem t.vid_mismatch (g, sender)) then
+                Hashtbl.replace t.vid_mismatch (g, sender) (now t)
+            end
+            else Hashtbl.remove t.vid_mismatch (g, sender)
+        | None -> Hashtbl.remove t.vid_mismatch (g, sender))
+      t.gstates
+
+let heartbeat_tick t =
+  if t.is_alive then begin
+    let adverts = my_adverts t in
+    List.iter (fun p -> send_raw t p (Wire.Ping { adverts })) (Fd.monitored t.fd);
+    ignore (Fd.sweep t.fd ~now:(now t));
+    Hashtbl.iter (fun _ gs -> sweep_group t gs) t.gstates
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Incoming protocol messages                                          *)
+
+let handle_propose t ~src ~group ~epoch ~candidates =
+  ignore candidates;
+  match Hashtbl.find_opt t.gstates group with
+  | None ->
+      (* Not a member (stale advert or restart): tell the proposer so it
+         can exclude us from the view. *)
+      send_reliable t src
+        (Wire.Flush_reply
+           {
+             group;
+             epoch;
+             info =
+               {
+                 fi_sender = t.me;
+                 fi_member = false;
+                 fi_prev_vid = View.Id.initial t.me;
+                 fi_log = [];
+               };
+           })
+  | Some gs ->
+      if epoch <= gs.max_epoch then
+        send_reliable t src (Wire.Nack { group; epoch_hint = gs.max_epoch })
+      else if Fd.suspected t.fd src then ()
+      else begin
+        gs.max_epoch <- epoch;
+        gs.mstate <- Flushed { epoch; coord = src; since = now t };
+        send_reliable t src
+          (Wire.Flush_reply { group; epoch; info = flush_info_of t gs })
+      end
+
+let handle_flush_reply t ~group ~epoch ~info =
+  match Hashtbl.find_opt t.gstates group with
+  | None -> ()
+  | Some gs -> (
+      match gs.mstate with
+      | Proposing { epoch = e; candidates; replies; _ }
+        when e = epoch && List.mem info.Wire.fi_sender candidates ->
+          Hashtbl.replace replies info.Wire.fi_sender info;
+          check_finalize t gs
+      | Proposing _ | Stable | Flushed _ -> ())
+
+let handle_nack t ~group ~epoch_hint =
+  match Hashtbl.find_opt t.gstates group with
+  | None -> ()
+  | Some gs -> (
+      match gs.mstate with
+      | Proposing { epoch; _ } when epoch_hint >= epoch ->
+          gs.max_epoch <- Int.max gs.max_epoch epoch_hint;
+          if should_coordinate t gs then propose t gs
+          else
+            (* Yield: the peer that outbid us outranks us too; it will
+               drive the view change. *)
+            gs.mstate <- Stable
+      | Proposing _ | Stable | Flushed _ ->
+          gs.max_epoch <- Int.max gs.max_epoch epoch_hint)
+
+let handle_install t ~group ~epoch ~view_id ~members ~sync =
+  match Hashtbl.find_opt t.gstates group with
+  | None -> ()
+  | Some gs -> (
+      match gs.mstate with
+      | Flushed { epoch = e; _ } when e = epoch && List.mem t.me members ->
+          apply_install t gs ~epoch ~view_id ~members ~sync
+      | Flushed _ | Stable | Proposing _ -> ())
+
+let handle_data t ~group ~vid ~seq ~entry =
+  match Hashtbl.find_opt t.gstates group with
+  | None -> ()
+  | Some gs ->
+      if View.Id.equal vid gs.view.View.id then begin
+        if not (Hashtbl.mem gs.log seq) then Hashtbl.replace gs.log seq entry;
+        note_logged t gs entry;
+        match gs.mstate with Stable -> deliver_contiguous t gs | _ -> ()
+      end
+
+let handle_data_req t ~group ~entry =
+  match Hashtbl.find_opt t.gstates group with
+  | None -> ()
+  | Some gs -> (
+      match gs.mstate with
+      | Stable ->
+          let coord = View.coordinator gs.view in
+          if coord = t.me then sequence t gs entry
+          else begin
+            if not (Hashtbl.mem gs.seen_uids entry.Wire.uid) then
+              Hashtbl.replace gs.relayed entry.Wire.uid entry;
+            send_reliable t coord (Wire.Data_req { group; entry })
+          end
+      | Proposing _ | Flushed _ ->
+          gs.pending_open <- entry :: gs.pending_open)
+
+let handle_open_send t ~group ~entry ~ttl =
+  match Hashtbl.find_opt t.gstates group with
+  | Some _ -> handle_data_req t ~group ~entry
+  | None ->
+      if ttl > 0 then begin
+        let targets = advertisers t group in
+        let targets = List.filter (fun p -> p <> t.me && reachable t p) targets in
+        List.iter
+          (fun p -> send_reliable t p (Wire.Open_send { group; entry; ttl = ttl - 1 }))
+          targets
+      end
+
+let handle_leave t ~group ~who =
+  match Hashtbl.find_opt t.gstates group with
+  | None -> ()
+  | Some gs ->
+      if not (List.mem who gs.left) then gs.left <- who :: gs.left;
+      (match Hashtbl.find_opt t.adverts who with
+      | Some advs ->
+          Hashtbl.replace t.adverts who
+            (List.filter (fun a -> not (String.equal a.Wire.adv_group group)) advs)
+      | None -> ());
+      sweep_group t gs
+
+let on_reliable t ~src payload =
+  if t.is_alive then begin
+    Fd.heard_from t.fd src ~now:(now t);
+    match Wire.decode payload with
+    | Wire.Propose { group; epoch; candidates } ->
+        handle_propose t ~src ~group ~epoch ~candidates
+    | Wire.Flush_reply { group; epoch; info } -> handle_flush_reply t ~group ~epoch ~info
+    | Wire.Nack { group; epoch_hint } -> handle_nack t ~group ~epoch_hint
+    | Wire.Install { group; epoch; view_id; members; sync } ->
+        handle_install t ~group ~epoch ~view_id ~members ~sync
+    | Wire.Data { group; vid; seq; entry } -> handle_data t ~group ~vid ~seq ~entry
+    | Wire.Data_req { group; entry } -> handle_data_req t ~group ~entry
+    | Wire.Open_send { group; entry; ttl } -> handle_open_send t ~group ~entry ~ttl
+    | Wire.Leave { group; who } -> handle_leave t ~group ~who
+    | Wire.P2p { payload } -> t.callbacks.on_p2p ~sender:src payload
+    | Wire.Ping _ | Wire.Pong _ -> ()
+  end
+
+let on_raw t ~src payload =
+  if t.is_alive then
+    match Wire.decode payload with
+    | Wire.Ping { adverts } ->
+        record_adverts t src adverts;
+        send_raw t src (Wire.Pong { adverts = my_adverts t })
+    | Wire.Pong { adverts } -> record_adverts t src adverts
+    | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Public operations                                                   *)
+
+let start t =
+  t.is_alive <- true;
+  Transport.attach t.transport t.me
+    ~on_raw:(fun ~src payload -> on_raw t ~src payload)
+    (fun ~src payload -> on_reliable t ~src payload);
+  List.iter (fun c -> monitor_peer t c) t.contacts;
+  let first = Haf_sim.Rng.float t.rng t.hb_interval in
+  let timer = Engine.every t.engine ~first ~period:t.hb_interval (fun () -> heartbeat_tick t) in
+  t.timers <- timer :: t.timers
+
+let stop t =
+  t.is_alive <- false;
+  List.iter Engine.cancel t.timers;
+  t.timers <- []
+
+let join t group =
+  if not (Hashtbl.mem t.gstates group) then begin
+    let gs =
+      {
+        group;
+        view = View.singleton ~group t.me;
+        log = Hashtbl.create 32;
+        delivered_up_to = 0;
+        next_seq = 1;
+        mstate = Stable;
+        max_epoch = 0;
+        seen_uids = Hashtbl.create 64;
+        delivered_uids = Hashtbl.create 64;
+        outstanding = [];
+        relayed = Hashtbl.create 16;
+        pending_open = [];
+        left = [];
+      }
+    in
+    Hashtbl.replace t.gstates group gs;
+    t.view_changes <- t.view_changes + 1;
+    t.callbacks.on_view gs.view;
+    (* Announce immediately rather than waiting a heartbeat period. *)
+    heartbeat_tick t
+  end
+
+let leave t group =
+  match Hashtbl.find_opt t.gstates group with
+  | None -> ()
+  | Some gs ->
+      List.iter
+        (fun m -> if m <> t.me then send_reliable t m (Wire.Leave { group; who = t.me }))
+        gs.view.View.members;
+      Hashtbl.remove t.gstates group
+
+let multicast t group payload =
+  match Hashtbl.find_opt t.gstates group with
+  | None -> invalid_arg (Printf.sprintf "Daemon.multicast: %d not in %s" t.me group)
+  | Some gs ->
+      let uid = fresh_uid t in
+      gs.outstanding <- (uid, payload) :: gs.outstanding;
+      submit t gs { Wire.uid; orig = t.me; payload }
+
+let open_send t group payload =
+  match Hashtbl.find_opt t.gstates group with
+  | Some _ -> multicast t group payload
+  | None ->
+      let entry = { Wire.uid = fresh_uid t; orig = t.me; payload } in
+      let believed = believed_members t group in
+      let targets = List.filter (fun p -> reachable t p && p <> t.me) believed in
+      let targets = if targets = [] then List.filter (reachable t) t.contacts else targets in
+      List.iter
+        (fun p ->
+          send_reliable t p
+            (Wire.Open_send { group; entry; ttl = t.config.Config.open_send_ttl }))
+        targets
+
+let p2p t ~dst payload = send_reliable t dst (Wire.P2p { payload })

@@ -1,0 +1,41 @@
+(** Heartbeat-based failure detector bookkeeping.
+
+    The daemon drives this module: it records when peers were last heard
+    from and classifies silence as suspicion.  The detector is local and
+    unreliable by design — the membership protocol, not the detector, is
+    responsible for agreement.  During stable periods it is accurate,
+    which is what the paper's "precise views in stable times" relies
+    on. *)
+
+type proc = int
+
+type t
+
+val create : me:proc -> suspect_timeout:float -> t
+
+val monitor : t -> proc -> now:float -> unit
+(** Start watching a peer.  A freshly monitored peer gets a grace period
+    of one timeout before it can be suspected. *)
+
+val unmonitor : t -> proc -> unit
+
+val monitored : t -> proc list
+
+val is_monitored : t -> proc -> bool
+
+val heard_from : t -> proc -> now:float -> unit
+(** Record any direct communication from the peer.  Clears an existing
+    suspicion (the membership sweep will then attempt a merge). *)
+
+val sweep : t -> now:float -> proc list
+(** Mark newly silent peers as suspected; returns them. *)
+
+val suspected : t -> proc -> bool
+(** Unmonitored peers are never suspected. *)
+
+val suspects : t -> proc list
+
+val reachable : t -> proc -> bool
+(** Monitored and not suspected. *)
+
+val last_heard : t -> proc -> float option

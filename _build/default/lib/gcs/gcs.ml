@@ -1,0 +1,159 @@
+module Engine = Haf_sim.Engine
+module Trace = Haf_sim.Trace
+module Network = Haf_net.Network
+module Transport = Haf_net.Transport
+
+type proc = int
+
+type role = Server | Client
+
+type slot = {
+  role : role;
+  mutable daemon : Daemon.t option;  (* None while crashed *)
+  mutable callbacks : Daemon.callbacks;
+  mutable retired_view_changes : int;  (* from previous incarnations *)
+}
+
+type t = {
+  engine : Engine.t;
+  net : Network.t;
+  transport : Transport.t;
+  gcs_config : Config.t;
+  trace : Trace.t;
+  client_hb : float;
+  slots : (proc, slot) Hashtbl.t;
+  mutable server_list : proc list;
+}
+
+let engine t = t.engine
+
+let network t = t.net
+
+let config t = t.gcs_config
+
+let servers t = List.rev t.server_list
+
+let is_server t p =
+  match Hashtbl.find_opt t.slots p with
+  | Some { role = Server; _ } -> true
+  | Some { role = Client; _ } | None -> false
+
+let spawn_daemon t proc role =
+  let heartbeat_interval =
+    match role with Server -> None | Client -> Some t.client_hb
+  in
+  let d =
+    Daemon.create ~engine:t.engine ~transport:t.transport ~config:t.gcs_config
+      ~trace:t.trace ?heartbeat_interval ~contacts:(servers t) proc
+  in
+  Daemon.start d;
+  d
+
+let add_process t role =
+  let proc = Network.add_node t.net in
+  if role = Server then t.server_list <- proc :: t.server_list;
+  let daemon = spawn_daemon t proc role in
+  Hashtbl.replace t.slots proc
+    { role; daemon = Some daemon; callbacks = Daemon.no_callbacks; retired_view_changes = 0 };
+  proc
+
+let create ?(net_config = Network.default_config) ?(gcs_config = Config.default)
+    ?(trace = Trace.disabled) ?client_heartbeat_interval ~num_servers engine =
+  (match Config.validate gcs_config with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Gcs.create: " ^ msg));
+  let net = Network.create ~trace engine net_config in
+  let transport = Transport.create ~trace net in
+  let client_hb =
+    Option.value client_heartbeat_interval
+      ~default:(3. *. gcs_config.Config.heartbeat_interval)
+  in
+  let t =
+    {
+      engine;
+      net;
+      transport;
+      gcs_config;
+      trace;
+      client_hb;
+      slots = Hashtbl.create 32;
+      server_list = [];
+    }
+  in
+  for _ = 1 to num_servers do
+    ignore (add_process t Server)
+  done;
+  t
+
+let add_server t = add_process t Server
+
+let add_client t = add_process t Client
+
+let slot t p =
+  match Hashtbl.find_opt t.slots p with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Gcs: unknown process %d" p)
+
+let daemon t p =
+  match (slot t p).daemon with Some d -> d | None -> raise Not_found
+
+let set_app t p callbacks =
+  let s = slot t p in
+  s.callbacks <- callbacks;
+  match s.daemon with
+  | Some d -> Daemon.set_callbacks d callbacks
+  | None -> ()
+
+let join t p g = Daemon.join (daemon t p) g
+
+let leave t p g = Daemon.leave (daemon t p) g
+
+let multicast t p g payload = Daemon.multicast (daemon t p) g payload
+
+let open_send t p g payload = Daemon.open_send (daemon t p) g payload
+
+let p2p t p ~dst payload = Daemon.p2p (daemon t p) ~dst payload
+
+let view_of t p g = Daemon.view_of (daemon t p) g
+
+let believed_members t p g = Daemon.believed_members (daemon t p) g
+
+let reachable t p q = Daemon.reachable (daemon t p) q
+
+let membership_stable t p g = Daemon.membership_stable (daemon t p) g
+
+let alive t p = match (slot t p).daemon with Some d -> Daemon.alive d | None -> false
+
+let crash t p =
+  let s = slot t p in
+  (match s.daemon with
+  | Some d ->
+      s.retired_view_changes <- s.retired_view_changes + Daemon.stats_view_changes d;
+      Daemon.stop d;
+      s.daemon <- None
+  | None -> ());
+  Network.crash t.net p;
+  Transport.reset_node t.transport p
+
+let restart t p =
+  let s = slot t p in
+  if s.daemon = None then begin
+    Network.recover t.net p;
+    Transport.reset_node t.transport p;
+    let d = spawn_daemon t p s.role in
+    Daemon.set_callbacks d s.callbacks;
+    s.daemon <- Some d
+  end
+
+let partition t components = Network.partition t.net components
+
+let heal t = Network.heal_links t.net
+
+let set_link t a b up = Network.set_link t.net a b up
+
+let total_view_changes t =
+  Hashtbl.fold
+    (fun _ s acc ->
+      acc + s.retired_view_changes
+      + (match s.daemon with Some d -> Daemon.stats_view_changes d | None -> 0))
+    t.slots 0

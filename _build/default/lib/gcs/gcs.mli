@@ -1,0 +1,89 @@
+(** The GCS fabric: a simulated deployment of one GCS daemon per process
+    over one simulated network.
+
+    This is the composition root for the substrate: it owns the network,
+    the reliable transport and the daemons, and exposes the paper-facing
+    API (join, totally ordered multicast, open-group sends, p2p) plus
+    fault injection (crash, restart, partitions, asymmetric links).
+
+    Processes are created either as {e servers} (full members of the
+    fabric, listed in everyone's bootstrap contacts) or {e clients}
+    (probe the servers, never join groups, send via open-group sends). *)
+
+type proc = int
+
+type t
+
+val create :
+  ?net_config:Haf_net.Network.config ->
+  ?gcs_config:Config.t ->
+  ?trace:Haf_sim.Trace.t ->
+  ?client_heartbeat_interval:float ->
+  num_servers:int ->
+  Haf_sim.Engine.t ->
+  t
+(** Creates [num_servers] server processes with ids [0 .. num_servers-1],
+    already started.  Clients are added afterwards with {!add_client}. *)
+
+val engine : t -> Haf_sim.Engine.t
+
+val network : t -> Haf_net.Network.t
+
+val config : t -> Config.t
+
+val servers : t -> proc list
+
+val add_server : t -> proc
+(** Bring up an additional server process ("new servers are brought up to
+    alleviate the load"). *)
+
+val add_client : t -> proc
+(** A client process: monitors the servers, does not join groups. *)
+
+val is_server : t -> proc -> bool
+
+(** {2 Application wiring} *)
+
+val set_app : t -> proc -> Daemon.callbacks -> unit
+
+val join : t -> proc -> string -> unit
+
+val leave : t -> proc -> string -> unit
+
+val multicast : t -> proc -> string -> string -> unit
+
+val open_send : t -> proc -> string -> string -> unit
+
+val p2p : t -> proc -> dst:proc -> string -> unit
+
+val view_of : t -> proc -> string -> View.t option
+
+val believed_members : t -> proc -> string -> proc list
+
+val reachable : t -> proc -> proc -> bool
+(** [reachable t p q]: does [p]'s failure detector currently trust [q]? *)
+
+val membership_stable : t -> proc -> string -> bool
+
+(** {2 Fault injection} *)
+
+val crash : t -> proc -> unit
+
+val restart : t -> proc -> unit
+(** The process comes back with empty GCS state (a fresh daemon); the
+    application layer must re-register callbacks and re-join groups. *)
+
+val alive : t -> proc -> bool
+
+val partition : t -> proc list list -> unit
+
+val heal : t -> unit
+
+val set_link : t -> proc -> proc -> bool -> unit
+
+(** {2 Introspection} *)
+
+val daemon : t -> proc -> Daemon.t
+(** The live daemon for a process.  @raise Not_found if crashed. *)
+
+val total_view_changes : t -> int

@@ -1,0 +1,45 @@
+type proc = int
+
+module Id = struct
+  type t = { epoch : int; coord : proc }
+
+  let compare a b =
+    match Int.compare a.epoch b.epoch with
+    | 0 -> Int.compare a.coord b.coord
+    | c -> c
+
+  let equal a b = compare a b = 0
+
+  let initial proc = { epoch = 0; coord = proc }
+
+  let pp ppf { epoch; coord } = Format.fprintf ppf "v%d.%d" epoch coord
+end
+
+type t = { id : Id.t; group : string; members : proc list }
+
+let make ~id ~group ~members =
+  let members = List.sort_uniq Int.compare members in
+  if members = [] then invalid_arg "View.make: empty membership";
+  { id; group; members }
+
+let singleton ~group proc =
+  { id = Id.initial proc; group; members = [ proc ] }
+
+let is_member t proc = List.mem proc t.members
+
+let size t = List.length t.members
+
+let coordinator t =
+  match t.members with
+  | m :: _ -> m
+  | [] -> invalid_arg "View.coordinator: empty view"
+
+let equal a b =
+  Id.equal a.id b.id && String.equal a.group b.group && a.members = b.members
+
+let pp ppf t =
+  Format.fprintf ppf "%s@%a{%a}" t.group Id.pp t.id
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    t.members

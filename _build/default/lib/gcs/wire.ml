@@ -1,0 +1,50 @@
+type proc = int
+
+type uid = { origin : proc; incarnation : int; serial : int }
+
+type entry = { uid : uid; orig : proc; payload : string }
+
+type advert = { adv_group : string; adv_vid : View.Id.t }
+
+type flush_info = {
+  fi_sender : proc;
+  fi_member : bool;
+  fi_prev_vid : View.Id.t;
+  fi_log : (int * entry) list;
+}
+
+type msg =
+  | Ping of { adverts : advert list }
+  | Pong of { adverts : advert list }
+  | Propose of { group : string; epoch : int; candidates : proc list }
+  | Flush_reply of { group : string; epoch : int; info : flush_info }
+  | Nack of { group : string; epoch_hint : int }
+  | Install of {
+      group : string;
+      epoch : int;
+      view_id : View.Id.t;
+      members : proc list;
+      sync : (View.Id.t * (int * entry) list) list;
+    }
+  | Data_req of { group : string; entry : entry }
+  | Data of { group : string; vid : View.Id.t; seq : int; entry : entry }
+  | Open_send of { group : string; entry : entry; ttl : int }
+  | Leave of { group : string; who : proc }
+  | P2p of { payload : string }
+
+let encode (m : msg) = Marshal.to_string m []
+
+let decode (s : string) : msg = Marshal.from_string s 0
+
+let describe = function
+  | Ping _ -> "ping"
+  | Pong _ -> "pong"
+  | Propose { group; epoch; _ } -> Printf.sprintf "propose(%s,e%d)" group epoch
+  | Flush_reply { group; epoch; _ } -> Printf.sprintf "flush(%s,e%d)" group epoch
+  | Nack { group; epoch_hint } -> Printf.sprintf "nack(%s,e%d)" group epoch_hint
+  | Install { group; epoch; _ } -> Printf.sprintf "install(%s,e%d)" group epoch
+  | Data_req { group; _ } -> Printf.sprintf "data_req(%s)" group
+  | Data { group; seq; _ } -> Printf.sprintf "data(%s,#%d)" group seq
+  | Open_send { group; _ } -> Printf.sprintf "open_send(%s)" group
+  | Leave { group; who } -> Printf.sprintf "leave(%s,%d)" group who
+  | P2p _ -> "p2p"

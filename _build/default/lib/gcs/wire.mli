@@ -1,0 +1,57 @@
+(** GCS wire protocol.
+
+    Heartbeats ([Ping]/[Pong]) travel as unreliable datagrams; everything
+    else uses the reliable FIFO transport.  Application payloads are opaque
+    strings so that the GCS stays independent of the layers above. *)
+
+type proc = int
+
+type uid = { origin : proc; incarnation : int; serial : int }
+(** Globally unique application-message id: used to deduplicate
+    resubmissions across view changes and fan-out copies of open-group
+    sends.  [incarnation] is drawn at daemon start so that a restarted
+    process never reuses a previous life's ids (survivors keep old uids
+    in their dedup tables and would otherwise silence the new process). *)
+
+type entry = { uid : uid; orig : proc; payload : string }
+(** An application multicast as carried by the protocol. *)
+
+type advert = { adv_group : string; adv_vid : View.Id.t }
+(** "I am a member of [adv_group], currently in view [adv_vid]" —
+    piggybacked on heartbeats; the basis of discovery and merge. *)
+
+type flush_info = {
+  fi_sender : proc;
+  fi_member : bool;  (** [false]: not in this group (stale proposal). *)
+  fi_prev_vid : View.Id.t;
+  fi_log : (int * entry) list;  (** seq -> entry, the sender's view log. *)
+}
+
+type msg =
+  | Ping of { adverts : advert list }
+  | Pong of { adverts : advert list }
+  | Propose of { group : string; epoch : int; candidates : proc list }
+  | Flush_reply of { group : string; epoch : int; info : flush_info }
+  | Nack of { group : string; epoch_hint : int }
+      (** "Your proposal's epoch is stale; retry above [epoch_hint]." *)
+  | Install of {
+      group : string;
+      epoch : int;
+      view_id : View.Id.t;
+      members : proc list;
+      sync : (View.Id.t * (int * entry) list) list;
+          (** Per previous-view synchronization sets: the union of the
+              surviving members' logs, the heart of virtual synchrony. *)
+    }
+  | Data_req of { group : string; entry : entry }
+  | Data of { group : string; vid : View.Id.t; seq : int; entry : entry }
+  | Open_send of { group : string; entry : entry; ttl : int }
+  | Leave of { group : string; who : proc }
+  | P2p of { payload : string }
+
+val encode : msg -> string
+
+val decode : string -> msg
+
+val describe : msg -> string
+(** Short human-readable tag for traces. *)

@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Haf_sim Hashtbl Int Latency List Option String

@@ -1,0 +1,1 @@
+lib/net/network.mli: Haf_sim Latency

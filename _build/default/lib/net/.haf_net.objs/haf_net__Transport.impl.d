@@ -1,0 +1,1 @@
+lib/net/transport.ml: Float Haf_sim Hashtbl List Marshal Network

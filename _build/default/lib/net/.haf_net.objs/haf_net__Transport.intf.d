@@ -1,0 +1,1 @@
+lib/net/transport.mli: Haf_sim Network

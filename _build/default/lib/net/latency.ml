@@ -1,0 +1,31 @@
+type t =
+  | Constant of float
+  | Uniform of { base : float; jitter : float }
+  | Exponential of { base : float; mean_extra : float }
+
+let lan = Uniform { base = 0.0005; jitter = 0.0005 }
+
+let wan = Exponential { base = 0.04; mean_extra = 0.01 }
+
+let floor_delay = 1e-6
+
+let sample t rng =
+  let d =
+    match t with
+    | Constant d -> d
+    | Uniform { base; jitter } -> base +. Haf_sim.Rng.float rng jitter
+    | Exponential { base; mean_extra } ->
+        base +. Haf_sim.Rng.exponential rng ~mean:mean_extra
+  in
+  Float.max d floor_delay
+
+let mean = function
+  | Constant d -> d
+  | Uniform { base; jitter } -> base +. (jitter /. 2.)
+  | Exponential { base; mean_extra } -> base +. mean_extra
+
+let pp ppf = function
+  | Constant d -> Format.fprintf ppf "constant(%gs)" d
+  | Uniform { base; jitter } -> Format.fprintf ppf "uniform(%gs+%gs)" base jitter
+  | Exponential { base; mean_extra } ->
+      Format.fprintf ppf "exp(%gs+~%gs)" base mean_extra

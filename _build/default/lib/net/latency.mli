@@ -1,0 +1,26 @@
+(** Link latency models.
+
+    A model maps a random stream to a one-way delay sample.  The defaults
+    approximate a LAN; experiment E6 uses the WAN model together with
+    asymmetric link failures. *)
+
+type t =
+  | Constant of float  (** Always the same delay. *)
+  | Uniform of { base : float; jitter : float }
+      (** [base + U(0, jitter)]. *)
+  | Exponential of { base : float; mean_extra : float }
+      (** [base + Exp(mean_extra)]: heavy-ish tail for WAN paths. *)
+
+val lan : t
+(** 0.5 ms +- 0.5 ms: a switched LAN. *)
+
+val wan : t
+(** 40 ms base with exponential tail: a cross-site WAN path. *)
+
+val sample : t -> Haf_sim.Rng.t -> float
+(** Draw a delay in seconds; always strictly positive. *)
+
+val mean : t -> float
+(** Expected delay, used by analytical models. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,165 @@
+module Engine = Haf_sim.Engine
+module Rng = Haf_sim.Rng
+module Trace = Haf_sim.Trace
+
+type node_id = int
+
+type config = { latency : Latency.t; drop_probability : float; bandwidth : float option }
+
+let default_config = { latency = Latency.lan; drop_probability = 0.; bandwidth = None }
+
+let lossy_lan p = { default_config with drop_probability = p }
+
+type counters = {
+  mutable datagrams_sent : int;
+  mutable datagrams_received : int;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+}
+
+type node = {
+  mutable up : bool;
+  mutable receiver : src:node_id -> string -> unit;
+  stats : counters;
+}
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  rng : Rng.t;
+  trace : Trace.t;
+  mutable nodes : node array;
+  mutable n : int;
+  down_links : (node_id * node_id, unit) Hashtbl.t;
+}
+
+let fresh_counters () =
+  { datagrams_sent = 0; datagrams_received = 0; bytes_sent = 0; bytes_received = 0 }
+
+let create ?(trace = Trace.disabled) engine config =
+  {
+    engine;
+    config;
+    rng = Engine.fork_rng engine;
+    trace;
+    nodes = [||];
+    n = 0;
+    down_links = Hashtbl.create 64;
+  }
+
+let engine t = t.engine
+
+let fresh_node () =
+  { up = true; receiver = (fun ~src:_ _ -> ()); stats = fresh_counters () }
+
+let add_node t =
+  if t.n = Array.length t.nodes then begin
+    let cap = Int.max 8 (2 * Array.length t.nodes) in
+    let nodes = Array.init cap (fun i -> if i < t.n then t.nodes.(i) else fresh_node ()) in
+    t.nodes <- nodes
+  end;
+  let id = t.n in
+  t.nodes.(id) <- fresh_node ();
+  t.n <- id + 1;
+  id
+
+let node_count t = t.n
+
+let node t id =
+  if id < 0 || id >= t.n then invalid_arg "Network: unknown node id";
+  t.nodes.(id)
+
+let set_receiver t id f = (node t id).receiver <- f
+
+let alive t id = (node t id).up
+
+let link_up t a b = not (Hashtbl.mem t.down_links (a, b))
+
+let set_link t a b up =
+  if up then Hashtbl.remove t.down_links (a, b)
+  else Hashtbl.replace t.down_links (a, b) ()
+
+let set_link_sym t a b up =
+  set_link t a b up;
+  set_link t b a up
+
+let heal_links t = Hashtbl.reset t.down_links
+
+let partition t components =
+  let comp_of = Hashtbl.create 16 in
+  List.iteri
+    (fun ci members -> List.iter (fun m -> Hashtbl.replace comp_of m ci) members)
+    components;
+  let implicit = List.length components in
+  let comp id = Option.value (Hashtbl.find_opt comp_of id) ~default:implicit in
+  heal_links t;
+  for a = 0 to t.n - 1 do
+    for b = 0 to t.n - 1 do
+      if a <> b && comp a <> comp b then set_link t a b false
+    done
+  done
+
+let connected t a b = alive t a && alive t b && link_up t a b
+
+let crash t id =
+  let nd = node t id in
+  if nd.up then begin
+    nd.up <- false;
+    Trace.emitf t.trace ~time:(Engine.now t.engine) ~component:"net"
+      "node %d crashed" id
+  end
+
+let recover t id =
+  let nd = node t id in
+  if not nd.up then begin
+    nd.up <- true;
+    Trace.emitf t.trace ~time:(Engine.now t.engine) ~component:"net"
+      "node %d recovered" id
+  end
+
+let send t ~src ~dst payload =
+  let source = node t src in
+  ignore (node t dst);
+  if source.up then begin
+    source.stats.datagrams_sent <- source.stats.datagrams_sent + 1;
+    source.stats.bytes_sent <- source.stats.bytes_sent + String.length payload;
+    let deliverable =
+      (src = dst || link_up t src dst)
+      && not (Rng.chance t.rng t.config.drop_probability)
+    in
+    if deliverable then begin
+      let transmission =
+        match t.config.bandwidth with
+        | Some bw when bw > 0. -> float_of_int (String.length payload) /. bw
+        | Some _ | None -> 0.
+      in
+      let delay = transmission +. Latency.sample t.config.latency t.rng in
+      ignore
+        (Engine.schedule t.engine ~delay (fun () ->
+             let sink = node t dst in
+             if sink.up then begin
+               sink.stats.datagrams_received <- sink.stats.datagrams_received + 1;
+               sink.stats.bytes_received <-
+                 sink.stats.bytes_received + String.length payload;
+               sink.receiver ~src payload
+             end))
+    end
+  end
+
+let counters t id = (node t id).stats
+
+let reset_counters t =
+  for i = 0 to t.n - 1 do
+    let s = t.nodes.(i).stats in
+    s.datagrams_sent <- 0;
+    s.datagrams_received <- 0;
+    s.bytes_sent <- 0;
+    s.bytes_received <- 0
+  done
+
+let total_sent t =
+  let total = ref 0 in
+  for i = 0 to t.n - 1 do
+    total := !total + t.nodes.(i).stats.datagrams_sent
+  done;
+  !total

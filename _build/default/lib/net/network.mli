@@ -1,0 +1,90 @@
+(** Simulated datagram network.
+
+    Nodes exchange unreliable, unordered datagrams ([string] payloads)
+    subject to latency, probabilistic loss, process crashes and link
+    failures.  Links are {e directed}: taking down only one direction, or
+    an arbitrary non-transitive subset of links, models the WAN scenarios
+    of the paper's Section 4 ("servers which can't communicate with one
+    another, but can both communicate with the client").
+
+    Crash semantics follow the paper's model: a crashed process neither
+    sends nor receives.  {!recover} brings the node back as a blank slate
+    for the layers above (a "new server brought up"). *)
+
+type node_id = int
+
+type t
+
+type config = {
+  latency : Latency.t;  (** Applied to every link. *)
+  drop_probability : float;  (** Independent per-datagram loss. *)
+  bandwidth : float option;
+      (** Link bandwidth in bytes/second: adds a size-proportional
+          transmission delay on top of the propagation latency.  [None]
+          (the default) models links that are never the bottleneck. *)
+}
+
+val default_config : config
+(** LAN latency, no loss, unbounded bandwidth. *)
+
+val lossy_lan : float -> config
+(** LAN latency with the given drop probability. *)
+
+val create : ?trace:Haf_sim.Trace.t -> Haf_sim.Engine.t -> config -> t
+
+val engine : t -> Haf_sim.Engine.t
+
+val add_node : t -> node_id
+(** Nodes get consecutive ids starting from 0. *)
+
+val node_count : t -> int
+
+val set_receiver : t -> node_id -> (src:node_id -> string -> unit) -> unit
+(** Install the upper-layer datagram handler for a node. *)
+
+val send : t -> src:node_id -> dst:node_id -> string -> unit
+(** Fire-and-forget.  Silently dropped if the source is crashed, the
+    directed link [src -> dst] is down, the loss model says so, or the
+    destination is crashed at delivery time.  Self-sends are delivered
+    after the minimum latency. *)
+
+(** {2 Fault injection} *)
+
+val crash : t -> node_id -> unit
+
+val recover : t -> node_id -> unit
+
+val alive : t -> node_id -> bool
+
+val set_link : t -> node_id -> node_id -> bool -> unit
+(** Directed link control. *)
+
+val set_link_sym : t -> node_id -> node_id -> bool -> unit
+
+val link_up : t -> node_id -> node_id -> bool
+
+val partition : t -> node_id list list -> unit
+(** Install a symmetric partition: links inside each component are up,
+    links across components are down.  Nodes not listed form an implicit
+    extra component together. *)
+
+val heal_links : t -> unit
+(** All links back up (crashed nodes stay crashed). *)
+
+val connected : t -> node_id -> node_id -> bool
+(** Both endpoints alive and the directed link up. *)
+
+(** {2 Accounting (per-node, for the load experiments)} *)
+
+type counters = {
+  mutable datagrams_sent : int;
+  mutable datagrams_received : int;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+}
+
+val counters : t -> node_id -> counters
+
+val reset_counters : t -> unit
+
+val total_sent : t -> int

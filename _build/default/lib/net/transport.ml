@@ -1,0 +1,198 @@
+module Engine = Haf_sim.Engine
+module Trace = Haf_sim.Trace
+
+(* Each Data carries [lo], the sender's lowest unacknowledged sequence
+   number: a receiver with no state for the connection (fresh process, or
+   first contact arriving out of order) starts expecting [lo] rather than
+   guessing.  Connection ids increase globally, so data from a stale
+   incarnation can never clobber a newer channel. *)
+type wire =
+  | Data of { conn : int; seq : int; lo : int; payload : string }
+  | Ack of { conn : int; cum : int }
+  | Raw of string
+
+let encode (w : wire) = Marshal.to_string w []
+
+let decode (s : string) : wire = Marshal.from_string s 0
+
+type sender_channel = {
+  conn : int;
+  mutable next_seq : int;
+  unsent : (int, string) Hashtbl.t;  (* seq -> payload, awaiting ack *)
+  mutable lowest_unacked : int;
+  mutable timer : Engine.timer option;
+  mutable backoff : float;
+}
+
+type receiver_channel = {
+  rconn : int;
+  mutable next_expected : int;
+  pending : (int, string) Hashtbl.t;
+}
+
+type t = {
+  net : Network.t;
+  engine : Engine.t;
+  rto : float;
+  max_backoff : float;
+  trace : Trace.t;
+  mutable next_conn : int;
+  senders : (int * int, sender_channel) Hashtbl.t;  (* (src, dst) *)
+  receivers : (int * int, receiver_channel) Hashtbl.t;  (* (dst, src) *)
+  handlers : (int, src:int -> string -> unit) Hashtbl.t;
+  raw_handlers : (int, src:int -> string -> unit) Hashtbl.t;
+}
+
+let create ?(retransmit_interval = 0.05) ?(max_backoff = 2.0)
+    ?(trace = Trace.disabled) net =
+  {
+    net;
+    engine = Network.engine net;
+    rto = retransmit_interval;
+    max_backoff;
+    trace;
+    next_conn = 1;
+    senders = Hashtbl.create 64;
+    receivers = Hashtbl.create 64;
+    handlers = Hashtbl.create 16;
+    raw_handlers = Hashtbl.create 16;
+  }
+
+let fresh_conn t =
+  let c = t.next_conn in
+  t.next_conn <- c + 1;
+  c
+
+let sender_channel t ~src ~dst =
+  match Hashtbl.find_opt t.senders (src, dst) with
+  | Some ch -> ch
+  | None ->
+      let ch =
+        {
+          conn = fresh_conn t;
+          next_seq = 1;
+          unsent = Hashtbl.create 8;
+          lowest_unacked = 1;
+          timer = None;
+          backoff = t.rto;
+        }
+      in
+      Hashtbl.replace t.senders (src, dst) ch;
+      ch
+
+let transmit t ~src ~dst ch seq payload =
+  Network.send t.net ~src ~dst
+    (encode (Data { conn = ch.conn; seq; lo = ch.lowest_unacked; payload }))
+
+let retransmit_all t ~src ~dst ch =
+  let seqs = Hashtbl.fold (fun seq _ acc -> seq :: acc) ch.unsent [] in
+  List.iter
+    (fun seq -> transmit t ~src ~dst ch seq (Hashtbl.find ch.unsent seq))
+    (List.sort compare seqs)
+
+let rec arm_timer t ~src ~dst ch =
+  ch.timer <-
+    Some
+      (Engine.schedule t.engine ~delay:ch.backoff (fun () ->
+           ch.timer <- None;
+           if Hashtbl.length ch.unsent > 0 then begin
+             ch.backoff <- Float.min (ch.backoff *. 2.) t.max_backoff;
+             retransmit_all t ~src ~dst ch;
+             arm_timer t ~src ~dst ch
+           end
+           else ch.backoff <- t.rto))
+
+let send t ~src ~dst payload =
+  let ch = sender_channel t ~src ~dst in
+  let seq = ch.next_seq in
+  ch.next_seq <- seq + 1;
+  Hashtbl.replace ch.unsent seq payload;
+  transmit t ~src ~dst ch seq payload;
+  if ch.timer = None then arm_timer t ~src ~dst ch
+
+let handle_ack t ~src:dst ~me:src conn cum =
+  match Hashtbl.find_opt t.senders (src, dst) with
+  | Some ch when ch.conn = conn ->
+      let acked = ref [] in
+      Hashtbl.iter (fun seq _ -> if seq <= cum then acked := seq :: !acked) ch.unsent;
+      List.iter (Hashtbl.remove ch.unsent) !acked;
+      if cum + 1 > ch.lowest_unacked then ch.lowest_unacked <- cum + 1;
+      if Hashtbl.length ch.unsent = 0 then begin
+        (match ch.timer with Some tm -> Engine.cancel tm | None -> ());
+        ch.timer <- None;
+        ch.backoff <- t.rto
+      end
+  | Some _ | None -> ()
+
+let handle_data t ~me ~src conn seq lo payload =
+  let key = (me, src) in
+  let fresh () =
+    let rc = { rconn = conn; next_expected = lo; pending = Hashtbl.create 8 } in
+    Hashtbl.replace t.receivers key rc;
+    Some rc
+  in
+  let rc =
+    match Hashtbl.find_opt t.receivers key with
+    | Some rc when rc.rconn = conn -> Some rc
+    | Some rc when conn > rc.rconn -> fresh ()
+    | Some _ -> None  (* stale incarnation: ignore *)
+    | None -> fresh ()
+  in
+  match rc with
+  | None -> ()
+  | Some rc ->
+      if seq >= rc.next_expected then Hashtbl.replace rc.pending seq payload;
+      let handler = Hashtbl.find_opt t.handlers me in
+      let continue = ref true in
+      while !continue do
+        match Hashtbl.find_opt rc.pending rc.next_expected with
+        | Some p ->
+            Hashtbl.remove rc.pending rc.next_expected;
+            rc.next_expected <- rc.next_expected + 1;
+            (match handler with Some h -> h ~src p | None -> ())
+        | None -> continue := false
+      done;
+      Network.send t.net ~src:me ~dst:src
+        (encode (Ack { conn; cum = rc.next_expected - 1 }))
+
+let dispatch t me ~src raw =
+  match decode raw with
+  | Data { conn; seq; lo; payload } -> handle_data t ~me ~src conn seq lo payload
+  | Ack { conn; cum } -> handle_ack t ~src ~me conn cum
+  | Raw payload -> (
+      match Hashtbl.find_opt t.raw_handlers me with
+      | Some h -> h ~src payload
+      | None -> ())
+
+let attach t node ?on_raw handler =
+  Hashtbl.replace t.handlers node handler;
+  (match on_raw with
+  | Some h -> Hashtbl.replace t.raw_handlers node h
+  | None -> Hashtbl.remove t.raw_handlers node);
+  Network.set_receiver t.net node (fun ~src raw -> dispatch t node ~src raw)
+
+let send_unreliable t ~src ~dst payload =
+  Network.send t.net ~src ~dst (encode (Raw payload))
+
+let reset_node t node =
+  let sender_keys =
+    Hashtbl.fold
+      (fun ((a, b) as k) _ acc -> if a = node || b = node then k :: acc else acc)
+      t.senders []
+  in
+  List.iter
+    (fun k ->
+      (match (Hashtbl.find t.senders k).timer with
+      | Some tm -> Engine.cancel tm
+      | None -> ());
+      Hashtbl.remove t.senders k)
+    sender_keys;
+  let receiver_keys =
+    Hashtbl.fold
+      (fun ((a, b) as k) _ acc -> if a = node || b = node then k :: acc else acc)
+      t.receivers []
+  in
+  List.iter (Hashtbl.remove t.receivers) receiver_keys
+
+let unacked t =
+  Hashtbl.fold (fun _ ch acc -> acc + Hashtbl.length ch.unsent) t.senders 0

@@ -1,0 +1,54 @@
+(** Reliable FIFO point-to-point channels over the lossy {!Network}.
+
+    The GCS assumes reliable FIFO links while two processes stay
+    connected; this module provides them with per-channel sequence
+    numbers, cumulative acknowledgements and retransmission with
+    exponential backoff.  Channels carry a connection incarnation number
+    so that a peer that crashed and came back as a fresh process (or a
+    receiver that lost state) forces a clean channel reset rather than a
+    silent sequence mismatch.
+
+    Datagrams lost while a partition lasts are retransmitted and delivered
+    once the partition heals, matching the "reliable delivery while
+    connected" GCS transport assumption. *)
+
+type t
+
+val create :
+  ?retransmit_interval:float ->
+  ?max_backoff:float ->
+  ?trace:Haf_sim.Trace.t ->
+  Network.t ->
+  t
+(** [retransmit_interval] is the initial retransmission timeout (default
+    50 ms); it doubles per silent round up to [max_backoff] (default
+    2 s). *)
+
+val attach :
+  t ->
+  Network.node_id ->
+  ?on_raw:(src:Network.node_id -> string -> unit) ->
+  (src:Network.node_id -> string -> unit) ->
+  unit
+(** Take over the node's network receiver and deliver reliable in-order
+    payloads to the given handler.  Must be called once per node before
+    sending or receiving.  [on_raw] receives datagrams sent with
+    {!send_unreliable} (heartbeats etc.) that bypass the reliable
+    machinery. *)
+
+val send_unreliable : t -> src:Network.node_id -> dst:Network.node_id -> string -> unit
+(** One-shot datagram sharing the node's network receiver: no
+    retransmission, no ordering.  Used for failure-detector heartbeats so
+    that dead peers do not accumulate retransmission queues. *)
+
+val send : t -> src:Network.node_id -> dst:Network.node_id -> string -> unit
+(** Queue a payload on the [src -> dst] channel.  Delivered exactly once
+    and in order to [dst]'s handler, provided the two nodes are eventually
+    connected long enough and neither side is reset in between. *)
+
+val reset_node : t -> Network.node_id -> unit
+(** Drop all channel state from and to this node.  Call when the process
+    on the node crashes or restarts. *)
+
+val unacked : t -> int
+(** Total payloads queued awaiting acknowledgement (diagnostics). *)

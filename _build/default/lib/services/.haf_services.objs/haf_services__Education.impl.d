@@ -1,0 +1,1 @@
+lib/services/education.ml: Haf_sim Int List String

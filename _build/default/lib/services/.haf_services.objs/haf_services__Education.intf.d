@@ -1,0 +1,1 @@
+lib/services/education.mli: Haf_core

@@ -1,0 +1,1 @@
+lib/services/search.ml: Haf_sim Int List Option String

@@ -1,0 +1,1 @@
+lib/services/search.mli: Haf_core

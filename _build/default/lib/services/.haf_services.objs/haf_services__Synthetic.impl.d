@@ -1,0 +1,1 @@
+lib/services/synthetic.ml: Haf_sim Int

@@ -1,0 +1,1 @@
+lib/services/synthetic.mli: Haf_core

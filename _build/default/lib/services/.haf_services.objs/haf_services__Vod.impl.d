@@ -1,0 +1,1 @@
+lib/services/vod.ml: Haf_sim Int List String

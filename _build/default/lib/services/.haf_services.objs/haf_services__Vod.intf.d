@@ -1,0 +1,1 @@
+lib/services/vod.mli: Haf_core

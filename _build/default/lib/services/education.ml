@@ -1,0 +1,74 @@
+type context = {
+  topic_size : int;
+  current : int;
+  part : int;
+  detailed : bool;
+  completed : int list;
+}
+
+type request = Follow_link of int | Quiz_answer of { grade : int }
+
+type response = Fragment of { obj : int; part : int; detailed : bool }
+
+let name = "education"
+
+let parts_terse = 6
+
+let parts_detailed = 14
+
+let pass_grade = 50
+
+let tick_period = 0.25
+
+(* "topic:<n>:<objects>" names a topic with an explicit object count. *)
+let size_of_unit unit_id =
+  match String.split_on_char ':' unit_id with
+  | [ _; _; n ] -> ( match int_of_string_opt n with Some s when s > 0 -> s | _ -> 40)
+  | _ -> 40
+
+let initial_context ~unit_id =
+  {
+    topic_size = size_of_unit unit_id;
+    current = 0;
+    part = 0;
+    detailed = false;
+    completed = [];
+  }
+
+let parts_of ctx = if ctx.detailed then parts_detailed else parts_terse
+
+let apply_request ctx = function
+  | Follow_link obj ->
+      let obj = Int.max 0 (Int.min obj (ctx.topic_size - 1)) in
+      { ctx with current = obj; part = 0 }
+  | Quiz_answer { grade } -> { ctx with detailed = grade < pass_grade }
+
+let rec next_object ctx from =
+  if from >= ctx.topic_size then None
+  else if List.mem from ctx.completed then next_object ctx (from + 1)
+  else Some from
+
+let tick ctx =
+  match next_object ctx ctx.current with
+  | None -> ([], ctx)
+  | Some obj ->
+      let ctx = if obj = ctx.current then ctx else { ctx with current = obj; part = 0 } in
+      let fragment = Fragment { obj; part = ctx.part; detailed = ctx.detailed } in
+      let part = ctx.part + 1 in
+      if part >= parts_of ctx then
+        ( [ fragment ],
+          { ctx with completed = obj :: ctx.completed; current = obj + 1; part = 0 } )
+      else ([ fragment ], { ctx with part })
+
+let session_finished ctx = List.length ctx.completed >= ctx.topic_size
+
+(* Fragment ids must be stable and unique per (object, part, detail). *)
+let response_id (Fragment { obj; part; detailed }) =
+  (obj * 1000) + (if detailed then 500 else 0) + part
+
+let response_critical (Fragment { part; _ }) = part = 0
+
+let gen_request rng ~seq =
+  ignore seq;
+  if Haf_sim.Rng.chance rng 0.5 then Follow_link (Haf_sim.Rng.int rng 40)
+  else Quiz_answer { grade = Haf_sim.Rng.int rng 101 }

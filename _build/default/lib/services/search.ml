@@ -1,0 +1,82 @@
+type query =
+  | Filter of { base : int option; modulus : int; residue : int }
+  | Intersect of int * int
+
+type context = { universe : int; history : int list list; cursor : int }
+
+type request = query
+
+type response = Hit of { query : int; doc : int }
+
+let name = "search"
+
+let hits_per_tick = 4
+
+let tick_period = 0.25
+
+(* "corpus:<n>:<docs>" names a collection of an explicit size. *)
+let universe_of_unit unit_id =
+  match String.split_on_char ':' unit_id with
+  | [ _; _; n ] -> ( match int_of_string_opt n with Some s when s > 0 -> s | _ -> 5000)
+  | _ -> 5000
+
+let initial_context ~unit_id =
+  { universe = universe_of_unit unit_id; history = []; cursor = 0 }
+
+let nth_set ctx i =
+  (* 1-based history index, as a user would say "query 3". *)
+  List.nth_opt ctx.history (i - 1)
+
+let all_docs ctx = List.init ctx.universe (fun d -> d)
+
+let run_query ctx = function
+  | Filter { base; modulus; residue } ->
+      let source =
+        match base with
+        | Some i -> Option.value (nth_set ctx i) ~default:[]
+        | None -> all_docs ctx
+      in
+      let modulus = Int.max 1 modulus in
+      List.filter (fun d -> d mod modulus = residue mod modulus) source
+  | Intersect (i, j) -> (
+      match (nth_set ctx i, nth_set ctx j) with
+      | Some a, Some b -> List.filter (fun d -> List.mem d b) a
+      | _ -> [])
+
+let apply_request ctx q =
+  let results = run_query ctx q in
+  { ctx with history = ctx.history @ [ results ]; cursor = 0 }
+
+let tick ctx =
+  match List.rev ctx.history with
+  | [] -> ([], ctx)
+  | current :: _ ->
+      let n = List.length current in
+      if ctx.cursor >= n then ([], ctx)
+      else begin
+        let query = List.length ctx.history in
+        let upto = Int.min n (ctx.cursor + hits_per_tick) in
+        let hits =
+          List.filteri (fun i _ -> i >= ctx.cursor && i < upto) current
+          |> List.map (fun doc -> Hit { query; doc })
+        in
+        (hits, { ctx with cursor = upto })
+      end
+
+let session_finished _ctx = false
+
+(* Unique per (query number, document). *)
+let response_id (Hit { query; doc }) = (query * 1_000_000) + doc
+
+(* The first hit of a fresh result set is the must-not-lose response: it
+   tells the client its query took effect. *)
+let response_critical (Hit { doc; _ }) = doc < 10
+
+let gen_request rng ~seq =
+  let modulus = 2 + Haf_sim.Rng.int rng 9 in
+  let residue = Haf_sim.Rng.int rng modulus in
+  if seq > 2 && Haf_sim.Rng.chance rng 0.3 then
+    Intersect (1 + Haf_sim.Rng.int rng (seq - 1), 1 + Haf_sim.Rng.int rng (seq - 1))
+  else if seq > 1 && Haf_sim.Rng.chance rng 0.6 then
+    Filter { base = Some (1 + Haf_sim.Rng.int rng (seq - 1)); modulus; residue }
+  else Filter { base = None; modulus; residue }

@@ -1,0 +1,35 @@
+(** Refining search: the paper's third example.
+
+    A content unit is a document collection.  The client issues
+    successively narrower queries; each query either filters the whole
+    collection or the result set of a previous query ("select from the
+    results of query 3 where ..."), or intersects two earlier result
+    sets.  The session context is the list of previous result sets; the
+    current result set is streamed back as hits. *)
+
+type query =
+  | Filter of { base : int option; modulus : int; residue : int }
+      (** Documents [d] with [d mod modulus = residue], drawn from result
+          set [base] (a 1-based history index) or the whole collection. *)
+  | Intersect of int * int  (** Intersection of two earlier result sets. *)
+
+type context = {
+  universe : int;  (** Collection size. *)
+  history : int list list;  (** Result sets, oldest first. *)
+  cursor : int;  (** Streaming position within the newest result set. *)
+}
+
+type request = query
+
+type response = Hit of { query : int; doc : int }
+
+val hits_per_tick : int
+
+val run_query : context -> query -> int list
+(** Evaluate a query against the context (pure). *)
+
+include
+  Haf_core.Service_intf.SERVICE
+    with type context := context
+     and type request := request
+     and type response := response

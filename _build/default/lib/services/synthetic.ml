@@ -1,0 +1,27 @@
+type context = { pos : int; marker : int }
+
+type request = Reposition of { seq : int; to_ : int }
+
+type response = Item of { index : int }
+
+let name = "synthetic"
+
+let critical_every = 10
+
+let tick_period = 0.2
+
+let initial_context ~unit_id:_ = { pos = 0; marker = 0 }
+
+let apply_request ctx (Reposition { seq; to_ }) =
+  { pos = Int.max 0 to_; marker = Int.max ctx.marker seq }
+
+let tick ctx = ([ Item { index = ctx.pos } ], { ctx with pos = ctx.pos + 1 })
+
+let session_finished _ = false
+
+let response_id (Item { index }) = index
+
+let response_critical (Item { index }) = index mod critical_every = 0
+
+let gen_request rng ~seq =
+  Reposition { seq; to_ = Haf_sim.Rng.int rng 1_000_000 }

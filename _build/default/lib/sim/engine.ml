@@ -1,0 +1,88 @@
+type timer = {
+  mutable cancelled : bool;
+  mutable action : unit -> unit;
+}
+
+type entry = { fire_at : float; seq : int; timer : timer }
+
+type t = {
+  mutable clock : float;
+  queue : entry Heap.t;
+  root_rng : Rng.t;
+  mutable next_seq : int;
+  mutable fired : int;
+}
+
+let entry_leq a b =
+  a.fire_at < b.fire_at || (a.fire_at = b.fire_at && a.seq <= b.seq)
+
+let create ?(seed = 1) () =
+  {
+    clock = 0.;
+    queue = Heap.create ~leq:entry_leq;
+    root_rng = Rng.create seed;
+    next_seq = 0;
+    fired = 0;
+  }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let fork_rng t = Rng.split t.root_rng
+
+let push_entry t ~at timer =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.push t.queue { fire_at = at; seq; timer }
+
+let schedule_at t ~time f =
+  let timer = { cancelled = false; action = f } in
+  push_entry t ~at:(Float.max time t.clock) timer;
+  timer
+
+let schedule t ~delay f = schedule_at t ~time:(t.clock +. Float.max delay 0.) f
+
+let every t ?first ~period f =
+  if period <= 0. then invalid_arg "Engine.every: period must be positive";
+  let first = Option.value first ~default:period in
+  let timer = { cancelled = false; action = ignore } in
+  let rec arm at =
+    timer.action <-
+      (fun () ->
+        f ();
+        if not timer.cancelled then arm (at +. period));
+    push_entry t ~at timer
+  in
+  arm (t.clock +. Float.max first 0.);
+  timer
+
+let cancel timer = timer.cancelled <- true
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some { fire_at; timer; _ } ->
+      t.clock <- Float.max t.clock fire_at;
+      if not timer.cancelled then begin
+        t.fired <- t.fired + 1;
+        timer.action ()
+      end;
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+      let continue = ref true in
+      while !continue do
+        match Heap.peek t.queue with
+        | Some e when e.fire_at <= limit -> ignore (step t)
+        | Some _ | None ->
+            t.clock <- Float.max t.clock limit;
+            continue := false
+      done
+
+let pending t = Heap.length t.queue
+
+let events_processed t = t.fired

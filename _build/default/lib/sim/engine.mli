@@ -1,0 +1,57 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine owns a virtual clock and an event queue.  Components
+    schedule closures to fire at future virtual times; [run] drains the
+    queue in (time, insertion-order) order, so simultaneous events fire
+    FIFO and every run with the same seed is bit-for-bit reproducible.
+
+    The engine deliberately has no notion of processes or messages; those
+    live in {!Haf_net} and above. *)
+
+type t
+
+type timer
+(** Handle for a scheduled (possibly periodic) event; cancellation is
+    lazy: a cancelled timer stays in the queue but its action is
+    skipped. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] makes an engine whose clock starts at [0.0].
+    [seed] (default 1) seeds the root {!Rng.t}. *)
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val rng : t -> Rng.t
+(** The engine's root random stream.  Components should normally call
+    {!fork_rng} once at creation instead of sharing this. *)
+
+val fork_rng : t -> Rng.t
+(** An independent random stream split off the root. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> timer
+(** [schedule t ~delay f] fires [f] once at [now t +. max delay 0.]. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> timer
+(** Absolute-time variant; times in the past fire immediately (at [now]). *)
+
+val every : t -> ?first:float -> period:float -> (unit -> unit) -> timer
+(** [every t ~first ~period f] fires [f] at [now + first] (default
+    [period]) and then every [period] seconds until cancelled.  Requires
+    [period > 0.]. *)
+
+val cancel : timer -> unit
+(** Idempotent.  A cancelled timer never fires again. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue.  With [until], stop once the next event would
+    fire strictly after [until] and set the clock to [until]. *)
+
+val step : t -> bool
+(** Execute the single next event.  [false] if the queue was empty. *)
+
+val pending : t -> int
+(** Number of queue entries (including lazily-cancelled ones). *)
+
+val events_processed : t -> int
+(** Events fired since creation (cancelled entries excluded). *)

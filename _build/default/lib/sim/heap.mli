@@ -1,0 +1,30 @@
+(** Imperative binary min-heap, the core of the event queue.
+
+    Elements are ordered by a [leq] relation supplied at creation.  The
+    engine uses a (time, sequence) priority so that simultaneous events
+    fire in FIFO order, which keeps runs deterministic. *)
+
+type 'a t
+
+val create : leq:('a -> 'a -> bool) -> 'a t
+(** [create ~leq] is an empty heap ordered by [leq] (non-strict). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Snapshot of the contents in no particular order. *)

@@ -1,0 +1,37 @@
+type line = { time : float; component : string; message : string }
+
+type t = {
+  mutable on : bool;
+  echo : bool;
+  capacity : int;
+  buffer : line Queue.t;
+}
+
+let create ?(echo = false) ?(capacity = 100_000) () =
+  { on = true; echo; capacity; buffer = Queue.create () }
+
+let disabled =
+  { on = false; echo = false; capacity = 0; buffer = Queue.create () }
+
+let enabled t = t.on
+
+let set_enabled t on = t.on <- on
+
+let emit t ~time ~component message =
+  if t.on then begin
+    if t.echo then Printf.eprintf "[%10.4f] %-12s %s\n%!" time component message;
+    Queue.push { time; component; message } t.buffer;
+    while Queue.length t.buffer > t.capacity do
+      ignore (Queue.pop t.buffer)
+    done
+  end
+
+let emitf t ~time ~component fmt =
+  Format.kasprintf (fun s -> emit t ~time ~component s) fmt
+
+let lines t = List.of_seq (Queue.to_seq t.buffer)
+
+let matching t ~component =
+  List.filter (fun l -> String.equal l.component component) (lines t)
+
+let clear t = Queue.clear t.buffer

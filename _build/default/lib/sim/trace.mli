@@ -1,0 +1,34 @@
+(** Lightweight structured trace for debugging and test assertions.
+
+    Components emit timestamped lines tagged with a component name; tests
+    can filter the recorded lines, and interactive runs can echo them to
+    stderr.  Tracing is off by default and costs one branch per call when
+    disabled. *)
+
+type t
+
+type line = { time : float; component : string; message : string }
+
+val create : ?echo:bool -> ?capacity:int -> unit -> t
+(** [capacity] bounds the number of retained lines (default 100_000);
+    older lines are dropped first.  [echo] prints lines to stderr as they
+    are emitted. *)
+
+val disabled : t
+(** A shared sink that records nothing. *)
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+
+val emit : t -> time:float -> component:string -> string -> unit
+
+val emitf :
+  t -> time:float -> component:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val lines : t -> line list
+(** Recorded lines, oldest first. *)
+
+val matching : t -> component:string -> line list
+
+val clear : t -> unit

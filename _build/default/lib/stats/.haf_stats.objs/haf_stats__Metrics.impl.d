@@ -1,0 +1,1 @@
+lib/stats/metrics.ml: Array Float Haf_core Hashtbl Int List Option

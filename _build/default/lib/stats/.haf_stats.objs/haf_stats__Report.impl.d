@@ -1,0 +1,1 @@
+lib/stats/report.ml: Haf_core List Metrics Printf String Summary Table

@@ -1,0 +1,1 @@
+lib/stats/table.ml: Buffer Float Int List Printf String

@@ -1,0 +1,72 @@
+(** Derive the paper's availability metrics from an event timeline.
+
+    All functions are pure over the [(time, event)] list produced by an
+    {!Haf_core.Events.sink}, so experiments can re-analyze a run from its
+    recorded timeline. *)
+
+type timeline = (float * Haf_core.Events.t) list
+
+val session_ids : timeline -> string list
+(** Sessions that were requested, sorted. *)
+
+(** {2 Response stream quality (client-side)} *)
+
+val responses_received : timeline -> sid:string -> (float * int * bool) list
+(** (time, response id, critical), oldest first. *)
+
+val duplicates : ?critical:bool -> timeline -> sid:string -> int
+(** Responses received more than once (excess copies).  [critical]
+    restricts to (non-)critical responses. *)
+
+val missing : ?critical:bool -> timeline -> sid:string -> int
+(** Ids never received between the lowest and highest received id — for
+    services with contiguous response ids. *)
+
+val stall_time : timeline -> sid:string -> threshold:float -> until:float -> float
+(** Total time, between the grant and [until], covered by
+    response-arrival gaps longer than [threshold].  Only the excess above
+    the threshold counts, so a healthy stream scores ~0. *)
+
+val availability : timeline -> sid:string -> threshold:float -> until:float -> float
+(** [1 - stall_time/span]; 0 if the session was never granted. *)
+
+(** {2 Context updates} *)
+
+val requests_lost : timeline -> sid:string -> int * int
+(** [(lost, sent)].  A request is {e lost} when no server that applied it
+    ever sent this session a response afterwards — i.e. its effect was
+    never visible to the client (the paper's "responses completely
+    unrelated to the client's current wishes" hazard). *)
+
+(** {2 Primary uniqueness and takeovers} *)
+
+val primary_intervals : timeline -> sid:string -> horizon:float -> (int * float * float) list
+(** Per-server closed intervals during which the server (believed it)
+    was primary; truncated by crash or [horizon]. *)
+
+val dual_primary_time : timeline -> sid:string -> horizon:float -> float
+(** Total time with two or more simultaneous self-believed primaries. *)
+
+val no_primary_time : timeline -> sid:string -> horizon:float -> float
+(** Total time after the first grant with no live self-believed primary. *)
+
+val response_arrivals : timeline -> sid:string -> (float * int) list
+(** (time, sending server) for each response the client received. *)
+
+val multi_source_time : timeline -> sid:string -> window:float -> float
+(** Total time during which the client was receiving responses from two
+    or more distinct servers within [window] of each other — the
+    client-visible signature of a dual primary (paper: non-transitive
+    WAN connectivity). *)
+
+val takeover_latencies : timeline -> float list
+(** For each crash-kind takeover, the delay since the most recent server
+    crash. *)
+
+val count_takeovers : ?kind:Haf_core.Events.takeover_kind -> timeline -> int
+
+val count_propagations : ?server:int -> timeline -> int
+
+val count_requests_applied : ?server:int -> ?role:Haf_core.Events.role -> timeline -> int
+
+val responses_sent : ?server:int -> timeline -> int

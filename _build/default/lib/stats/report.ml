@@ -1,0 +1,129 @@
+module Events = Haf_core.Events
+
+let stall_threshold = 1.5
+
+let per_session_table ~horizon tl =
+  let table =
+    Table.create ~title:"sessions"
+      ~columns:
+        [
+          ("session", Table.Left);
+          ("responses", Table.Right);
+          ("dups", Table.Right);
+          ("missing", Table.Right);
+          ("updates lost", Table.Right);
+          ("availability", Table.Right);
+          ("crash takeovers", Table.Right);
+          ("rebalances", Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun sid ->
+      let lost, sent = Metrics.requests_lost tl ~sid in
+      (* The missing-responses metric assumes a linear id stream; once the
+         client steered the stream (seeks, repositions) id-space gaps are
+         intentional. *)
+      let missing_cell =
+        if sent > 0 then "n/a (client steered)"
+        else Table.fint (Metrics.missing tl ~sid)
+      in
+      let count kind =
+        List.length
+          (List.filter
+             (fun (_, e) ->
+               match e with
+               | Events.Takeover { session_id; kind = k; _ } ->
+                   session_id = sid && k = kind
+               | _ -> false)
+             tl)
+      in
+      Table.add_row table
+        [
+          sid;
+          Table.fint (List.length (Metrics.responses_received tl ~sid));
+          Table.fint (Metrics.duplicates tl ~sid);
+          missing_cell;
+          Printf.sprintf "%d/%d" lost sent;
+          Table.fpct (Metrics.availability tl ~sid ~threshold:stall_threshold ~until:horizon);
+          Table.fint (count Events.Crash);
+          Table.fint (count Events.Rebalance);
+        ])
+    (Metrics.session_ids tl);
+  table
+
+let fault_table tl =
+  let table =
+    Table.create ~title:"faults and takeovers"
+      ~columns:[ ("time", Table.Right); ("event", Table.Left) ]
+      ()
+  in
+  List.iter
+    (fun (at, e) ->
+      match e with
+      | Events.Server_crashed { server } ->
+          Table.add_row table
+            [ Printf.sprintf "%.2fs" at; Printf.sprintf "server %d crashed" server ]
+      | Events.Server_restarted { server } ->
+          Table.add_row table
+            [ Printf.sprintf "%.2fs" at; Printf.sprintf "server %d restarted" server ]
+      | Events.Takeover { server; session_id; kind; had_live_context; _ } ->
+          Table.add_row table
+            [
+              Printf.sprintf "%.2fs" at;
+              Printf.sprintf "server %d took over %s (%s%s)" server session_id
+                (Events.kind_to_string kind)
+                (if had_live_context then ", live context" else ", from snapshot");
+            ]
+      | _ -> ())
+    tl;
+  table
+
+let summary_table ~horizon tl =
+  let table =
+    Table.create ~title:"summary"
+      ~columns:[ ("metric", Table.Left); ("value", Table.Right) ]
+      ()
+  in
+  let sids = Metrics.session_ids tl in
+  let availability =
+    Summary.mean
+      (List.map
+         (fun sid ->
+           Metrics.availability tl ~sid ~threshold:stall_threshold ~until:horizon)
+         sids)
+  in
+  let crashes =
+    List.length
+      (List.filter
+         (fun (_, e) -> match e with Events.Server_crashed _ -> true | _ -> false)
+         tl)
+  in
+  let lost, sent =
+    List.fold_left
+      (fun (l, s) sid ->
+        let l', s' = Metrics.requests_lost tl ~sid in
+        (l + l', s + s'))
+      (0, 0) sids
+  in
+  Table.add_rows table
+    [
+      [ "sessions"; Table.fint (List.length sids) ];
+      [ "responses delivered"; Table.fint (List.length (List.concat_map (fun sid -> Metrics.responses_received tl ~sid) sids)) ];
+      [ "context updates (lost/sent)"; Printf.sprintf "%d/%d" lost sent ];
+      [ "propagations"; Table.fint (Metrics.count_propagations tl) ];
+      [ "server crashes"; Table.fint crashes ];
+      [ "crash takeovers"; Table.fint (Metrics.count_takeovers ~kind:Events.Crash tl) ];
+      [ "rebalance migrations"; Table.fint (Metrics.count_takeovers ~kind:Events.Rebalance tl) ];
+      [ "mean availability"; Table.fpct availability ];
+    ];
+  table
+
+let render ?(title = "run report") ~horizon tl =
+  String.concat "\n\n"
+    [
+      "# " ^ title;
+      Table.render (summary_table ~horizon tl);
+      Table.render (per_session_table ~horizon tl);
+      Table.render (fault_table tl);
+    ]

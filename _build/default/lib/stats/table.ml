@@ -1,0 +1,88 @@
+type align = Left | Right
+
+type t = {
+  title : string option;
+  columns : (string * align) list;
+  mutable rows : string list list;  (* newest first *)
+}
+
+let create ?title ~columns () = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let add_rows t rows = List.iter (add_row t) rows
+
+let pad align width s =
+  let missing = width - String.length s in
+  if missing <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make missing ' '
+    | Right -> String.make missing ' ' ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let headers = List.map fst t.columns in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> Int.max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let aligns = List.map snd t.columns in
+  let line cells =
+    let padded = List.map2 (fun (w, a) c -> pad a w c) (List.combine widths aligns) cells in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let rows = List.map fst t.columns :: List.rev t.rows in
+  String.concat "\n" (List.map (fun r -> String.concat "," (List.map csv_escape r)) rows)
+
+let print t =
+  print_string (render t);
+  print_newline ();
+  print_newline ()
+
+let fint = string_of_int
+
+let ffloat ?(prec = 3) x = Printf.sprintf "%.*f" prec x
+
+let fpct x = Printf.sprintf "%.2f%%" (100. *. x)
+
+let fprob x =
+  if x = 0. then "0"
+  else if Float.abs x < 0.001 then Printf.sprintf "%.2e" x
+  else Printf.sprintf "%.4f" x

@@ -1,0 +1,33 @@
+(** Column-aligned plain-text tables — every experiment prints its
+    rows/series through this, so the benchmark output is uniform. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> columns:(string * align) list -> unit -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument on arity mismatch. *)
+
+val add_rows : t -> string list list -> unit
+
+val render : t -> string
+(** Boxed, aligned, ready to print. *)
+
+val to_csv : t -> string
+
+val print : t -> unit
+(** [render] to stdout, followed by a blank line. *)
+
+(** {2 Cell formatting helpers} *)
+
+val fint : int -> string
+
+val ffloat : ?prec:int -> float -> string
+
+val fpct : float -> string
+(** A ratio in [0,1] rendered as a percentage. *)
+
+val fprob : float -> string
+(** Small probabilities: scientific when below 0.001. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Float Haf_analysis Haf_core Int List Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Haf_core List Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Haf_core Haf_experiments Haf_services Haf_sim Haf_stats Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+test/test_framework.ml: Alcotest Haf_core Haf_gcs Haf_services Haf_sim Hashtbl Int List Option Printf

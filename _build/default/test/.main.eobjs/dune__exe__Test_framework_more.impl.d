@@ -1,0 +1,1 @@
+test/test_framework_more.ml: Alcotest Haf_core Haf_gcs Haf_services Haf_sim Haf_stats Int List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_gcs.ml: Alcotest Array Haf_gcs Haf_net Haf_sim List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_gcs_units.ml: Alcotest Float Format Haf_gcs Haf_net Haf_sim Hashtbl List Printf QCheck QCheck_alcotest Result

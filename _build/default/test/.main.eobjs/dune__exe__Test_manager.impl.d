@@ -1,0 +1,1 @@
+test/test_manager.ml: Alcotest Haf_core Haf_sim List

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Haf_net Haf_sim List QCheck QCheck_alcotest String

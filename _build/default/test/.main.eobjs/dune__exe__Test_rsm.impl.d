@@ -1,0 +1,1 @@
+test/test_rsm.ml: Alcotest Haf_core Haf_gcs Haf_sim List Printf QCheck QCheck_alcotest

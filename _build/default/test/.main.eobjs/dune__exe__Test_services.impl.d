@@ -1,0 +1,1 @@
+test/test_services.ml: Alcotest Haf_services List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Haf_sim Int List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Haf_core Haf_experiments Haf_gcs Haf_services Haf_sim Haf_stats List Printf

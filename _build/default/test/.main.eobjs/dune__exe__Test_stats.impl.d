@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Haf_core Haf_stats Int List Printf QCheck QCheck_alcotest String

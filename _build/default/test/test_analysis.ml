@@ -1,0 +1,131 @@
+(* Tests for the Section-4 risk models and the policy planner. *)
+
+module Model = Haf_analysis.Model
+module Adaptive = Haf_core.Adaptive
+module Policy = Haf_core.Policy
+
+let check = Alcotest.check
+
+let test_loss_monotone_in_group_size () =
+  let loss g = Model.update_loss_probability ~lambda:0.02 ~period:1. ~group_size:g in
+  check Alcotest.bool "g=2 < g=1" true (loss 2. < loss 1.);
+  check Alcotest.bool "g=3 < g=2" true (loss 3. < loss 2.)
+
+let test_loss_monotone_in_period () =
+  let loss p = Model.update_loss_probability ~lambda:0.02 ~period:p ~group_size:2. in
+  check Alcotest.bool "longer period riskier" true (loss 4. > loss 0.5)
+
+let test_loss_approx_matches_exact () =
+  (* For small lambda*P the closed form and the (lambda P)^g/(g+1)
+     approximation agree to a few percent. *)
+  List.iter
+    (fun g ->
+      let exact = Model.update_loss_probability ~lambda:0.01 ~period:0.5 ~group_size:g in
+      let approx =
+        Model.update_loss_probability_approx ~lambda:0.01 ~period:0.5 ~group_size:g
+      in
+      if exact > 0. && Float.abs (approx -. exact) /. exact > 0.05 then
+        Alcotest.failf "approx off at g=%g: %g vs %g" g approx exact)
+    [ 1.; 2.; 3. ]
+
+let test_loss_degenerate () =
+  check (Alcotest.float 1e-12) "zero period" 0.
+    (Model.update_loss_probability ~lambda:0.1 ~period:0. ~group_size:1.)
+
+let test_unavailability_monotone () =
+  let u k = Model.no_replica_unavailability ~lambda:0.02 ~repair:10. ~replicas:k in
+  check Alcotest.bool "more replicas, less downtime" true (u 3 < u 2 && u 2 < u 1);
+  check Alcotest.bool "bounded" true (u 1 < 1. && u 1 > 0.)
+
+let test_duplicates_model () =
+  check (Alcotest.float 1e-9) "half-second of frames at 25fps" 6.25
+    (Model.expected_duplicates_per_takeover ~response_rate:25. ~period:0.5);
+  check (Alcotest.float 1e-9) "skip mirror" 6.25
+    (Model.expected_missing_per_takeover ~response_rate:25. ~period:0.5)
+
+let test_takeover_latency_model () =
+  let crash = Model.takeover_latency ~suspect_timeout:0.35 ~rtt:0.002 ~with_exchange:false in
+  let join = Model.takeover_latency ~suspect_timeout:0. ~rtt:0.002 ~with_exchange:true in
+  check Alcotest.bool "crash dominated by suspicion" true (crash > 0.35);
+  check Alcotest.bool "join cheap" true (join < 0.01)
+
+let test_load_models () =
+  check (Alcotest.float 1e-9) "propagation fanout" 40.
+    (Model.propagation_msgs_per_sec ~sessions_primary:10 ~period:1. ~group_size:5);
+  check (Alcotest.float 1e-9) "backup load" 15.
+    (Model.backup_request_load ~sessions_backup:30 ~request_rate:0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive planner *)
+
+let periods = [ 0.25; 0.5; 1.; 2.; 4. ]
+
+let test_adaptive_meets_target () =
+  List.iter
+    (fun target ->
+      match Adaptive.recommend ~lambda:0.01 ~target_loss:target ~periods ~max_backups:3 with
+      | Some r ->
+          check Alcotest.bool
+            (Printf.sprintf "achieves %g" target)
+            true
+            (r.Adaptive.achieved_loss <= target)
+      | None -> Alcotest.failf "no recommendation for %g" target)
+    [ 1e-1; 1e-3; 1e-6 ]
+
+let test_adaptive_prefers_fewer_backups () =
+  (* A loose target must be met with zero backups. *)
+  match Adaptive.recommend ~lambda:0.001 ~target_loss:0.01 ~periods ~max_backups:3 with
+  | Some r -> check Alcotest.int "no backups needed" 0 r.Adaptive.backups
+  | None -> Alcotest.fail "expected a recommendation"
+
+let test_adaptive_impossible () =
+  check Alcotest.bool "unreachable target" true
+    (Adaptive.recommend ~lambda:0.5 ~target_loss:1e-30 ~periods ~max_backups:1 = None)
+
+let test_adaptive_to_policy () =
+  match Adaptive.recommend ~lambda:0.01 ~target_loss:1e-4 ~periods ~max_backups:3 with
+  | Some r ->
+      let p = Adaptive.to_policy r in
+      check Alcotest.int "backups" r.Adaptive.backups p.Policy.n_backups;
+      check (Alcotest.float 1e-9) "period" r.Adaptive.period p.Policy.propagation_period;
+      check Alcotest.bool "valid policy" true (Result.is_ok (Policy.validate p))
+  | None -> Alcotest.fail "expected a recommendation"
+
+let prop_adaptive_tighter_targets_cost_more =
+  QCheck.Test.make ~name:"adaptive: tighter target never needs fewer backups" ~count:50
+    QCheck.(pair (int_range 1 6) (int_range 1 6))
+    (fun (a, b) ->
+      let loose = 10. ** float_of_int (-Int.min a b) in
+      let tight = 10. ** float_of_int (-Int.max a b) in
+      match
+        ( Adaptive.recommend ~lambda:0.02 ~target_loss:loose ~periods ~max_backups:5,
+          Adaptive.recommend ~lambda:0.02 ~target_loss:tight ~periods ~max_backups:5 )
+      with
+      | Some rl, Some rt -> rt.Adaptive.backups >= rl.Adaptive.backups
+      | _, None -> true  (* tight target unreachable: fine *)
+      | None, Some _ -> false)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "analysis.model",
+      [
+        Alcotest.test_case "loss monotone in group" `Quick test_loss_monotone_in_group_size;
+        Alcotest.test_case "loss monotone in period" `Quick test_loss_monotone_in_period;
+        Alcotest.test_case "approx matches exact" `Quick test_loss_approx_matches_exact;
+        Alcotest.test_case "degenerate" `Quick test_loss_degenerate;
+        Alcotest.test_case "unavailability monotone" `Quick test_unavailability_monotone;
+        Alcotest.test_case "duplicates model" `Quick test_duplicates_model;
+        Alcotest.test_case "takeover latency model" `Quick test_takeover_latency_model;
+        Alcotest.test_case "load models" `Quick test_load_models;
+      ] );
+    ( "analysis.adaptive",
+      [
+        Alcotest.test_case "meets target" `Quick test_adaptive_meets_target;
+        Alcotest.test_case "prefers fewer backups" `Quick test_adaptive_prefers_fewer_backups;
+        Alcotest.test_case "impossible target" `Quick test_adaptive_impossible;
+        Alcotest.test_case "to_policy" `Quick test_adaptive_to_policy;
+      ]
+      @ qsuite [ prop_adaptive_tighter_targets_cost_more ] );
+  ]

@@ -1,0 +1,337 @@
+(* Unit and property tests for the framework's pure parts: naming, policy,
+   the deterministic selection function and the unit database. *)
+
+module Naming = Haf_core.Naming
+module Policy = Haf_core.Policy
+module Selection = Haf_core.Selection
+module Unit_db = Haf_core.Unit_db
+module Events = Haf_core.Events
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Naming *)
+
+let test_naming_roundtrip () =
+  check (Alcotest.option Alcotest.string) "content" (Some "movie:1")
+    (Naming.content_unit_of (Naming.content_group "movie:1"));
+  check (Alcotest.option Alcotest.string) "session" (Some "c001-0")
+    (Naming.session_of (Naming.session_group "c001-0"));
+  check Alcotest.bool "service" true (Naming.is_service_group Naming.service_group);
+  check (Alcotest.option Alcotest.string) "not a content group" None
+    (Naming.content_unit_of Naming.service_group);
+  check (Alcotest.option Alcotest.string) "session is not content" None
+    (Naming.content_unit_of (Naming.session_group "x"))
+
+(* ------------------------------------------------------------------ *)
+(* Policy *)
+
+let test_policy_validate () =
+  check Alcotest.bool "default valid" true (Result.is_ok (Policy.validate Policy.default));
+  check Alcotest.bool "vod_paper valid" true
+    (Result.is_ok (Policy.validate Policy.vod_paper));
+  check Alcotest.bool "negative backups" true
+    (Result.is_error (Policy.validate { Policy.default with n_backups = -1 }));
+  check Alcotest.bool "zero propagation" true
+    (Result.is_error (Policy.validate { Policy.default with propagation_period = 0. }))
+
+let test_policy_vod_paper_matches_paper () =
+  (* [2]: session group = primary only, updates every half second. *)
+  check Alcotest.int "no backups" 0 Policy.vod_paper.Policy.n_backups;
+  check (Alcotest.float 1e-9) "0.5s propagation" 0.5
+    Policy.vod_paper.Policy.propagation_period
+
+(* ------------------------------------------------------------------ *)
+(* Selection *)
+
+let prev ?(primary = None) ?(backups = []) sid =
+  { Selection.p_session_id = sid; p_primary = primary; p_backups = backups }
+
+let test_selection_sticky_primary () =
+  let prevs = [ prev ~primary:(Some 2) ~backups:[ 1 ] "s1" ] in
+  let a = Selection.assign ~n_backups:1 ~members:[ 1; 2; 3 ] ~rebalance:false prevs in
+  match a with
+  | [ { Selection.a_primary; _ } ] -> check Alcotest.int "keeps old primary" 2 a_primary
+  | _ -> Alcotest.fail "one assignment expected"
+
+let test_selection_prefers_backup_on_crash () =
+  (* Old primary 2 gone; backup 3 present: 3 must take over even if 1 is
+     less loaded. *)
+  let prevs = [ prev ~primary:(Some 2) ~backups:[ 3 ] "s1" ] in
+  let a = Selection.assign ~n_backups:1 ~members:[ 1; 3; 4 ] ~rebalance:false prevs in
+  match a with
+  | [ { Selection.a_primary; _ } ] -> check Alcotest.int "backup promoted" 3 a_primary
+  | _ -> Alcotest.fail "one assignment expected"
+
+let test_selection_least_loaded_fallback () =
+  let prevs =
+    [
+      prev ~primary:(Some 1) "s1";
+      prev ~primary:(Some 1) "s2";
+      prev ~primary:(Some 9) ~backups:[ 9 ] "s3";  (* everyone gone *)
+    ]
+  in
+  let a = Selection.assign ~n_backups:0 ~members:[ 1; 2 ] ~rebalance:false prevs in
+  let find sid =
+    (List.find (fun x -> x.Selection.a_session_id = sid) a).Selection.a_primary
+  in
+  check Alcotest.int "s1 stays" 1 (find "s1");
+  check Alcotest.int "s2 stays" 1 (find "s2");
+  check Alcotest.int "orphan goes to least-loaded" 2 (find "s3")
+
+let test_selection_backups_distinct () =
+  let prevs = [ prev "s1" ] in
+  let a = Selection.assign ~n_backups:3 ~members:[ 1; 2; 3 ] ~rebalance:false prevs in
+  match a with
+  | [ { Selection.a_primary; a_backups; _ } ] ->
+      check Alcotest.int "only 2 backups possible" 2 (List.length a_backups);
+      check Alcotest.bool "primary not backup" false (List.mem a_primary a_backups);
+      check Alcotest.int "distinct" 2 (List.length (List.sort_uniq compare a_backups))
+  | _ -> Alcotest.fail "one assignment expected"
+
+let test_selection_rebalance_moves_excess () =
+  (* 4 sessions all on server 1; server 2 joins; rebalance should move
+     about half. *)
+  let prevs = List.init 4 (fun i -> prev ~primary:(Some 1) (Printf.sprintf "s%d" i)) in
+  let a = Selection.assign ~n_backups:0 ~members:[ 1; 2 ] ~rebalance:true prevs in
+  let on_1 = List.length (List.filter (fun x -> x.Selection.a_primary = 1) a) in
+  let on_2 = List.length (List.filter (fun x -> x.Selection.a_primary = 2) a) in
+  check Alcotest.int "even split" 2 on_1;
+  check Alcotest.int "even split" 2 on_2
+
+let test_selection_no_rebalance_is_sticky () =
+  let prevs = List.init 4 (fun i -> prev ~primary:(Some 1) (Printf.sprintf "s%d" i)) in
+  let a = Selection.assign ~n_backups:0 ~members:[ 1; 2 ] ~rebalance:false prevs in
+  check Alcotest.bool "all stay on 1" true
+    (List.for_all (fun x -> x.Selection.a_primary = 1) a)
+
+let test_selection_empty_members_raises () =
+  Alcotest.check_raises "empty members"
+    (Invalid_argument "Selection.assign: no members") (fun () ->
+      ignore (Selection.assign ~n_backups:0 ~members:[] ~rebalance:false []))
+
+let arb_prevs =
+  QCheck.make
+    ~print:(fun l -> string_of_int (List.length l))
+    (QCheck.Gen.map
+       (fun n ->
+         List.init n (fun i ->
+             prev
+               ~primary:(if i mod 3 = 0 then None else Some (i mod 5))
+               ~backups:[ (i + 1) mod 5 ]
+               (Printf.sprintf "s%02d" i)))
+       (QCheck.Gen.int_bound 20))
+
+let prop_selection_deterministic =
+  QCheck.Test.make ~name:"selection is deterministic" ~count:100 arb_prevs (fun prevs ->
+      let members = [ 0; 1; 2; 3 ] in
+      Selection.assign ~n_backups:2 ~members ~rebalance:true prevs
+      = Selection.assign ~n_backups:2 ~members ~rebalance:true prevs)
+
+let prop_selection_valid =
+  QCheck.Test.make ~name:"selection picks members, distinct backups" ~count:100 arb_prevs
+    (fun prevs ->
+      let members = [ 0; 1; 2 ] in
+      let a = Selection.assign ~n_backups:2 ~members ~rebalance:false prevs in
+      List.for_all
+        (fun x ->
+          List.mem x.Selection.a_primary members
+          && List.for_all (fun b -> List.mem b members) x.Selection.a_backups
+          && (not (List.mem x.Selection.a_primary x.Selection.a_backups))
+          && List.length (List.sort_uniq compare x.Selection.a_backups)
+             = List.length x.Selection.a_backups)
+        a)
+
+let prop_selection_idempotent =
+  (* Reassigning with unchanged membership must not move anything: the
+     framework calls the selection on every content-group event, so any
+     instability here would cause spurious migrations. *)
+  QCheck.Test.make ~name:"selection is idempotent (no flapping)" ~count:100 arb_prevs
+    (fun prevs ->
+      let members = [ 0; 1; 2; 3 ] in
+      let first = Selection.assign ~n_backups:1 ~members ~rebalance:true prevs in
+      let as_prev =
+        List.map
+          (fun a ->
+            {
+              Selection.p_session_id = a.Selection.a_session_id;
+              p_primary = Some a.Selection.a_primary;
+              p_backups = a.Selection.a_backups;
+            })
+          first
+      in
+      let second = Selection.assign ~n_backups:1 ~members ~rebalance:true as_prev in
+      List.for_all2
+        (fun a b -> a.Selection.a_primary = b.Selection.a_primary)
+        first second)
+
+let prop_selection_balanced =
+  QCheck.Test.make ~name:"rebalanced primaries within 1 of even share" ~count:100
+    QCheck.(int_range 1 30)
+    (fun n ->
+      let prevs =
+        List.init n (fun i -> prev ~primary:(Some 0) (Printf.sprintf "s%02d" i))
+      in
+      let members = [ 0; 1; 2; 3 ] in
+      let a = Selection.assign ~n_backups:0 ~members ~rebalance:true prevs in
+      let count m = List.length (List.filter (fun x -> x.Selection.a_primary = m) a) in
+      let share = float_of_int n /. 4. in
+      List.for_all (fun m -> float_of_int (count m) <= ceil share) members)
+
+(* ------------------------------------------------------------------ *)
+(* Unit_db *)
+
+let mkdb () = Unit_db.create ~unit_id:"u"
+
+let test_db_add_idempotent () =
+  let db = mkdb () in
+  let s1 = Unit_db.add_session db ~session_id:"s" ~client:7 ~started_at:1. in
+  let s2 = Unit_db.add_session db ~session_id:"s" ~client:9 ~started_at:2. in
+  check Alcotest.bool "same record" true (s1 == s2);
+  check Alcotest.int "client unchanged" 7 s2.Unit_db.client;
+  check Alcotest.int "size" 1 (Unit_db.size db)
+
+let test_db_remove () =
+  let db = mkdb () in
+  ignore (Unit_db.add_session db ~session_id:"s" ~client:1 ~started_at:0.);
+  Unit_db.remove_session db "s";
+  check Alcotest.bool "gone" false (Unit_db.mem db "s")
+
+let test_db_sessions_sorted () =
+  let db = mkdb () in
+  List.iter
+    (fun sid -> ignore (Unit_db.add_session db ~session_id:sid ~client:0 ~started_at:0.))
+    [ "b"; "a"; "c" ];
+  check (Alcotest.list Alcotest.string) "sorted" [ "a"; "b"; "c" ]
+    (List.map (fun s -> s.Unit_db.session_id) (Unit_db.sessions db))
+
+let snap ctx req_seq at =
+  { Unit_db.snap_ctx = ctx; snap_req_seq = req_seq; snap_applied = []; snap_at = at }
+
+let test_db_propagate_freshness () =
+  let db = mkdb () in
+  ignore (Unit_db.add_session db ~session_id:"s" ~client:1 ~started_at:0.);
+  Unit_db.set_propagated db "s" (snap "new" 5 10.);
+  Unit_db.set_propagated db "s" (snap "old" 3 20.);
+  (match Unit_db.find db "s" with
+  | Some { Unit_db.propagated = Some p; _ } ->
+      check Alcotest.string "older req_seq never wins" "new" p.Unit_db.snap_ctx
+  | _ -> Alcotest.fail "missing");
+  Unit_db.set_propagated db "s" (snap "newer" 5 30.);
+  match Unit_db.find db "s" with
+  | Some { Unit_db.propagated = Some p; _ } ->
+      check Alcotest.string "same req_seq, later time wins" "newer" p.Unit_db.snap_ctx
+  | _ -> Alcotest.fail "missing"
+
+let test_db_merge_union () =
+  let a = mkdb () and b = mkdb () in
+  ignore (Unit_db.add_session a ~session_id:"s1" ~client:1 ~started_at:0.);
+  ignore (Unit_db.add_session b ~session_id:"s2" ~client:2 ~started_at:0.);
+  let merged = mkdb () in
+  Unit_db.replace_with_merge merged [ Unit_db.export a; Unit_db.export b ];
+  check (Alcotest.list Alcotest.string) "union" [ "s1"; "s2" ]
+    (List.map (fun s -> s.Unit_db.session_id) (Unit_db.sessions merged))
+
+let test_db_merge_freshest_assignment_wins () =
+  let a = mkdb () and b = mkdb () in
+  ignore (Unit_db.add_session a ~session_id:"s" ~client:1 ~started_at:0.);
+  ignore (Unit_db.add_session b ~session_id:"s" ~client:1 ~started_at:0.);
+  Unit_db.set_propagated a "s" (snap "stale" 3 5.);
+  Unit_db.set_assignment a "s" ~primary:7 ~backups:[ 8 ];
+  Unit_db.set_propagated b "s" (snap "fresh" 9 6.);
+  Unit_db.set_assignment b "s" ~primary:4 ~backups:[ 5 ];
+  let merged = mkdb () in
+  Unit_db.replace_with_merge merged [ Unit_db.export a; Unit_db.export b ];
+  match Unit_db.find merged "s" with
+  | Some s ->
+      check (Alcotest.option Alcotest.int) "fresh side's primary" (Some 4)
+        s.Unit_db.primary;
+      check Alcotest.string "fresh snapshot"
+        "fresh"
+        (match s.Unit_db.propagated with Some p -> p.Unit_db.snap_ctx | None -> "?")
+  | None -> Alcotest.fail "missing"
+
+let prop_db_merge_order_independent =
+  QCheck.Test.make ~name:"unit_db merge is order-independent" ~count:100
+    QCheck.(small_list (pair (int_bound 5) (pair (int_bound 20) (int_bound 20))))
+    (fun specs ->
+      (* Build several exports with overlapping sessions and varying
+         freshness, merge in both orders, compare shapes. *)
+      let exports =
+        List.mapi
+          (fun i (sid, (rs, at)) ->
+            let db = mkdb () in
+            ignore
+              (Unit_db.add_session db
+                 ~session_id:(Printf.sprintf "s%d" sid)
+                 ~client:0 ~started_at:0.);
+            Unit_db.set_propagated db
+              (Printf.sprintf "s%d" sid)
+              (snap (Printf.sprintf "v%d" i) rs (float_of_int at));
+            Unit_db.set_assignment db (Printf.sprintf "s%d" sid) ~primary:i ~backups:[];
+            Unit_db.export db)
+          specs
+      in
+      let m1 = mkdb () and m2 = mkdb () in
+      Unit_db.replace_with_merge m1 exports;
+      Unit_db.replace_with_merge m2 (List.rev exports);
+      Unit_db.equal_shape m1 m2)
+
+(* ------------------------------------------------------------------ *)
+(* Events *)
+
+let test_events_sink () =
+  let sink = Events.make_sink () in
+  Events.emit sink ~now:1. (Events.Session_ended { session_id = "a" });
+  Events.emit sink ~now:2. (Events.Session_ended { session_id = "b" });
+  (match Events.events sink with
+  | [ (1., _); (2., _) ] -> ()
+  | _ -> Alcotest.fail "ordering/count");
+  check Alcotest.int "count" 2
+    (Events.count sink (function Events.Session_ended _ -> true | _ -> false));
+  Events.clear sink;
+  check Alcotest.int "cleared" 0 (List.length (Events.events sink))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "core.naming",
+      [ Alcotest.test_case "roundtrip" `Quick test_naming_roundtrip ] );
+    ( "core.policy",
+      [
+        Alcotest.test_case "validate" `Quick test_policy_validate;
+        Alcotest.test_case "vod_paper parameters" `Quick test_policy_vod_paper_matches_paper;
+      ] );
+    ( "core.selection",
+      [
+        Alcotest.test_case "sticky primary" `Quick test_selection_sticky_primary;
+        Alcotest.test_case "backup promoted on crash" `Quick
+          test_selection_prefers_backup_on_crash;
+        Alcotest.test_case "least-loaded fallback" `Quick test_selection_least_loaded_fallback;
+        Alcotest.test_case "backups distinct" `Quick test_selection_backups_distinct;
+        Alcotest.test_case "rebalance moves excess" `Quick test_selection_rebalance_moves_excess;
+        Alcotest.test_case "no rebalance is sticky" `Quick test_selection_no_rebalance_is_sticky;
+        Alcotest.test_case "empty members raises" `Quick test_selection_empty_members_raises;
+      ]
+      @ qsuite
+          [
+            prop_selection_deterministic;
+            prop_selection_valid;
+            prop_selection_idempotent;
+            prop_selection_balanced;
+          ]
+    );
+    ( "core.unit_db",
+      [
+        Alcotest.test_case "add idempotent" `Quick test_db_add_idempotent;
+        Alcotest.test_case "remove" `Quick test_db_remove;
+        Alcotest.test_case "sessions sorted" `Quick test_db_sessions_sorted;
+        Alcotest.test_case "propagate freshness" `Quick test_db_propagate_freshness;
+        Alcotest.test_case "merge union" `Quick test_db_merge_union;
+        Alcotest.test_case "merge freshest wins" `Quick
+          test_db_merge_freshest_assignment_wins;
+      ]
+      @ qsuite [ prop_db_merge_order_independent ] );
+    ("core.events", [ Alcotest.test_case "sink" `Quick test_events_sink ]);
+  ]

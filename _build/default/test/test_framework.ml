@@ -1,0 +1,412 @@
+(* End-to-end framework tests: sessions, fail-over, propagation, policies,
+   rebalancing, replica consistency — all over the real GCS + simulated
+   network stack. *)
+
+module Engine = Haf_sim.Engine
+module Gcs = Haf_gcs.Gcs
+module Events = Haf_core.Events
+module Policy = Haf_core.Policy
+module Unit_db = Haf_core.Unit_db
+module FV = Haf_core.Framework.Make (Haf_services.Vod)
+
+let check = Alcotest.check
+
+type world = {
+  engine : Engine.t;
+  gcs : Gcs.t;
+  events : Events.sink;
+  servers : (int * FV.Server.t) list;
+  client : FV.Client.t;
+}
+
+let setup ?(n = 3) ?(seed = 11) ?(policy = Policy.default) ?(units = [ "movie:1" ]) () =
+  let engine = Engine.create ~seed () in
+  let gcs = Gcs.create ~num_servers:n engine in
+  let events = Events.make_sink () in
+  let servers =
+    List.map
+      (fun p -> (p, FV.Server.create gcs ~proc:p ~policy ~units ~catalog:units ~events))
+      (Gcs.servers gcs)
+  in
+  let cproc = Gcs.add_client gcs in
+  let client = FV.Client.create gcs ~proc:cproc ~policy ~events in
+  { engine; gcs; events; servers; client }
+
+let crash_server w p =
+  FV.Server.stop (List.assoc p w.servers);
+  Gcs.crash w.gcs p
+
+let run w ~until = Engine.run ~until w.engine
+
+let received_ids w sid = List.map fst (FV.Client.received w.client sid)
+
+let count_dups ids =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun id -> Hashtbl.replace tbl id (1 + Option.value (Hashtbl.find_opt tbl id) ~default:0))
+    ids;
+  Hashtbl.fold (fun _ n acc -> acc + Int.max 0 (n - 1)) tbl 0
+
+let count_gaps ids =
+  match List.sort_uniq compare ids with
+  | [] -> 0
+  | first :: _ as sorted ->
+      let last = List.nth sorted (List.length sorted - 1) in
+      last - first + 1 - List.length sorted
+
+let primary_of w sid =
+  List.find_map
+    (fun (p, srv) ->
+      if Gcs.alive w.gcs p && FV.Server.is_primary_of srv sid then Some p else None)
+    w.servers
+
+(* ------------------------------------------------------------------ *)
+
+let test_session_happy_path () =
+  let w = setup () in
+  run w ~until:3.;
+  let sid = FV.Client.start_session w.client ~unit_id:"movie:1" ~duration:10. ~request_interval:0. in
+  run w ~until:5.;
+  check Alcotest.bool "granted" true (FV.Client.granted w.client sid);
+  run w ~until:10.;
+  let ids = received_ids w sid in
+  check Alcotest.bool "many frames" true (List.length ids > 50);
+  check Alcotest.int "no duplicates" 0 (count_dups ids);
+  check Alcotest.int "no gaps" 0 (count_gaps ids);
+  (* Frames arrive in order. *)
+  check Alcotest.bool "ordered" true (ids = List.sort compare ids)
+
+let test_exactly_one_primary () =
+  let w = setup () in
+  run w ~until:3.;
+  let sid = FV.Client.start_session w.client ~unit_id:"movie:1" ~duration:20. ~request_interval:0. in
+  run w ~until:6.;
+  let primaries =
+    List.filter (fun (_, srv) -> FV.Server.is_primary_of srv sid) w.servers
+  in
+  check Alcotest.int "exactly one primary" 1 (List.length primaries)
+
+let test_backup_count_matches_policy () =
+  let policy = { Policy.default with n_backups = 2 } in
+  let w = setup ~policy () in
+  run w ~until:3.;
+  let sid = FV.Client.start_session w.client ~unit_id:"movie:1" ~duration:20. ~request_interval:0. in
+  run w ~until:6.;
+  let backups =
+    List.filter
+      (fun (_, srv) ->
+        List.mem_assoc sid (FV.Server.sessions_served srv)
+        && List.assoc sid (FV.Server.sessions_served srv) = Events.Backup)
+      w.servers
+  in
+  check Alcotest.int "two backups" 2 (List.length backups)
+
+let test_unit_db_replicas_identical () =
+  let w = setup () in
+  run w ~until:3.;
+  ignore (FV.Client.start_session w.client ~unit_id:"movie:1" ~duration:20. ~request_interval:1.);
+  ignore (FV.Client.start_session w.client ~unit_id:"movie:1" ~duration:20. ~request_interval:1.);
+  run w ~until:8.;
+  let dbs =
+    List.filter_map (fun (_, srv) -> FV.Server.db srv "movie:1") w.servers
+  in
+  check Alcotest.int "three replicas" 3 (List.length dbs);
+  match dbs with
+  | a :: rest ->
+      (* Coordination state is identical at any instant; the propagated
+         snapshots may be one in-flight propagation apart. *)
+      List.iter
+        (fun b ->
+          check Alcotest.bool "replica assignments identical" true
+            (Unit_db.equal_assignments a b))
+        rest
+  | [] -> Alcotest.fail "no dbs"
+
+let test_failover_with_backup () =
+  let w = setup ~policy:{ Policy.default with n_backups = 1 } () in
+  run w ~until:3.;
+  let sid = FV.Client.start_session w.client ~unit_id:"movie:1" ~duration:30. ~request_interval:0. in
+  run w ~until:6.;
+  let p0 = Option.get (primary_of w sid) in
+  crash_server w p0;
+  run w ~until:12.;
+  (* A new primary exists and it is not the crashed one. *)
+  (match primary_of w sid with
+  | Some p1 -> check Alcotest.bool "new primary" true (p1 <> p0)
+  | None -> Alcotest.fail "no primary after crash");
+  (* The takeover came from a live (backup) context. *)
+  let takeovers =
+    List.filter_map
+      (fun (_, e) ->
+        match e with
+        | Events.Takeover { kind = Events.Crash; had_live_context; session_id; _ }
+          when session_id = sid ->
+            Some had_live_context
+        | _ -> None)
+      (Events.events w.events)
+  in
+  check Alcotest.bool "crash takeover seen" true (takeovers <> []);
+  check Alcotest.bool "from live backup context" true (List.hd takeovers);
+  (* The client keeps receiving frames after the crash. *)
+  let after_crash =
+    List.filter (fun (_, at) -> at > 8.) (FV.Client.received w.client sid)
+  in
+  check Alcotest.bool "stream continues" true (List.length after_crash > 10)
+
+let test_failover_without_backup_resume_duplicates () =
+  (* The [2] configuration: no backups, Resume policy.  After a crash the
+     new primary rebuilds from the last propagation, so the client sees
+     about (rate * time-since-propagation) duplicate frames and no gap. *)
+  let policy = { Policy.default with n_backups = 0; takeover = Policy.Resume } in
+  let w = setup ~policy () in
+  run w ~until:3.;
+  let sid = FV.Client.start_session w.client ~unit_id:"movie:1" ~duration:30. ~request_interval:0. in
+  run w ~until:6.;
+  let p0 = Option.get (primary_of w sid) in
+  crash_server w p0;
+  run w ~until:15.;
+  let ids = received_ids w sid in
+  check Alcotest.bool "stream continues" true (List.length ids > 100);
+  check Alcotest.bool "duplicates appear (resume)" true (count_dups ids > 0);
+  (* Bounded by what can be sent within one propagation period plus one
+     takeover's worth of slack. *)
+  let per_second =
+    float_of_int Haf_services.Vod.frames_per_tick /. Haf_services.Vod.tick_period
+  in
+  let bound = int_of_float (per_second *. (policy.Policy.propagation_period +. 1.5)) in
+  check Alcotest.bool "duplicates bounded" true (count_dups ids <= bound);
+  check Alcotest.int "no lost frames under Resume" 0 (count_gaps ids)
+
+let test_failover_skip_ahead_gaps () =
+  let policy = { Policy.default with n_backups = 0; takeover = Policy.Skip_ahead } in
+  let w = setup ~policy ~seed:23 () in
+  run w ~until:3.;
+  let sid = FV.Client.start_session w.client ~unit_id:"movie:1" ~duration:30. ~request_interval:0. in
+  run w ~until:6.;
+  let p0 = Option.get (primary_of w sid) in
+  crash_server w p0;
+  run w ~until:15.;
+  let ids = received_ids w sid in
+  check Alcotest.int "no duplicates under Skip_ahead" 0 (count_dups ids);
+  check Alcotest.bool "frames were skipped" true (count_gaps ids > 0)
+
+let test_requests_applied_at_backup () =
+  let w = setup ~policy:{ Policy.default with n_backups = 1 } () in
+  run w ~until:3.;
+  let sid = FV.Client.start_session w.client ~unit_id:"movie:1" ~duration:30. ~request_interval:0.7 in
+  run w ~until:10.;
+  let applied_roles =
+    List.filter_map
+      (fun (_, e) ->
+        match e with
+        | Events.Request_applied { session_id; role; _ } when session_id = sid -> Some role
+        | _ -> None)
+      (Events.events w.events)
+  in
+  check Alcotest.bool "primary applies" true (List.mem Events.Primary applied_roles);
+  check Alcotest.bool "backup applies too (paper: backups listen to client updates)"
+    true
+    (List.mem Events.Backup applied_roles)
+
+let test_lost_update_window () =
+  (* Kill the whole session group (primary + backup) right after a
+     request, before the next propagation: the request must be lost —
+     the exact fault pattern of the paper's risk analysis. *)
+  let policy =
+    { Policy.default with n_backups = 1; propagation_period = 5.; grant_timeout = 1. }
+  in
+  let w = setup ~n:4 ~policy () in
+  run w ~until:3.;
+  let sid = FV.Client.start_session w.client ~unit_id:"movie:1" ~duration:40. ~request_interval:0. in
+  run w ~until:4.;
+  let group_members =
+    List.filter_map
+      (fun (p, srv) ->
+        if List.mem_assoc sid (FV.Server.sessions_served srv) then Some p else None)
+      w.servers
+  in
+  check Alcotest.int "primary+backup" 2 (List.length group_members);
+  (* One client request... *)
+  run w ~until:9.;
+  (* ...then both session-group members die within the propagation gap.
+     (Propagations happen at ~8.x, next at ~13.x; we crash at 9.5.) *)
+  ignore
+    (Engine.schedule_at w.engine ~time:9.5 (fun () ->
+         List.iter (crash_server w) group_members));
+  run w ~until:20.;
+  (* Service resumes from the remaining servers... *)
+  (match primary_of w sid with
+  | Some p -> check Alcotest.bool "resumed elsewhere" true (not (List.mem p group_members))
+  | None -> Alcotest.fail "session never recovered");
+  (* ...and the stream continues. *)
+  let after =
+    List.filter (fun (_, at) -> at > 15.) (FV.Client.received w.client sid)
+  in
+  check Alcotest.bool "stream resumed" true (after <> [])
+
+let test_session_end_cleans_up () =
+  let w = setup () in
+  run w ~until:3.;
+  let sid = FV.Client.start_session w.client ~unit_id:"movie:1" ~duration:4. ~request_interval:0. in
+  run w ~until:12.;
+  List.iter
+    (fun (_, srv) ->
+      (match FV.Server.db srv "movie:1" with
+      | Some db -> check Alcotest.bool "db entry removed" false (Unit_db.mem db sid)
+      | None -> Alcotest.fail "unit missing");
+      check Alcotest.bool "no role left" false
+        (List.mem_assoc sid (FV.Server.sessions_served srv)))
+    w.servers
+
+let test_join_rebalances () =
+  (* Start with one server carrying several sessions, then bring up a
+     second server replicating the same unit: sessions must spread. *)
+  let policy = { Policy.default with n_backups = 0; rebalance_on_join = true } in
+  let w = setup ~n:2 ~policy () in
+  (* Only server 0 serves the unit initially. *)
+  let w =
+    (* rebuild: server 1 starts without the unit *)
+    let engine = Engine.create ~seed:31 () in
+    let gcs = Gcs.create ~num_servers:2 engine in
+    let events = Events.make_sink () in
+    let s0 = FV.Server.create gcs ~proc:0 ~policy ~units:[ "movie:1" ] ~catalog:[ "movie:1" ] ~events in
+    let cproc = Gcs.add_client gcs in
+    let client = FV.Client.create gcs ~proc:cproc ~policy ~events in
+    ignore w;
+    { engine; gcs; events; servers = [ (0, s0) ]; client }
+  in
+  run w ~until:3.;
+  let sids =
+    List.init 4 (fun _ ->
+        FV.Client.start_session w.client ~unit_id:"movie:1" ~duration:60. ~request_interval:0.)
+  in
+  run w ~until:8.;
+  check Alcotest.bool "all on server 0" true
+    (List.for_all (fun sid -> primary_of w sid = Some 0) sids);
+  (* Server 1 now starts replicating the unit. *)
+  let s1 =
+    FV.Server.create w.gcs ~proc:1 ~policy ~units:[ "movie:1" ] ~catalog:[ "movie:1" ]
+      ~events:w.events
+  in
+  let w = { w with servers = (1, s1) :: w.servers } in
+  run w ~until:16.;
+  let on_new =
+    List.filter (fun sid -> primary_of w sid = Some 1) sids
+  in
+  check Alcotest.int "half the sessions moved to the new server" 2 (List.length on_new);
+  (* Rebalance migrations must be hitless: the old primary handed off
+     exact context, so no gaps appear. *)
+  List.iter
+    (fun sid ->
+      check Alcotest.int
+        (Printf.sprintf "no duplicate frames for %s" sid)
+        0
+        (count_dups (received_ids w sid)))
+    sids
+
+let test_grant_retry_after_primary_crash () =
+  let policy = { Policy.default with n_backups = 0; grant_timeout = 1. } in
+  let w = setup ~policy () in
+  run w ~until:3.;
+  (* Crash the would-be primary the instant the session is requested, so
+     the grant is lost; the client must retry and get a grant from the
+     successor. *)
+  let sid = FV.Client.start_session w.client ~unit_id:"movie:1" ~duration:30. ~request_interval:0. in
+  ignore
+    (Engine.schedule_at w.engine ~time:3.05 (fun () ->
+         match primary_of w sid with Some p -> crash_server w p | None -> ()));
+  run w ~until:12.;
+  check Alcotest.bool "eventually granted" true (FV.Client.granted w.client sid);
+  check Alcotest.bool "frames flow" true (List.length (received_ids w sid) > 0)
+
+let test_fast_restart_single_stream () =
+  (* Regression: a primary crashing and restarting inside the suspicion
+     timeout used to leave two servers streaming the same session.  After
+     reconciliation there must be exactly one live primary and no
+     sustained duplicate stream. *)
+  let policy = { Policy.default with n_backups = 0 } in
+  let w = setup ~n:3 ~policy ~seed:77 () in
+  run w ~until:3.;
+  let sid = FV.Client.start_session w.client ~unit_id:"movie:1" ~duration:60. ~request_interval:0. in
+  run w ~until:8.;
+  let p0 = Option.get (primary_of w sid) in
+  crash_server w p0;
+  ignore
+    (Engine.schedule_at w.engine ~time:8.15 (fun () ->
+         Gcs.restart w.gcs p0));
+  (* The restarted process runs a fresh (stateless) server. *)
+  ignore
+    (Engine.schedule_at w.engine ~time:8.2 (fun () ->
+         let policy = { Policy.default with n_backups = 0 } in
+         ignore
+           (FV.Server.create w.gcs ~proc:p0 ~policy ~units:[ "movie:1" ]
+              ~catalog:[ "movie:1" ] ~events:w.events)));
+  run w ~until:30.;
+  let primaries =
+    List.filter
+      (fun (p, srv) -> Gcs.alive w.gcs p && FV.Server.is_primary_of srv sid)
+      w.servers
+  in
+  check Alcotest.bool "at most one live primary object" true (List.length primaries <= 1);
+  (* Duplicates bounded by one takeover's rewind, far below a sustained
+     double stream (which would be hundreds). *)
+  check Alcotest.bool "no sustained duplicate stream" true
+    (count_dups (received_ids w sid) < 60)
+
+let test_discovery () =
+  let w = setup ~units:[ "movie:1"; "movie:2" ] () in
+  run w ~until:3.;
+  let answer = ref [] in
+  FV.Client.discover_units w.client (fun units -> answer := units);
+  run w ~until:6.;
+  check (Alcotest.list Alcotest.string) "catalog" [ "movie:1"; "movie:2" ] !answer
+
+let test_two_units_partial_replication () =
+  (* Partial replication: unit A on servers 0,1; unit B on servers 1,2. *)
+  let engine = Engine.create ~seed:17 () in
+  let gcs = Gcs.create ~num_servers:3 engine in
+  let events = Events.make_sink () in
+  let policy = Policy.default in
+  let mk p units = (p, FV.Server.create gcs ~proc:p ~policy ~units ~catalog:[ "a"; "b" ] ~events) in
+  let servers = [ mk 0 [ "a" ]; mk 1 [ "a"; "b" ]; mk 2 [ "b" ] ] in
+  let cproc = Gcs.add_client gcs in
+  let client = FV.Client.create gcs ~proc:cproc ~policy ~events in
+  let w = { engine; gcs; events; servers; client } in
+  run w ~until:3.;
+  let sa = FV.Client.start_session client ~unit_id:"a" ~duration:20. ~request_interval:0. in
+  let sb = FV.Client.start_session client ~unit_id:"b" ~duration:20. ~request_interval:0. in
+  run w ~until:8.;
+  (match primary_of w sa with
+  | Some p -> check Alcotest.bool "a served by replica of a" true (p = 0 || p = 1)
+  | None -> Alcotest.fail "no primary for a");
+  (match primary_of w sb with
+  | Some p -> check Alcotest.bool "b served by replica of b" true (p = 1 || p = 2)
+  | None -> Alcotest.fail "no primary for b");
+  check Alcotest.bool "both streams flow" true
+    (List.length (received_ids w sa) > 10 && List.length (received_ids w sb) > 10)
+
+let suite =
+  [
+    ( "framework.sessions",
+      [
+        Alcotest.test_case "happy path" `Quick test_session_happy_path;
+        Alcotest.test_case "exactly one primary" `Quick test_exactly_one_primary;
+        Alcotest.test_case "backup count" `Quick test_backup_count_matches_policy;
+        Alcotest.test_case "db replicas identical" `Quick test_unit_db_replicas_identical;
+        Alcotest.test_case "session end cleans up" `Quick test_session_end_cleans_up;
+        Alcotest.test_case "discovery" `Quick test_discovery;
+        Alcotest.test_case "partial replication" `Quick test_two_units_partial_replication;
+      ] );
+    ( "framework.failover",
+      [
+        Alcotest.test_case "failover with backup" `Quick test_failover_with_backup;
+        Alcotest.test_case "no-backup resume duplicates" `Quick
+          test_failover_without_backup_resume_duplicates;
+        Alcotest.test_case "skip-ahead gaps" `Quick test_failover_skip_ahead_gaps;
+        Alcotest.test_case "requests applied at backup" `Quick test_requests_applied_at_backup;
+        Alcotest.test_case "lost update window" `Quick test_lost_update_window;
+        Alcotest.test_case "grant retry after crash" `Quick test_grant_retry_after_primary_crash;
+        Alcotest.test_case "fast restart single stream" `Quick test_fast_restart_single_stream;
+        Alcotest.test_case "join rebalances" `Quick test_join_rebalances;
+      ] );
+  ]

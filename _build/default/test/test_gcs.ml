@@ -1,0 +1,608 @@
+(* Correctness tests for the group communication substrate: membership,
+   total order, virtual synchrony, open sends, partitions and merges. *)
+
+module Engine = Haf_sim.Engine
+module Network = Haf_net.Network
+module Gcs = Haf_gcs.Gcs
+module View = Haf_gcs.View
+module Config = Haf_gcs.Config
+module Causal = Haf_gcs.Causal
+
+let check = Alcotest.check
+
+type recorder = {
+  mutable views : (int * View.t) list;  (* proc, view — newest first *)
+  mutable delivered : (int * string * int * string) list;
+      (* proc, group, sender, payload — newest first *)
+  mutable p2p : (int * int * string) list;  (* proc, sender, payload *)
+}
+
+let make ?(n = 3) ?(seed = 42) ?gcs_config () =
+  let engine = Engine.create ~seed () in
+  let gcs = Gcs.create ?gcs_config ~num_servers:n engine in
+  let rec_ = { views = []; delivered = []; p2p = [] } in
+  List.iter
+    (fun p ->
+      Gcs.set_app gcs p
+        {
+          Haf_gcs.Daemon.on_view = (fun v -> rec_.views <- (p, v) :: rec_.views);
+          on_message =
+            (fun ~group ~sender payload ->
+              rec_.delivered <- (p, group, sender, payload) :: rec_.delivered);
+          on_p2p = (fun ~sender payload -> rec_.p2p <- (p, sender, payload) :: rec_.p2p);
+        })
+    (Gcs.servers gcs);
+  (engine, gcs, rec_)
+
+let deliveries_of rec_ ~proc ~group =
+  List.rev
+    (List.filter_map
+       (fun (p, g, s, payload) ->
+         if p = proc && String.equal g group then Some (s, payload) else None)
+       rec_.delivered)
+
+let last_view rec_ ~proc ~group =
+  List.find_map
+    (fun (p, v) -> if p = proc && String.equal v.View.group group then Some v else None)
+    rec_.views
+
+let settle engine ~until = Engine.run ~until engine
+
+(* ------------------------------------------------------------------ *)
+
+let test_views_converge () =
+  let engine, gcs, rec_ = make ~n:4 () in
+  List.iter (fun p -> Gcs.join gcs p "g") (Gcs.servers gcs);
+  settle engine ~until:3.;
+  List.iter
+    (fun p ->
+      match last_view rec_ ~proc:p ~group:"g" with
+      | Some v ->
+          check (Alcotest.list Alcotest.int) "full membership" [ 0; 1; 2; 3 ]
+            v.View.members
+      | None -> Alcotest.failf "process %d got no view" p)
+    (Gcs.servers gcs);
+  (* All processes agree on the view id. *)
+  let ids =
+    List.filter_map (fun p -> last_view rec_ ~proc:p ~group:"g") (Gcs.servers gcs)
+    |> List.map (fun v -> v.View.id)
+    |> List.sort_uniq View.Id.compare
+  in
+  check Alcotest.int "single agreed view id" 1 (List.length ids)
+
+let test_membership_stable_after_settle () =
+  let engine, gcs, _ = make ~n:3 () in
+  List.iter (fun p -> Gcs.join gcs p "g") (Gcs.servers gcs);
+  settle engine ~until:3.;
+  List.iter
+    (fun p -> check Alcotest.bool "stable" true (Gcs.membership_stable gcs p "g"))
+    (Gcs.servers gcs)
+
+let test_total_order () =
+  let engine, gcs, rec_ = make ~n:3 () in
+  List.iter (fun p -> Gcs.join gcs p "g") (Gcs.servers gcs);
+  settle engine ~until:3.;
+  (* Concurrent multicasts from every member. *)
+  List.iter
+    (fun p ->
+      for i = 1 to 5 do
+        Gcs.multicast gcs p "g" (Printf.sprintf "%d-%d" p i)
+      done)
+    (Gcs.servers gcs);
+  settle engine ~until:6.;
+  let seq0 = deliveries_of rec_ ~proc:0 ~group:"g" in
+  check Alcotest.int "all 15 delivered" 15 (List.length seq0);
+  List.iter
+    (fun p ->
+      check
+        (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+        (Printf.sprintf "process %d sees same order" p)
+        seq0
+        (deliveries_of rec_ ~proc:p ~group:"g"))
+    [ 1; 2 ]
+
+let test_sender_fifo_within_total_order () =
+  let engine, gcs, rec_ = make ~n:3 () in
+  List.iter (fun p -> Gcs.join gcs p "g") (Gcs.servers gcs);
+  settle engine ~until:3.;
+  for i = 1 to 10 do
+    Gcs.multicast gcs 2 "g" (string_of_int i)
+  done;
+  settle engine ~until:6.;
+  let mine =
+    deliveries_of rec_ ~proc:0 ~group:"g"
+    |> List.filter_map (fun (s, payload) -> if s = 2 then Some payload else None)
+  in
+  check (Alcotest.list Alcotest.string) "sender order preserved"
+    (List.init 10 (fun i -> string_of_int (i + 1)))
+    mine
+
+let test_crash_view_excludes () =
+  let engine, gcs, rec_ = make ~n:3 () in
+  List.iter (fun p -> Gcs.join gcs p "g") (Gcs.servers gcs);
+  settle engine ~until:3.;
+  Gcs.crash gcs 1;
+  settle engine ~until:8.;
+  List.iter
+    (fun p ->
+      match last_view rec_ ~proc:p ~group:"g" with
+      | Some v -> check (Alcotest.list Alcotest.int) "survivors only" [ 0; 2 ] v.View.members
+      | None -> Alcotest.fail "no view")
+    [ 0; 2 ];
+  (* The group still works. *)
+  Gcs.multicast gcs 2 "g" "after-crash";
+  settle engine ~until:12.;
+  let got = deliveries_of rec_ ~proc:0 ~group:"g" in
+  check Alcotest.bool "multicast after crash delivered" true
+    (List.exists (fun (_, payload) -> payload = "after-crash") got)
+
+let test_coordinator_crash () =
+  let engine, gcs, rec_ = make ~n:3 () in
+  List.iter (fun p -> Gcs.join gcs p "g") (Gcs.servers gcs);
+  settle engine ~until:3.;
+  (* Process 0 is the coordinator/sequencer; kill it. *)
+  Gcs.crash gcs 0;
+  settle engine ~until:8.;
+  List.iter
+    (fun p ->
+      match last_view rec_ ~proc:p ~group:"g" with
+      | Some v -> check (Alcotest.list Alcotest.int) "survivors" [ 1; 2 ] v.View.members
+      | None -> Alcotest.fail "no view")
+    [ 1; 2 ];
+  Gcs.multicast gcs 1 "g" "new-sequencer-works";
+  settle engine ~until:12.;
+  check Alcotest.bool "delivery resumes" true
+    (List.exists
+       (fun (_, payload) -> payload = "new-sequencer-works")
+       (deliveries_of rec_ ~proc:2 ~group:"g"))
+
+let test_multicast_during_view_change_not_lost () =
+  let engine, gcs, rec_ = make ~n:3 () in
+  List.iter (fun p -> Gcs.join gcs p "g") (Gcs.servers gcs);
+  settle engine ~until:3.;
+  Gcs.crash gcs 0;
+  (* Send immediately after the sequencer crash, before suspicion. *)
+  Gcs.multicast gcs 1 "g" "racing";
+  settle engine ~until:12.;
+  check Alcotest.bool "resubmitted across view change" true
+    (List.exists
+       (fun (_, payload) -> payload = "racing")
+       (deliveries_of rec_ ~proc:2 ~group:"g"))
+
+let test_partition_and_merge () =
+  let engine, gcs, rec_ = make ~n:4 () in
+  List.iter (fun p -> Gcs.join gcs p "g") (Gcs.servers gcs);
+  settle engine ~until:3.;
+  Gcs.partition gcs [ [ 0; 1 ]; [ 2; 3 ] ];
+  settle engine ~until:8.;
+  (match (last_view rec_ ~proc:0 ~group:"g", last_view rec_ ~proc:2 ~group:"g") with
+  | Some v0, Some v2 ->
+      check (Alcotest.list Alcotest.int) "side A" [ 0; 1 ] v0.View.members;
+      check (Alcotest.list Alcotest.int) "side B" [ 2; 3 ] v2.View.members
+  | _ -> Alcotest.fail "missing views");
+  (* Each side keeps operating independently. *)
+  Gcs.multicast gcs 0 "g" "sideA";
+  Gcs.multicast gcs 3 "g" "sideB";
+  settle engine ~until:12.;
+  check Alcotest.bool "A delivers A" true
+    (List.exists (fun (_, p) -> p = "sideA") (deliveries_of rec_ ~proc:1 ~group:"g"));
+  check Alcotest.bool "B delivers B" true
+    (List.exists (fun (_, p) -> p = "sideB") (deliveries_of rec_ ~proc:2 ~group:"g"));
+  check Alcotest.bool "A does not deliver B" false
+    (List.exists (fun (_, p) -> p = "sideB") (deliveries_of rec_ ~proc:1 ~group:"g"));
+  (* Heal: the components merge back into one view. *)
+  Gcs.heal gcs;
+  settle engine ~until:20.;
+  List.iter
+    (fun p ->
+      match last_view rec_ ~proc:p ~group:"g" with
+      | Some v ->
+          check (Alcotest.list Alcotest.int)
+            (Printf.sprintf "merged view at %d" p)
+            [ 0; 1; 2; 3 ] v.View.members
+      | None -> Alcotest.fail "no view")
+    (Gcs.servers gcs)
+
+let test_no_duplicates_ever () =
+  let engine, gcs, rec_ = make ~n:3 () in
+  List.iter (fun p -> Gcs.join gcs p "g") (Gcs.servers gcs);
+  settle engine ~until:3.;
+  List.iter
+    (fun p ->
+      for i = 1 to 5 do
+        Gcs.multicast gcs p "g" (Printf.sprintf "m%d-%d" p i)
+      done)
+    (Gcs.servers gcs);
+  Gcs.crash gcs 0;
+  settle engine ~until:15.;
+  List.iter
+    (fun p ->
+      let payloads = List.map snd (deliveries_of rec_ ~proc:p ~group:"g") in
+      check Alcotest.int
+        (Printf.sprintf "no duplicate deliveries at %d" p)
+        (List.length payloads)
+        (List.length (List.sort_uniq compare payloads)))
+    [ 1; 2 ]
+
+let test_virtual_synchrony_on_crash () =
+  (* Members transitioning together from v to v' deliver the same set of
+     messages in v, even when the sequencer dies mid-stream. *)
+  let engine, gcs, rec_ = make ~n:4 () in
+  List.iter (fun p -> Gcs.join gcs p "g") (Gcs.servers gcs);
+  settle engine ~until:3.;
+  for i = 1 to 10 do
+    Gcs.multicast gcs 0 "g" (Printf.sprintf "pre%d" i);
+    Gcs.multicast gcs 1 "g" (Printf.sprintf "alt%d" i)
+  done;
+  Gcs.crash gcs 0;
+  settle engine ~until:15.;
+  let sets =
+    List.map
+      (fun p ->
+        deliveries_of rec_ ~proc:p ~group:"g" |> List.map snd |> List.sort compare)
+      [ 1; 2; 3 ]
+  in
+  match sets with
+  | [ a; b; c ] ->
+      check (Alcotest.list Alcotest.string) "1 = 2" a b;
+      check (Alcotest.list Alcotest.string) "2 = 3" b c
+  | _ -> assert false
+
+let test_open_send_from_client () =
+  let engine, gcs, rec_ = make ~n:3 () in
+  List.iter (fun p -> Gcs.join gcs p "g") (Gcs.servers gcs);
+  let client = Gcs.add_client gcs in
+  settle engine ~until:3.;
+  Gcs.open_send gcs client "g" "from-client";
+  settle engine ~until:6.;
+  List.iter
+    (fun p ->
+      let got =
+        deliveries_of rec_ ~proc:p ~group:"g"
+        |> List.filter (fun (s, payload) -> s = client && payload = "from-client")
+      in
+      check Alcotest.int (Printf.sprintf "client msg exactly once at %d" p) 1
+        (List.length got))
+    (Gcs.servers gcs)
+
+let test_open_send_survives_member_crash () =
+  let engine, gcs, rec_ = make ~n:3 () in
+  List.iter (fun p -> Gcs.join gcs p "g") (Gcs.servers gcs);
+  let client = Gcs.add_client gcs in
+  settle engine ~until:3.;
+  Gcs.crash gcs 0;
+  settle engine ~until:8.;
+  Gcs.open_send gcs client "g" "late";
+  settle engine ~until:12.;
+  List.iter
+    (fun p ->
+      check Alcotest.bool
+        (Printf.sprintf "delivered at survivor %d" p)
+        true
+        (List.exists
+           (fun (s, payload) -> s = client && payload = "late")
+           (deliveries_of rec_ ~proc:p ~group:"g")))
+    [ 1; 2 ]
+
+let test_p2p () =
+  let engine, gcs, rec_ = make ~n:2 () in
+  Gcs.p2p gcs 0 ~dst:1 "direct";
+  settle engine ~until:2.;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "p2p delivered"
+    [ (0, "direct") ]
+    (List.map (fun (_, s, payload) -> (s, payload)) rec_.p2p)
+
+let test_leave () =
+  let engine, gcs, rec_ = make ~n:3 () in
+  List.iter (fun p -> Gcs.join gcs p "g") (Gcs.servers gcs);
+  settle engine ~until:3.;
+  Gcs.leave gcs 2 "g";
+  settle engine ~until:8.;
+  (match last_view rec_ ~proc:0 ~group:"g" with
+  | Some v -> check (Alcotest.list Alcotest.int) "leaver excluded" [ 0; 1 ] v.View.members
+  | None -> Alcotest.fail "no view");
+  check Alcotest.bool "left process not a member" false (Gcs.view_of gcs 2 "g" <> None)
+
+let test_restart_rejoins () =
+  let engine, gcs, rec_ = make ~n:3 () in
+  List.iter (fun p -> Gcs.join gcs p "g") (Gcs.servers gcs);
+  settle engine ~until:3.;
+  Gcs.crash gcs 2;
+  settle engine ~until:8.;
+  Gcs.restart gcs 2;
+  Gcs.join gcs 2 "g";
+  settle engine ~until:16.;
+  match last_view rec_ ~proc:0 ~group:"g" with
+  | Some v ->
+      check (Alcotest.list Alcotest.int) "restarted member merged back" [ 0; 1; 2 ]
+        v.View.members
+  | None -> Alcotest.fail "no view"
+
+let test_restarted_process_not_muted () =
+  (* Regression: uids used to be (origin, serial), so a restarted process
+     reusing low serials was silently deduplicated by survivors that had
+     seen its previous incarnation's messages — muting it forever. *)
+  let engine, gcs, rec_ = make ~n:3 () in
+  List.iter (fun p -> Gcs.join gcs p "g") (Gcs.servers gcs);
+  settle engine ~until:3.;
+  for i = 1 to 5 do
+    Gcs.multicast gcs 2 "g" (Printf.sprintf "first-life-%d" i)
+  done;
+  settle engine ~until:5.;
+  Gcs.crash gcs 2;
+  settle engine ~until:9.;
+  Gcs.restart gcs 2;
+  Gcs.join gcs 2 "g";
+  settle engine ~until:16.;
+  for i = 1 to 5 do
+    Gcs.multicast gcs 2 "g" (Printf.sprintf "second-life-%d" i)
+  done;
+  settle engine ~until:20.;
+  let payloads = List.map snd (deliveries_of rec_ ~proc:0 ~group:"g") in
+  for i = 1 to 5 do
+    check Alcotest.bool
+      (Printf.sprintf "second-life-%d delivered" i)
+      true
+      (List.mem (Printf.sprintf "second-life-%d" i) payloads)
+  done
+
+let test_leave_then_rejoin () =
+  (* Regression: a member leaving and later rejoining the same group used
+     to stay on the survivors' "left" exclusion list forever, wedging the
+     membership in divergent views. *)
+  let engine, gcs, rec_ = make ~n:3 () in
+  List.iter (fun p -> Gcs.join gcs p "g") (Gcs.servers gcs);
+  settle engine ~until:3.;
+  Gcs.leave gcs 2 "g";
+  settle engine ~until:7.;
+  Gcs.join gcs 2 "g";
+  settle engine ~until:14.;
+  List.iter
+    (fun p ->
+      match last_view rec_ ~proc:p ~group:"g" with
+      | Some v ->
+          check (Alcotest.list Alcotest.int)
+            (Printf.sprintf "rejoined view at %d" p)
+            [ 0; 1; 2 ] v.View.members
+      | None -> Alcotest.fail "no view")
+    (Gcs.servers gcs);
+  Gcs.multicast gcs 2 "g" "rejoined";
+  settle engine ~until:18.;
+  check Alcotest.bool "rejoined member can multicast" true
+    (List.exists (fun (_, p) -> p = "rejoined") (deliveries_of rec_ ~proc:0 ~group:"g"))
+
+let test_fast_restart_reconverges () =
+  (* A process that crashes and restarts faster than the suspicion
+     timeout is never suspected; the survivors' views still include it
+     while its own state is blank.  The persistent view-id mismatch in
+     its heartbeat adverts must force reconciliation. *)
+  let engine, gcs, rec_ = make ~n:3 () in
+  List.iter (fun p -> Gcs.join gcs p "g") (Gcs.servers gcs);
+  settle engine ~until:3.;
+  Gcs.crash gcs 1;
+  (* Restart well inside the suspicion timeout (0.35s default). *)
+  ignore
+    (Engine.schedule_at engine ~time:3.1 (fun () ->
+         Gcs.restart gcs 1;
+         Gcs.join gcs 1 "g"));
+  settle engine ~until:12.;
+  List.iter
+    (fun p ->
+      match last_view rec_ ~proc:p ~group:"g" with
+      | Some v ->
+          check (Alcotest.list Alcotest.int)
+            (Printf.sprintf "reconverged at %d" p)
+            [ 0; 1; 2 ] v.View.members
+      | None -> Alcotest.fail "no view")
+    (Gcs.servers gcs);
+  (* And agreement on the view id, i.e. they are really back in one
+     view, not stuck in divergent ones. *)
+  let ids =
+    List.filter_map (fun p -> last_view rec_ ~proc:p ~group:"g") (Gcs.servers gcs)
+    |> List.map (fun v -> v.View.id)
+    |> List.sort_uniq View.Id.compare
+  in
+  check Alcotest.int "single view id after fast restart" 1 (List.length ids);
+  (* Multicast still works end to end. *)
+  Gcs.multicast gcs 1 "g" "post-restart";
+  settle engine ~until:16.;
+  check Alcotest.bool "delivery works" true
+    (List.exists (fun (_, p) -> p = "post-restart") (deliveries_of rec_ ~proc:0 ~group:"g"))
+
+let test_two_groups_independent () =
+  let engine, gcs, rec_ = make ~n:4 () in
+  List.iter (fun p -> Gcs.join gcs p "g1") [ 0; 1 ];
+  List.iter (fun p -> Gcs.join gcs p "g2") [ 2; 3 ];
+  settle engine ~until:3.;
+  Gcs.multicast gcs 0 "g1" "in-g1";
+  Gcs.multicast gcs 2 "g2" "in-g2";
+  settle engine ~until:6.;
+  check Alcotest.bool "g1 delivery" true
+    (List.exists (fun (_, p) -> p = "in-g1") (deliveries_of rec_ ~proc:1 ~group:"g1"));
+  check Alcotest.int "no cross-group leak" 0
+    (List.length (deliveries_of rec_ ~proc:2 ~group:"g1"))
+
+let test_overlapping_groups () =
+  let engine, gcs, rec_ = make ~n:3 () in
+  List.iter (fun p -> Gcs.join gcs p "a") [ 0; 1 ];
+  List.iter (fun p -> Gcs.join gcs p "b") [ 1; 2 ];
+  settle engine ~until:3.;
+  Gcs.crash gcs 1;
+  settle engine ~until:8.;
+  (match last_view rec_ ~proc:0 ~group:"a" with
+  | Some v -> check (Alcotest.list Alcotest.int) "a shrinks" [ 0 ] v.View.members
+  | None -> Alcotest.fail "no view a");
+  match last_view rec_ ~proc:2 ~group:"b" with
+  | Some v -> check (Alcotest.list Alcotest.int) "b shrinks" [ 2 ] v.View.members
+  | None -> Alcotest.fail "no view b"
+
+(* Property: under a random crash schedule, every pair of surviving
+   processes delivers the same totally ordered prefix-consistent
+   sequences: one is a subsequence-free exact match after filtering to
+   messages both delivered (total order), and no process delivers a
+   message twice. *)
+let prop_total_order_random_crashes =
+  QCheck.Test.make ~name:"gcs: agreement under random crashes" ~count:15
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let engine, gcs, rec_ = make ~n:4 ~seed:(seed + 1) () in
+      let rng = Haf_sim.Rng.create (seed + 77) in
+      List.iter (fun p -> Gcs.join gcs p "g") (Gcs.servers gcs);
+      Engine.run ~until:3. engine;
+      (* Random traffic and one random crash at a random moment. *)
+      let victim = Haf_sim.Rng.int rng 4 in
+      let crash_at = 3. +. Haf_sim.Rng.float rng 2. in
+      ignore
+        (Engine.schedule_at engine ~time:crash_at (fun () -> Gcs.crash gcs victim));
+      List.iter
+        (fun p ->
+          for i = 1 to 8 do
+            let at = 3. +. Haf_sim.Rng.float rng 3. in
+            ignore
+              (Engine.schedule_at engine ~time:at (fun () ->
+                   if Gcs.alive gcs p then
+                     Gcs.multicast gcs p "g" (Printf.sprintf "%d.%d" p i)))
+          done)
+        (Gcs.servers gcs);
+      Engine.run ~until:20. engine;
+      let survivors = List.filter (fun p -> p <> victim) (Gcs.servers gcs) in
+      let seqs =
+        List.map (fun p -> deliveries_of rec_ ~proc:p ~group:"g" |> List.map snd) survivors
+      in
+      (* No duplicates anywhere... *)
+      List.for_all
+        (fun s -> List.length s = List.length (List.sort_uniq compare s))
+        seqs
+      (* ...and all survivors deliver identical sequences (they end in the
+         same final view, so virtual synchrony forces full agreement). *)
+      && List.for_all (fun s -> s = List.hd seqs) seqs)
+
+(* ------------------------------------------------------------------ *)
+(* Causal layer *)
+
+let test_causal_in_order () =
+  let a = Causal.create ~n:3 ~me:0 in
+  let b = Causal.create ~n:3 ~me:1 in
+  let m1 = Causal.stamp a "x" in
+  let m2 = Causal.stamp a "y" in
+  let d1 = Causal.receive b m1 in
+  let d2 = Causal.receive b m2 in
+  check (Alcotest.list Alcotest.string) "first" [ "x" ] (List.map (fun m -> m.Causal.body) d1);
+  check (Alcotest.list Alcotest.string) "second" [ "y" ] (List.map (fun m -> m.Causal.body) d2)
+
+let test_causal_reorders () =
+  let a = Causal.create ~n:3 ~me:0 in
+  let b = Causal.create ~n:3 ~me:1 in
+  let m1 = Causal.stamp a "x" in
+  let m2 = Causal.stamp a "y" in
+  (* Deliver out of order: y buffered until x arrives. *)
+  check Alcotest.int "y buffered" 0 (List.length (Causal.receive b m2));
+  check Alcotest.int "buffer size" 1 (Causal.pending b);
+  let d = Causal.receive b m1 in
+  check (Alcotest.list Alcotest.string) "x then y" [ "x"; "y" ]
+    (List.map (fun m -> m.Causal.body) d)
+
+let test_causal_transitive () =
+  (* a -> b -> c: c must not deliver b's message before a's. *)
+  let a = Causal.create ~n:3 ~me:0 in
+  let b = Causal.create ~n:3 ~me:1 in
+  let c = Causal.create ~n:3 ~me:2 in
+  let ma = Causal.stamp a "from-a" in
+  ignore (Causal.receive b ma);
+  let mb = Causal.stamp b "from-b" in
+  check Alcotest.int "b's msg buffered at c" 0 (List.length (Causal.receive c mb));
+  let d = Causal.receive c ma in
+  check (Alcotest.list Alcotest.string) "causal order at c" [ "from-a"; "from-b" ]
+    (List.map (fun m -> m.Causal.body) d)
+
+let test_causal_duplicates_ignored () =
+  let a = Causal.create ~n:2 ~me:0 in
+  let b = Causal.create ~n:2 ~me:1 in
+  let m = Causal.stamp a "x" in
+  check Alcotest.int "first" 1 (List.length (Causal.receive b m));
+  check Alcotest.int "dup dropped" 0 (List.length (Causal.receive b m))
+
+let prop_causal_random_order =
+  QCheck.Test.make ~name:"causal: any arrival order delivers causally" ~count:100
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Haf_sim.Rng.create seed in
+      let senders_n = 3 in
+      let n = senders_n + 1 in
+      (* Process [senders_n] is a silent receiver. *)
+      let senders = Array.init senders_n (fun i -> Causal.create ~n ~me:i) in
+      (* Build causal chains: each sender reads everything so far before
+         stamping its own message. *)
+      let msgs = ref [] in
+      for round = 1 to 6 do
+        let s = Haf_sim.Rng.int rng senders_n in
+        List.iter (fun m -> ignore (Causal.receive senders.(s) m)) (List.rev !msgs);
+        let m = Causal.stamp senders.(s) (Printf.sprintf "r%d-s%d" round s) in
+        msgs := m :: !msgs
+      done;
+      let receiver = Causal.create ~n ~me:senders_n in
+      let shuffled = Haf_sim.Rng.shuffle rng (List.rev !msgs) in
+      let delivered = List.concat_map (Causal.receive receiver) shuffled in
+      let happened_before a b =
+        a != b
+        && Array.for_all2 (fun x y -> x <= y) a.Causal.vc b.Causal.vc
+      in
+      let rec order_ok = function
+        | [] -> true
+        | x :: rest ->
+            (* Nothing delivered later may causally precede [x]. *)
+            List.for_all (fun y -> not (happened_before y x)) rest && order_ok rest
+      in
+      List.length delivered = List.length !msgs
+      && Causal.pending receiver = 0
+      && order_ok delivered)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "gcs.membership",
+      [
+        Alcotest.test_case "views converge" `Quick test_views_converge;
+        Alcotest.test_case "stable after settle" `Quick test_membership_stable_after_settle;
+        Alcotest.test_case "crash excludes" `Quick test_crash_view_excludes;
+        Alcotest.test_case "coordinator crash" `Quick test_coordinator_crash;
+        Alcotest.test_case "partition and merge" `Quick test_partition_and_merge;
+        Alcotest.test_case "leave" `Quick test_leave;
+        Alcotest.test_case "restart rejoins" `Quick test_restart_rejoins;
+        Alcotest.test_case "fast restart reconverges" `Quick test_fast_restart_reconverges;
+        Alcotest.test_case "leave then rejoin" `Quick test_leave_then_rejoin;
+        Alcotest.test_case "restarted process not muted" `Quick
+          test_restarted_process_not_muted;
+        Alcotest.test_case "two groups independent" `Quick test_two_groups_independent;
+        Alcotest.test_case "overlapping groups" `Quick test_overlapping_groups;
+      ] );
+    ( "gcs.ordering",
+      [
+        Alcotest.test_case "total order" `Quick test_total_order;
+        Alcotest.test_case "sender fifo" `Quick test_sender_fifo_within_total_order;
+        Alcotest.test_case "no duplicates" `Quick test_no_duplicates_ever;
+        Alcotest.test_case "view-change race not lost" `Quick
+          test_multicast_during_view_change_not_lost;
+        Alcotest.test_case "virtual synchrony on crash" `Quick
+          test_virtual_synchrony_on_crash;
+      ]
+      @ qsuite [ prop_total_order_random_crashes ] );
+    ( "gcs.open+p2p",
+      [
+        Alcotest.test_case "open send from client" `Quick test_open_send_from_client;
+        Alcotest.test_case "open send after crash" `Quick
+          test_open_send_survives_member_crash;
+        Alcotest.test_case "p2p" `Quick test_p2p;
+      ] );
+    ( "gcs.causal",
+      [
+        Alcotest.test_case "in order" `Quick test_causal_in_order;
+        Alcotest.test_case "reorders" `Quick test_causal_reorders;
+        Alcotest.test_case "transitive" `Quick test_causal_transitive;
+        Alcotest.test_case "duplicates ignored" `Quick test_causal_duplicates_ignored;
+      ]
+      @ qsuite [ prop_causal_random_order ] );
+  ]

@@ -1,0 +1,95 @@
+(* Tests for the availability manager (the paper's automated policy
+   enforcement, Sections 1/5). *)
+
+module Engine = Haf_sim.Engine
+module Manager = Haf_core.Manager
+
+let check = Alcotest.check
+
+let h u r s = { Manager.h_unit = u; h_live_replicas = r; h_sessions = s }
+
+(* ------------------------------------------------------------------ *)
+(* The pure policy kernel *)
+
+let test_evaluate_healthy () =
+  check Alcotest.bool "nothing to do" true
+    (Manager.evaluate ~min_replicas:2 ~max_load:10. [ h "a" 3 5; h "b" 2 10 ] = None)
+
+let test_evaluate_under_replication () =
+  match Manager.evaluate ~min_replicas:2 ~max_load:10. [ h "a" 3 5; h "b" 1 2 ] with
+  | Some (Manager.Under_replicated "b") -> ()
+  | _ -> Alcotest.fail "expected under-replicated b"
+
+let test_evaluate_worst_first () =
+  match
+    Manager.evaluate ~min_replicas:3 ~max_load:10. [ h "a" 2 0; h "b" 0 0; h "c" 1 0 ]
+  with
+  | Some (Manager.Under_replicated "b") -> ()
+  | _ -> Alcotest.fail "expected the zero-replica unit first"
+
+let test_evaluate_overload () =
+  match Manager.evaluate ~min_replicas:1 ~max_load:5. [ h "a" 2 8; h "b" 2 30 ] with
+  | Some (Manager.Overloaded "b") -> ()
+  | _ -> Alcotest.fail "expected the most overloaded unit"
+
+let test_evaluate_replication_beats_load () =
+  (* A unit below the floor wins over a massively overloaded one. *)
+  match
+    Manager.evaluate ~min_replicas:2 ~max_load:5. [ h "a" 1 0; h "b" 2 1000 ]
+  with
+  | Some (Manager.Under_replicated "a") -> ()
+  | _ -> Alcotest.fail "replication first"
+
+(* ------------------------------------------------------------------ *)
+(* The control loop *)
+
+let test_loop_spawns_and_cools_down () =
+  let engine = Engine.create () in
+  let replicas = ref 1 in
+  let spawned = ref [] in
+  let mgr =
+    Manager.create ~engine ~check_period:1.0 ~min_replicas:3 ~max_load:100.
+      ~cooldown:2.5
+      ~observe:(fun () -> [ h "u" !replicas 0 ])
+      ~spawn:(fun r ->
+        spawned := (Engine.now engine, r) :: !spawned;
+        incr replicas)
+      ()
+  in
+  Engine.run ~until:10. engine;
+  (* Needs two spawns (1 -> 3) at >= 2.5s apart, then quiet. *)
+  check Alcotest.int "exactly two spawns" 2 (List.length !spawned);
+  (match List.rev !spawned with
+  | [ (t1, _); (t2, _) ] ->
+      check Alcotest.bool "cooldown respected" true (t2 -. t1 >= 2.5)
+  | _ -> ());
+  check Alcotest.int "decision log matches" 2 (List.length (Manager.decisions mgr));
+  Manager.stop mgr;
+  Engine.run ~until:20. engine;
+  check Alcotest.int "no spawns after stop" 2 (List.length !spawned)
+
+let test_loop_quiet_when_healthy () =
+  let engine = Engine.create () in
+  let spawned = ref 0 in
+  let _mgr =
+    Manager.create ~engine ~check_period:1.0 ~min_replicas:2 ~max_load:10.
+      ~observe:(fun () -> [ h "u" 3 5 ])
+      ~spawn:(fun _ -> incr spawned)
+      ()
+  in
+  Engine.run ~until:20. engine;
+  check Alcotest.int "healthy cluster untouched" 0 !spawned
+
+let suite =
+  [
+    ( "manager",
+      [
+        Alcotest.test_case "evaluate healthy" `Quick test_evaluate_healthy;
+        Alcotest.test_case "evaluate under-replication" `Quick test_evaluate_under_replication;
+        Alcotest.test_case "evaluate worst first" `Quick test_evaluate_worst_first;
+        Alcotest.test_case "evaluate overload" `Quick test_evaluate_overload;
+        Alcotest.test_case "replication beats load" `Quick test_evaluate_replication_beats_load;
+        Alcotest.test_case "loop spawns with cooldown" `Quick test_loop_spawns_and_cools_down;
+        Alcotest.test_case "loop quiet when healthy" `Quick test_loop_quiet_when_healthy;
+      ] );
+  ]

@@ -1,0 +1,339 @@
+(* Tests for the simulated network and the reliable transport. *)
+
+module Engine = Haf_sim.Engine
+module Network = Haf_net.Network
+module Transport = Haf_net.Transport
+module Latency = Haf_net.Latency
+
+let check = Alcotest.check
+
+let make_net ?(config = Network.default_config) ?(n = 3) () =
+  let engine = Engine.create ~seed:7 () in
+  let net = Network.create engine config in
+  let nodes = List.init n (fun _ -> Network.add_node net) in
+  (engine, net, nodes)
+
+(* ------------------------------------------------------------------ *)
+(* Raw network *)
+
+let test_basic_delivery () =
+  let engine, net, _ = make_net () in
+  let got = ref [] in
+  Network.set_receiver net 1 (fun ~src payload -> got := (src, payload) :: !got);
+  Network.send net ~src:0 ~dst:1 "hello";
+  Engine.run engine;
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string)) "delivered"
+    [ (0, "hello") ] !got
+
+let test_latency_positive () =
+  let engine, net, _ = make_net () in
+  let arrival = ref (-1.) in
+  Network.set_receiver net 1 (fun ~src:_ _ -> arrival := Engine.now engine);
+  Network.send net ~src:0 ~dst:1 "x";
+  Engine.run engine;
+  check Alcotest.bool "strictly positive latency" true (!arrival > 0.)
+
+let test_crash_blocks_delivery () =
+  let engine, net, _ = make_net () in
+  let got = ref 0 in
+  Network.set_receiver net 1 (fun ~src:_ _ -> incr got);
+  Network.crash net 1;
+  Network.send net ~src:0 ~dst:1 "x";
+  Engine.run engine;
+  check Alcotest.int "no delivery to crashed node" 0 !got;
+  check Alcotest.bool "alive flag" false (Network.alive net 1)
+
+let test_crashed_source_sends_nothing () =
+  let engine, net, _ = make_net () in
+  let got = ref 0 in
+  Network.set_receiver net 1 (fun ~src:_ _ -> incr got);
+  Network.crash net 0;
+  Network.send net ~src:0 ~dst:1 "x";
+  Engine.run engine;
+  check Alcotest.int "crashed source is mute" 0 !got
+
+let test_recover () =
+  let engine, net, _ = make_net () in
+  let got = ref 0 in
+  Network.set_receiver net 1 (fun ~src:_ _ -> incr got);
+  Network.crash net 1;
+  Network.send net ~src:0 ~dst:1 "x";
+  Engine.run engine;
+  Network.recover net 1;
+  Network.send net ~src:0 ~dst:1 "y";
+  Engine.run engine;
+  check Alcotest.int "delivery after recovery" 1 !got
+
+let test_partition_blocks () =
+  let engine, net, _ = make_net () in
+  let got = ref 0 in
+  Network.set_receiver net 2 (fun ~src:_ _ -> incr got);
+  Network.partition net [ [ 0; 1 ]; [ 2 ] ];
+  Network.send net ~src:0 ~dst:2 "x";
+  Engine.run engine;
+  check Alcotest.int "across partition" 0 !got;
+  Network.heal_links net;
+  Network.send net ~src:0 ~dst:2 "y";
+  Engine.run engine;
+  check Alcotest.int "after heal" 1 !got
+
+let test_partition_within_component () =
+  let engine, net, _ = make_net () in
+  let got = ref 0 in
+  Network.set_receiver net 1 (fun ~src:_ _ -> incr got);
+  Network.partition net [ [ 0; 1 ]; [ 2 ] ];
+  Network.send net ~src:0 ~dst:1 "x";
+  Engine.run engine;
+  check Alcotest.int "inside component flows" 1 !got
+
+let test_asymmetric_link () =
+  let engine, net, _ = make_net () in
+  let at1 = ref 0 and at0 = ref 0 in
+  Network.set_receiver net 1 (fun ~src:_ _ -> incr at1);
+  Network.set_receiver net 0 (fun ~src:_ _ -> incr at0);
+  Network.set_link net 0 1 false;
+  Network.send net ~src:0 ~dst:1 "x";
+  Network.send net ~src:1 ~dst:0 "y";
+  Engine.run engine;
+  check Alcotest.int "0->1 cut" 0 !at1;
+  check Alcotest.int "1->0 open (non-transitive direction)" 1 !at0
+
+let test_unlisted_nodes_form_component () =
+  let engine, net, _ = make_net ~n:4 () in
+  let got = ref [] in
+  List.iter
+    (fun i -> Network.set_receiver net i (fun ~src payload -> got := (src, i, payload) :: !got))
+    [ 0; 1; 2; 3 ];
+  Network.partition net [ [ 0; 1 ] ];
+  (* 2 and 3 were not listed: they share the implicit component. *)
+  Network.send net ~src:2 ~dst:3 "a";
+  Network.send net ~src:2 ~dst:0 "b";
+  Engine.run engine;
+  check Alcotest.int "2->3 delivered, 2->0 blocked" 1 (List.length !got)
+
+let test_drop_probability () =
+  let config = Network.lossy_lan 0.5 in
+  let engine, net, _ = make_net ~config () in
+  let got = ref 0 in
+  Network.set_receiver net 1 (fun ~src:_ _ -> incr got);
+  for _ = 1 to 1000 do
+    Network.send net ~src:0 ~dst:1 "x"
+  done;
+  Engine.run engine;
+  check Alcotest.bool "roughly half dropped" true (!got > 350 && !got < 650)
+
+let test_counters () =
+  let engine, net, _ = make_net () in
+  Network.set_receiver net 1 (fun ~src:_ _ -> ());
+  Network.send net ~src:0 ~dst:1 "abcd";
+  Engine.run engine;
+  let c0 = Network.counters net 0 and c1 = Network.counters net 1 in
+  check Alcotest.int "sent" 1 c0.Network.datagrams_sent;
+  check Alcotest.int "received" 1 c1.Network.datagrams_received;
+  check Alcotest.int "bytes" 4 c1.Network.bytes_received;
+  Network.reset_counters net;
+  check Alcotest.int "reset" 0 (Network.counters net 0).Network.datagrams_sent
+
+let test_self_send () =
+  let engine, net, _ = make_net () in
+  let got = ref 0 in
+  Network.set_receiver net 0 (fun ~src payload ->
+      check Alcotest.int "self src" 0 src;
+      check Alcotest.string "self payload" "me" payload;
+      incr got);
+  Network.send net ~src:0 ~dst:0 "me";
+  Engine.run engine;
+  check Alcotest.int "self delivery" 1 !got
+
+let test_bandwidth_transmission_delay () =
+  (* 1 KB/s link: a 500-byte datagram takes >= 0.5 s, a 5-byte one a few
+     milliseconds. *)
+  let config = { Network.default_config with bandwidth = Some 1000. } in
+  let engine, net, _ = make_net ~config () in
+  let arrivals = ref [] in
+  Network.set_receiver net 1 (fun ~src:_ payload ->
+      arrivals := (payload, Engine.now engine) :: !arrivals);
+  Network.send net ~src:0 ~dst:1 (String.make 500 'x');
+  Network.send net ~src:0 ~dst:1 "tiny";
+  Engine.run engine;
+  let time_of p = List.assoc p (List.map (fun (pl, t) -> (pl, t)) !arrivals) in
+  check Alcotest.bool "big datagram paid transmission delay" true
+    (time_of (String.make 500 'x') >= 0.5);
+  check Alcotest.bool "small datagram fast" true (time_of "tiny" < 0.1)
+
+(* ------------------------------------------------------------------ *)
+(* Reliable transport *)
+
+let make_transport ?(drop = 0.) ?(n = 3) () =
+  let config = Network.lossy_lan drop in
+  let engine, net, nodes = make_net ~config ~n () in
+  let tr = Transport.create net in
+  (engine, net, tr, nodes)
+
+let collect tr node =
+  let got = ref [] in
+  Transport.attach tr node (fun ~src payload -> got := (src, payload) :: !got);
+  got
+
+let test_transport_in_order () =
+  let engine, _, tr, _ = make_transport () in
+  let got = collect tr 1 in
+  Transport.attach tr 0 (fun ~src:_ _ -> ());
+  for i = 1 to 20 do
+    Transport.send tr ~src:0 ~dst:1 (string_of_int i)
+  done;
+  Engine.run engine;
+  let payloads = List.rev_map snd !got in
+  check (Alcotest.list Alcotest.string) "fifo order"
+    (List.init 20 (fun i -> string_of_int (i + 1)))
+    payloads
+
+let test_transport_reliable_over_loss () =
+  let engine, _, tr, _ = make_transport ~drop:0.3 () in
+  let got = collect tr 1 in
+  Transport.attach tr 0 (fun ~src:_ _ -> ());
+  for i = 1 to 50 do
+    Transport.send tr ~src:0 ~dst:1 (string_of_int i)
+  done;
+  Engine.run ~until:60. engine;
+  let payloads = List.rev_map snd !got in
+  check (Alcotest.list Alcotest.string) "exactly once, in order, despite 30% loss"
+    (List.init 50 (fun i -> string_of_int (i + 1)))
+    payloads
+
+let test_transport_across_partition_heal () =
+  let engine, net, tr, _ = make_transport () in
+  let got = collect tr 1 in
+  Transport.attach tr 0 (fun ~src:_ _ -> ());
+  Network.partition net [ [ 0 ]; [ 1 ] ];
+  Transport.send tr ~src:0 ~dst:1 "late";
+  Engine.run ~until:5. engine;
+  check Alcotest.int "nothing during partition" 0 (List.length !got);
+  Network.heal_links net;
+  Engine.run ~until:20. engine;
+  check (Alcotest.list Alcotest.string) "delivered after heal" [ "late" ]
+    (List.rev_map snd !got)
+
+let test_transport_unreliable_raw () =
+  let engine, _, tr, _ = make_transport () in
+  let raw = ref [] in
+  Transport.attach tr 1
+    ~on_raw:(fun ~src payload -> raw := (src, payload) :: !raw)
+    (fun ~src:_ _ -> ());
+  Transport.send_unreliable tr ~src:0 ~dst:1 "ping";
+  Engine.run engine;
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string)) "raw path"
+    [ (0, "ping") ] !raw
+
+let test_transport_reset_node () =
+  let engine, net, tr, _ = make_transport () in
+  let got = collect tr 1 in
+  Transport.attach tr 0 (fun ~src:_ _ -> ());
+  Transport.send tr ~src:0 ~dst:1 "a";
+  Engine.run engine;
+  (* Simulate the receiver process restarting: wipe its channel state. *)
+  Network.crash net 1;
+  Transport.send tr ~src:0 ~dst:1 "lost-or-later";
+  Engine.run ~until:2. engine;
+  Network.recover net 1;
+  Transport.reset_node tr 1;
+  Engine.run ~until:30. engine;
+  Transport.send tr ~src:0 ~dst:1 "fresh";
+  Engine.run ~until:60. engine;
+  let payloads = List.rev_map snd !got in
+  (* "a" before the crash; after the reset the channel renegotiates and
+     both queued and fresh messages arrive, still in order. *)
+  check Alcotest.bool "prefix a"
+    true
+    (match payloads with "a" :: _ -> true | _ -> false);
+  check Alcotest.string "fresh arrives last" "fresh" (List.nth payloads (List.length payloads - 1))
+
+let prop_transport_partition_churn =
+  (* The GCS contract on the transport: exactly-once, in-order delivery
+     as long as the two endpoints are eventually connected — under
+     random loss AND random partition windows while traffic flows. *)
+  QCheck.Test.make ~name:"transport: exactly-once in-order across partition churn"
+    ~count:15
+    QCheck.(pair (int_bound 1000) (int_bound 30))
+    (fun (seed, drop_pct) ->
+      let drop = float_of_int drop_pct /. 100. in
+      let engine = Engine.create ~seed:(seed + 3) () in
+      let net = Network.create engine (Network.lossy_lan drop) in
+      let _ = Network.add_node net and _ = Network.add_node net in
+      let tr = Transport.create net in
+      let got = ref [] in
+      Transport.attach tr 1 (fun ~src:_ payload -> got := payload :: !got);
+      Transport.attach tr 0 (fun ~src:_ _ -> ());
+      let rng = Haf_sim.Rng.create (seed + 17) in
+      (* Random sends over 30s; record the actual submission order. *)
+      let sent = ref [] in
+      for i = 1 to 40 do
+        let at = Haf_sim.Rng.float rng 30. in
+        ignore
+          (Engine.schedule_at engine ~time:at (fun () ->
+               sent := string_of_int i :: !sent;
+               Transport.send tr ~src:0 ~dst:1 (string_of_int i)))
+      done;
+      (* ...through three random partition windows. *)
+      for _ = 1 to 3 do
+        let cut = Haf_sim.Rng.float rng 25. in
+        let heal = cut +. 1. +. Haf_sim.Rng.float rng 5. in
+        ignore
+          (Engine.schedule_at engine ~time:cut (fun () ->
+               Network.partition net [ [ 0 ]; [ 1 ] ]));
+        ignore
+          (Engine.schedule_at engine ~time:heal (fun () -> Network.heal_links net))
+      done;
+      ignore (Engine.schedule_at engine ~time:35. (fun () -> Network.heal_links net));
+      Engine.run ~until:120. engine;
+      (* Exactly-once, and in submission order. *)
+      List.rev !got = List.rev !sent)
+
+let prop_transport_any_loss_rate =
+  QCheck.Test.make ~name:"transport: exactly-once in-order for any loss < 0.6" ~count:20
+    QCheck.(pair (int_bound 1000) (int_bound 60))
+    (fun (seed, drop_pct) ->
+      let drop = float_of_int drop_pct /. 100. in
+      let engine = Engine.create ~seed:(seed + 1) () in
+      let net = Network.create engine (Network.lossy_lan drop) in
+      let _ = Network.add_node net and _ = Network.add_node net in
+      let tr = Transport.create net in
+      let got = ref [] in
+      Transport.attach tr 1 (fun ~src:_ payload -> got := payload :: !got);
+      Transport.attach tr 0 (fun ~src:_ _ -> ());
+      for i = 1 to 30 do
+        Transport.send tr ~src:0 ~dst:1 (string_of_int i)
+      done;
+      Engine.run ~until:120. engine;
+      List.rev !got = List.init 30 (fun i -> string_of_int (i + 1)))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "net.network",
+      [
+        Alcotest.test_case "basic delivery" `Quick test_basic_delivery;
+        Alcotest.test_case "latency positive" `Quick test_latency_positive;
+        Alcotest.test_case "crash blocks delivery" `Quick test_crash_blocks_delivery;
+        Alcotest.test_case "crashed source mute" `Quick test_crashed_source_sends_nothing;
+        Alcotest.test_case "recover" `Quick test_recover;
+        Alcotest.test_case "partition blocks" `Quick test_partition_blocks;
+        Alcotest.test_case "partition within component" `Quick test_partition_within_component;
+        Alcotest.test_case "asymmetric link" `Quick test_asymmetric_link;
+        Alcotest.test_case "implicit component" `Quick test_unlisted_nodes_form_component;
+        Alcotest.test_case "drop probability" `Quick test_drop_probability;
+        Alcotest.test_case "counters" `Quick test_counters;
+        Alcotest.test_case "self send" `Quick test_self_send;
+        Alcotest.test_case "bandwidth delay" `Quick test_bandwidth_transmission_delay;
+      ] );
+    ( "net.transport",
+      [
+        Alcotest.test_case "in order" `Quick test_transport_in_order;
+        Alcotest.test_case "reliable over loss" `Quick test_transport_reliable_over_loss;
+        Alcotest.test_case "partition then heal" `Quick test_transport_across_partition_heal;
+        Alcotest.test_case "raw datagrams" `Quick test_transport_unreliable_raw;
+        Alcotest.test_case "reset node" `Quick test_transport_reset_node;
+      ]
+      @ qsuite [ prop_transport_any_loss_rate; prop_transport_partition_churn ] );
+  ]

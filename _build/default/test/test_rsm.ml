@@ -1,0 +1,152 @@
+(* Tests for the replicated state machine extension (paper Section 5
+   future work): convergence under concurrency, crashes, partitions and
+   merges, with the primary-partition (majority) rule. *)
+
+module Engine = Haf_sim.Engine
+module Gcs = Haf_gcs.Gcs
+
+module Counter = struct
+  type state = { total : int; entries : (int * int) list (* tag, value; newest first *) }
+
+  type command = Add of { tag : int; value : int }
+
+  let initial = { total = 0; entries = [] }
+
+  let apply st (Add { tag; value }) =
+    { total = st.total + value; entries = (tag, value) :: st.entries }
+end
+
+module R = Haf_core.Rsm.Make (Counter)
+
+let check = Alcotest.check
+
+let make ?(n = 3) ?(seed = 5) () =
+  let engine = Engine.create ~seed () in
+  let gcs = Gcs.create ~num_servers:n engine in
+  let replicas =
+    List.map (fun p -> R.create gcs ~proc:p ~group:"rsm" ~total:n ()) (Gcs.servers gcs)
+  in
+  (engine, gcs, replicas)
+
+let states replicas = List.map (fun r -> (R.applied_count r, (R.state r).Counter.total)) replicas
+
+let test_converges () =
+  let engine, _, replicas = make () in
+  Engine.run ~until:3. engine;
+  List.iteri (fun i r -> R.submit r (Counter.Add { tag = i; value = i + 1 })) replicas;
+  Engine.run ~until:6. engine;
+  (match states replicas with
+  | (3, 6) :: rest -> List.iter (fun s -> check (Alcotest.pair Alcotest.int Alcotest.int) "equal" (3, 6) s) rest
+  | s :: _ -> Alcotest.failf "unexpected state (%d, %d)" (fst s) (snd s)
+  | [] -> Alcotest.fail "no replicas");
+  (* Identical entry orders, not just totals: total order at work. *)
+  let orders = List.map (fun r -> (R.state r).Counter.entries) replicas in
+  List.iter
+    (fun o -> check Alcotest.bool "same order" true (o = List.hd orders))
+    orders
+
+let test_survives_crash () =
+  let engine, gcs, replicas = make () in
+  Engine.run ~until:3. engine;
+  R.submit (List.hd replicas) (Counter.Add { tag = 0; value = 5 });
+  Engine.run ~until:5. engine;
+  Gcs.crash gcs 0;
+  Engine.run ~until:9. engine;
+  (* Two of three is still a majority: commands keep flowing. *)
+  R.submit (List.nth replicas 1) (Counter.Add { tag = 1; value = 7 });
+  Engine.run ~until:12. engine;
+  List.iteri
+    (fun i r ->
+      if i > 0 then
+        check (Alcotest.pair Alcotest.int Alcotest.int)
+          (Printf.sprintf "replica %d" i)
+          (2, 12)
+          (R.applied_count r, (R.state r).Counter.total))
+    replicas
+
+let test_minority_blocks_then_catches_up () =
+  let engine, gcs, replicas = make ~n:3 () in
+  Engine.run ~until:3. engine;
+  R.submit (List.hd replicas) (Counter.Add { tag = 0; value = 1 });
+  Engine.run ~until:5. engine;
+  (* Partition replica 2 away: it is a minority of one. *)
+  Gcs.partition gcs [ [ 0; 1 ]; [ 2 ] ];
+  Engine.run ~until:9. engine;
+  let minority = List.nth replicas 2 in
+  check Alcotest.bool "minority knows it" false (R.in_majority minority);
+  R.submit minority (Counter.Add { tag = 2; value = 100 });
+  Engine.run ~until:12. engine;
+  check Alcotest.int "minority buffered, not applied" 1 (R.pending minority);
+  check Alcotest.int "minority state unchanged" 1 (R.applied_count minority);
+  (* Majority keeps going. *)
+  R.submit (List.nth replicas 1) (Counter.Add { tag = 1; value = 10 });
+  Engine.run ~until:15. engine;
+  check Alcotest.int "majority applied" 2 (R.applied_count (List.hd replicas));
+  (* Heal: the minority catches up AND its buffered command finally
+     lands, everywhere. *)
+  Gcs.heal gcs;
+  Engine.run ~until:25. engine;
+  List.iteri
+    (fun i r ->
+      check (Alcotest.pair Alcotest.int Alcotest.int)
+        (Printf.sprintf "replica %d caught up" i)
+        (3, 111)
+        (R.applied_count r, (R.state r).Counter.total))
+    replicas
+
+let test_restart_syncs_state () =
+  let engine, gcs, replicas = make () in
+  Engine.run ~until:3. engine;
+  R.submit (List.hd replicas) (Counter.Add { tag = 0; value = 42 });
+  Engine.run ~until:5. engine;
+  Gcs.crash gcs 2;
+  Engine.run ~until:8. engine;
+  R.submit (List.hd replicas) (Counter.Add { tag = 1; value = 8 });
+  Engine.run ~until:10. engine;
+  Gcs.restart gcs 2;
+  let fresh = R.create gcs ~proc:2 ~group:"rsm" ~total:3 () in
+  Engine.run ~until:18. engine;
+  check (Alcotest.pair Alcotest.int Alcotest.int) "fresh replica adopted state" (2, 50)
+    (R.applied_count fresh, (R.state fresh).Counter.total)
+
+let prop_rsm_replicas_agree =
+  QCheck.Test.make ~name:"rsm: random submissions and one crash still agree" ~count:10
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let engine, gcs, replicas = make ~n:4 ~seed:(seed + 1) () in
+      let rng = Haf_sim.Rng.create (seed + 9) in
+      Engine.run ~until:3. engine;
+      for i = 1 to 12 do
+        let at = 3. +. Haf_sim.Rng.float rng 4. in
+        let who = Haf_sim.Rng.int rng 4 in
+        ignore
+          (Engine.schedule_at engine ~time:at (fun () ->
+               if Gcs.alive gcs who then
+                 R.submit (List.nth replicas who) (Counter.Add { tag = i; value = i })))
+      done;
+      let victim = Haf_sim.Rng.int rng 4 in
+      ignore
+        (Engine.schedule_at engine
+           ~time:(4. +. Haf_sim.Rng.float rng 2.)
+           (fun () -> Gcs.crash gcs victim));
+      Engine.run ~until:20. engine;
+      let survivors =
+        List.filteri (fun i _ -> i <> victim) replicas
+        |> List.map (fun r -> (R.applied_count r, (R.state r).Counter.entries))
+      in
+      List.for_all (fun s -> s = List.hd survivors) survivors)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "rsm",
+      [
+        Alcotest.test_case "converges" `Quick test_converges;
+        Alcotest.test_case "survives crash" `Quick test_survives_crash;
+        Alcotest.test_case "minority blocks then catches up" `Quick
+          test_minority_blocks_then_catches_up;
+        Alcotest.test_case "restart syncs state" `Quick test_restart_syncs_state;
+      ]
+      @ qsuite [ prop_rsm_replicas_agree ] );
+  ]

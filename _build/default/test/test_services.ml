@@ -1,0 +1,255 @@
+(* Unit and property tests for the three paper services (VoD, distance
+   education, refining search) and the synthetic experiment service. *)
+
+module Vod = Haf_services.Vod
+module Edu = Haf_services.Education
+module Search = Haf_services.Search
+module Syn = Haf_services.Synthetic
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* VoD *)
+
+let test_vod_streams_in_order () =
+  let ctx = Vod.initial_context ~unit_id:"movie:x" in
+  let frames, ctx' = Vod.tick ctx in
+  check Alcotest.int "batch size" Vod.frames_per_tick (List.length frames);
+  check Alcotest.int "position advances" Vod.frames_per_tick ctx'.Vod.position;
+  let ids = List.map Vod.response_id frames in
+  check (Alcotest.list Alcotest.int) "frame ids 0.." [ 0; 1; 2; 3; 4 ] ids
+
+let test_vod_seek () =
+  let ctx = Vod.initial_context ~unit_id:"movie:x" in
+  let ctx = Vod.apply_request ctx (Vod.Seek 1000) in
+  let frames, _ = Vod.tick ctx in
+  check Alcotest.int "first frame after seek" 1000 (Vod.response_id (List.hd frames))
+
+let test_vod_seek_clamped () =
+  let ctx = Vod.initial_context ~unit_id:"movie:short:100" in
+  check Alcotest.int "length parsed" 100 ctx.Vod.length;
+  let ctx = Vod.apply_request ctx (Vod.Seek 1_000_000) in
+  check Alcotest.int "seek clamped to length" 100 ctx.Vod.position;
+  let ctx = Vod.apply_request ctx (Vod.Seek (-5)) in
+  check Alcotest.int "seek clamped to zero" 0 ctx.Vod.position
+
+let test_vod_pause_resume () =
+  let ctx = Vod.initial_context ~unit_id:"movie:x" in
+  let ctx = Vod.apply_request ctx (Vod.Set_rate 0) in
+  let frames, ctx' = Vod.tick ctx in
+  check Alcotest.int "paused: nothing streams" 0 (List.length frames);
+  check Alcotest.int "paused: no progress" 0 ctx'.Vod.position;
+  let ctx = Vod.apply_request ctx (Vod.Set_rate Vod.frames_per_tick) in
+  let frames, _ = Vod.tick ctx in
+  check Alcotest.bool "resumed" true (frames <> [])
+
+let test_vod_finishes () =
+  let ctx = Vod.initial_context ~unit_id:"movie:tiny:8" in
+  let rec play ctx n =
+    if n = 0 then ctx
+    else
+      let _, ctx = Vod.tick ctx in
+      play ctx (n - 1)
+  in
+  let ctx = play ctx 3 in
+  check Alcotest.bool "movie over" true (Vod.session_finished ctx);
+  let frames, _ = Vod.tick ctx in
+  check Alcotest.int "credits: no frames" 0 (List.length frames)
+
+let test_vod_key_frames () =
+  let ctx = Vod.initial_context ~unit_id:"movie:x" in
+  let rec collect ctx n acc =
+    if n = 0 then List.rev acc
+    else
+      let frames, ctx = Vod.tick ctx in
+      collect ctx (n - 1) (List.rev_append frames acc)
+  in
+  let frames = collect ctx 10 [] in
+  List.iter
+    (fun f ->
+      let critical = Vod.response_critical f in
+      let expected = Vod.response_id f mod Vod.gop = 0 in
+      check Alcotest.bool "I-frame iff multiple of gop" expected critical)
+    frames
+
+let prop_vod_tick_progress =
+  QCheck.Test.make ~name:"vod: tick never exceeds length, never reverses" ~count:200
+    QCheck.(pair (int_bound 200) (int_bound 30))
+    (fun (start, rate) ->
+      let ctx = Vod.initial_context ~unit_id:"movie:t:150" in
+      let ctx = Vod.apply_request ctx (Vod.Seek start) in
+      let ctx = Vod.apply_request ctx (Vod.Set_rate rate) in
+      let _, ctx' = Vod.tick ctx in
+      ctx'.Vod.position >= ctx.Vod.position && ctx'.Vod.position <= 150)
+
+(* ------------------------------------------------------------------ *)
+(* Education *)
+
+let test_edu_streams_fragments () =
+  let ctx = Edu.initial_context ~unit_id:"topic:x:3" in
+  let frag, ctx' = Edu.tick ctx in
+  (match frag with
+  | [ Edu.Fragment { obj = 0; part = 0; detailed = false } ] -> ()
+  | _ -> Alcotest.fail "first fragment");
+  check Alcotest.int "part advances" 1 ctx'.Edu.part
+
+let test_edu_follow_link () =
+  let ctx = Edu.initial_context ~unit_id:"topic:x:10" in
+  let ctx = Edu.apply_request ctx (Edu.Follow_link 7) in
+  check Alcotest.int "jumped" 7 ctx.Edu.current;
+  check Alcotest.int "restarts object" 0 ctx.Edu.part;
+  let ctx = Edu.apply_request ctx (Edu.Follow_link 99) in
+  check Alcotest.int "clamped to topic" 9 ctx.Edu.current
+
+let test_edu_quiz_changes_detail () =
+  let ctx = Edu.initial_context ~unit_id:"topic:x:10" in
+  let ctx = Edu.apply_request ctx (Edu.Quiz_answer { grade = 30 }) in
+  check Alcotest.bool "poor grade -> detailed" true ctx.Edu.detailed;
+  let frag, _ = Edu.tick ctx in
+  (match frag with
+  | [ Edu.Fragment { detailed = true; _ } ] -> ()
+  | _ -> Alcotest.fail "detailed fragment expected");
+  let ctx = Edu.apply_request ctx (Edu.Quiz_answer { grade = 90 }) in
+  check Alcotest.bool "good grade -> terse" false ctx.Edu.detailed
+
+let test_edu_completes_topic () =
+  let ctx = Edu.initial_context ~unit_id:"topic:x:2" in
+  let rec drive ctx n =
+    if Edu.session_finished ctx then n
+    else if n > 200 then Alcotest.fail "topic never completes"
+    else
+      let _, ctx = Edu.tick ctx in
+      drive ctx (n + 1)
+  in
+  let ticks = drive ctx 0 in
+  check Alcotest.int "2 objects x terse parts" (2 * Edu.parts_terse) ticks
+
+let prop_edu_response_ids_unique =
+  QCheck.Test.make ~name:"education: fragment ids unique within a topic run" ~count:50
+    QCheck.(int_bound 1000)
+    (fun _ ->
+      let ctx = Edu.initial_context ~unit_id:"topic:x:4" in
+      let rec collect ctx acc n =
+        if Edu.session_finished ctx || n > 300 then acc
+        else
+          let frags, ctx = Edu.tick ctx in
+          collect ctx (List.map Edu.response_id frags @ acc) (n + 1)
+      in
+      let ids = collect ctx [] 0 in
+      List.length ids = List.length (List.sort_uniq compare ids))
+
+(* ------------------------------------------------------------------ *)
+(* Search *)
+
+let test_search_filter_all () =
+  let ctx = Search.initial_context ~unit_id:"corpus:x:30" in
+  let result = Search.run_query ctx (Search.Filter { base = None; modulus = 3; residue = 0 }) in
+  check (Alcotest.list Alcotest.int) "multiples of 3"
+    [ 0; 3; 6; 9; 12; 15; 18; 21; 24; 27 ]
+    result
+
+let test_search_refines () =
+  let ctx = Search.initial_context ~unit_id:"corpus:x:30" in
+  let ctx = Search.apply_request ctx (Search.Filter { base = None; modulus = 3; residue = 0 }) in
+  let result =
+    Search.run_query ctx (Search.Filter { base = Some 1; modulus = 2; residue = 0 })
+  in
+  check (Alcotest.list Alcotest.int) "multiples of 6" [ 0; 6; 12; 18; 24 ] result
+
+let test_search_intersect () =
+  let ctx = Search.initial_context ~unit_id:"corpus:x:30" in
+  let ctx = Search.apply_request ctx (Search.Filter { base = None; modulus = 2; residue = 0 }) in
+  let ctx = Search.apply_request ctx (Search.Filter { base = None; modulus = 3; residue = 0 }) in
+  let result = Search.run_query ctx (Search.Intersect (1, 2)) in
+  check (Alcotest.list Alcotest.int) "intersection" [ 0; 6; 12; 18; 24 ] result
+
+let test_search_bad_history_index () =
+  let ctx = Search.initial_context ~unit_id:"corpus:x:30" in
+  check (Alcotest.list Alcotest.int) "missing set -> empty" []
+    (Search.run_query ctx (Search.Intersect (4, 9)))
+
+let test_search_streams_hits () =
+  let ctx = Search.initial_context ~unit_id:"corpus:x:30" in
+  let hits0, _ = Search.tick ctx in
+  check Alcotest.int "nothing before a query" 0 (List.length hits0);
+  let ctx = Search.apply_request ctx (Search.Filter { base = None; modulus = 2; residue = 0 }) in
+  let hits1, ctx = Search.tick ctx in
+  check Alcotest.int "first batch" Search.hits_per_tick (List.length hits1);
+  let hits2, _ = Search.tick ctx in
+  let ids1 = List.map Search.response_id hits1 in
+  let ids2 = List.map Search.response_id hits2 in
+  check Alcotest.bool "no repeat across ticks" true
+    (List.for_all (fun i -> not (List.mem i ids1)) ids2)
+
+let prop_search_refinement_shrinks =
+  QCheck.Test.make ~name:"search: refining never grows the result set" ~count:100
+    QCheck.(pair (int_range 1 10) (int_range 1 10))
+    (fun (m1, m2) ->
+      let ctx = Search.initial_context ~unit_id:"corpus:x:100" in
+      let q1 = Search.Filter { base = None; modulus = m1; residue = 0 } in
+      let ctx = Search.apply_request ctx q1 in
+      let r1 = List.length (List.hd ctx.Search.history) in
+      let q2 = Search.Filter { base = Some 1; modulus = m2; residue = 0 } in
+      let r2 = List.length (Search.run_query ctx q2) in
+      r2 <= r1)
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic *)
+
+let test_synthetic_stream () =
+  let ctx = Syn.initial_context ~unit_id:"u" in
+  let r1, ctx = Syn.tick ctx in
+  let r2, _ = Syn.tick ctx in
+  check (Alcotest.list Alcotest.int) "consecutive ids" [ 0; 1 ]
+    (List.map Syn.response_id (r1 @ r2))
+
+let test_synthetic_reposition () =
+  let ctx = Syn.initial_context ~unit_id:"u" in
+  let ctx = Syn.apply_request ctx (Syn.Reposition { seq = 3; to_ = 500 }) in
+  check Alcotest.int "marker tracks max seq" 3 ctx.Syn.marker;
+  let r, _ = Syn.tick ctx in
+  check (Alcotest.list Alcotest.int) "repositioned" [ 500 ] (List.map Syn.response_id r)
+
+let test_synthetic_critical_cadence () =
+  check Alcotest.bool "0 critical" true (Syn.response_critical (Syn.Item { index = 0 }));
+  check Alcotest.bool "10 critical" true (Syn.response_critical (Syn.Item { index = 10 }));
+  check Alcotest.bool "7 not" false (Syn.response_critical (Syn.Item { index = 7 }))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "services.vod",
+      [
+        Alcotest.test_case "streams in order" `Quick test_vod_streams_in_order;
+        Alcotest.test_case "seek" `Quick test_vod_seek;
+        Alcotest.test_case "seek clamped" `Quick test_vod_seek_clamped;
+        Alcotest.test_case "pause/resume" `Quick test_vod_pause_resume;
+        Alcotest.test_case "finishes" `Quick test_vod_finishes;
+        Alcotest.test_case "key frames" `Quick test_vod_key_frames;
+      ]
+      @ qsuite [ prop_vod_tick_progress ] );
+    ( "services.education",
+      [
+        Alcotest.test_case "streams fragments" `Quick test_edu_streams_fragments;
+        Alcotest.test_case "follow link" `Quick test_edu_follow_link;
+        Alcotest.test_case "quiz changes detail" `Quick test_edu_quiz_changes_detail;
+        Alcotest.test_case "completes topic" `Quick test_edu_completes_topic;
+      ]
+      @ qsuite [ prop_edu_response_ids_unique ] );
+    ( "services.search",
+      [
+        Alcotest.test_case "filter all" `Quick test_search_filter_all;
+        Alcotest.test_case "refines" `Quick test_search_refines;
+        Alcotest.test_case "intersect" `Quick test_search_intersect;
+        Alcotest.test_case "bad history index" `Quick test_search_bad_history_index;
+        Alcotest.test_case "streams hits" `Quick test_search_streams_hits;
+      ]
+      @ qsuite [ prop_search_refinement_shrinks ] );
+    ( "services.synthetic",
+      [
+        Alcotest.test_case "stream" `Quick test_synthetic_stream;
+        Alcotest.test_case "reposition" `Quick test_synthetic_reposition;
+        Alcotest.test_case "critical cadence" `Quick test_synthetic_critical_cadence;
+      ] );
+  ]

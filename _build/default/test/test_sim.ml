@@ -1,0 +1,257 @@
+(* Unit and property tests for the discrete-event engine, RNG and heap. *)
+
+module Engine = Haf_sim.Engine
+module Rng = Haf_sim.Rng
+module Heap = Haf_sim.Heap
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 0 ];
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  check (Alcotest.list Alcotest.int) "sorted drain" [ 0; 1; 1; 3; 4; 5; 9 ] (drain [])
+
+let test_heap_empty () =
+  let h = Heap.create ~leq:(fun (a : int) b -> a <= b) in
+  check Alcotest.bool "is_empty" true (Heap.is_empty h);
+  check (Alcotest.option Alcotest.int) "pop empty" None (Heap.pop h);
+  check (Alcotest.option Alcotest.int) "peek empty" None (Heap.peek h);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_heap_peek_stable () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) in
+  Heap.push h 2;
+  Heap.push h 1;
+  check (Alcotest.option Alcotest.int) "peek" (Some 1) (Heap.peek h);
+  check Alcotest.int "length unchanged by peek" 2 (Heap.length h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains any list sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~leq:(fun a b -> a <= b) in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* RNG *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let diff = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then diff := true
+  done;
+  check Alcotest.bool "different seeds diverge" true !diff
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 10 in
+    if x < 0 || x >= 10 then Alcotest.fail "int out of bounds";
+    let f = Rng.uniform r in
+    if f < 0. || f >= 1. then Alcotest.fail "uniform out of bounds";
+    let y = Rng.int_in r (-5) 5 in
+    if y < -5 || y > 5 then Alcotest.fail "int_in out of bounds"
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 3 in
+  let child = Rng.split parent in
+  (* The child must not replay the parent's stream. *)
+  let p = Array.init 20 (fun _ -> Rng.bits64 parent) in
+  let c = Array.init 20 (fun _ -> Rng.bits64 child) in
+  check Alcotest.bool "streams differ" true (p <> c)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 11 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  if Float.abs (mean -. 2.0) > 0.1 then
+    Alcotest.failf "exponential mean off: %f" mean
+
+let test_rng_chance_rate () =
+  let r = Rng.create 13 in
+  let n = 20_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.chance r 0.25 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  if Float.abs (rate -. 0.25) > 0.02 then Alcotest.failf "chance rate off: %f" rate
+
+let prop_shuffle_permutes =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (small_list int))
+    (fun (seed, xs) ->
+      let r = Rng.create seed in
+      List.sort compare (Rng.shuffle r xs) = List.sort compare xs)
+
+let prop_sample_distinct =
+  QCheck.Test.make ~name:"sample draws distinct positions" ~count:200
+    QCheck.(pair small_int small_int)
+    (fun (seed, k) ->
+      let r = Rng.create seed in
+      let xs = List.init 20 (fun i -> i) in
+      let s = Rng.sample r k xs in
+      List.length s = Int.min k 20 && List.sort_uniq compare s = List.sort compare s)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_fires_in_order () =
+  let e = Engine.create () in
+  let order = ref [] in
+  ignore (Engine.schedule e ~delay:3.0 (fun () -> order := 3 :: !order));
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> order := 1 :: !order));
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> order := 2 :: !order));
+  Engine.run e;
+  check (Alcotest.list Alcotest.int) "order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule e ~delay:1.0 (fun () -> order := i :: !order))
+  done;
+  Engine.run e;
+  check (Alcotest.list Alcotest.int) "fifo at equal time" [ 1; 2; 3; 4; 5 ]
+    (List.rev !order)
+
+let test_engine_clock_advances () =
+  let e = Engine.create () in
+  let seen = ref 0. in
+  ignore (Engine.schedule e ~delay:2.5 (fun () -> seen := Engine.now e));
+  Engine.run e;
+  check (Alcotest.float 1e-9) "clock at event" 2.5 !seen
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let tm = Engine.schedule e ~delay:1.0 (fun () -> fired := true) in
+  Engine.cancel tm;
+  Engine.run e;
+  check Alcotest.bool "cancelled never fires" false !fired
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> fired := 1 :: !fired));
+  ignore (Engine.schedule e ~delay:5.0 (fun () -> fired := 5 :: !fired));
+  Engine.run ~until:2.0 e;
+  check (Alcotest.list Alcotest.int) "only early event" [ 1 ] !fired;
+  check (Alcotest.float 1e-9) "clock parked at limit" 2.0 (Engine.now e);
+  Engine.run ~until:10.0 e;
+  check (Alcotest.list Alcotest.int) "late event after resume" [ 5; 1 ] !fired
+
+let test_engine_periodic () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let tm = Engine.every e ~period:1.0 (fun () -> incr count) in
+  Engine.run ~until:5.5 e;
+  check Alcotest.int "five ticks" 5 !count;
+  Engine.cancel tm;
+  Engine.run ~until:20.0 e;
+  check Alcotest.int "no ticks after cancel" 5 !count
+
+let test_engine_invalid_period () =
+  let e = Engine.create () in
+  Alcotest.check_raises "period must be positive"
+    (Invalid_argument "Engine.every: period must be positive") (fun () ->
+      ignore (Engine.every e ~period:0. ignore))
+
+let test_rng_invalid_bounds () =
+  let r = Rng.create 1 in
+  Alcotest.check_raises "int bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0));
+  Alcotest.check_raises "int_in empty" (Invalid_argument "Rng.int_in: empty range")
+    (fun () -> ignore (Rng.int_in r 5 4));
+  Alcotest.check_raises "pick empty" (Invalid_argument "Rng.pick: empty list")
+    (fun () -> ignore (Rng.pick r []))
+
+let test_engine_periodic_first () =
+  let e = Engine.create () in
+  let times = ref [] in
+  let tm = Engine.every e ~first:0.25 ~period:1.0 (fun () -> times := Engine.now e :: !times) in
+  Engine.run ~until:2.5 e;
+  Engine.cancel tm;
+  check (Alcotest.list (Alcotest.float 1e-9)) "phases" [ 0.25; 1.25; 2.25 ]
+    (List.rev !times)
+
+let test_engine_schedule_inside_event () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun () ->
+         log := "outer" :: !log;
+         ignore (Engine.schedule e ~delay:0.5 (fun () -> log := "inner" :: !log))));
+  Engine.run e;
+  check (Alcotest.list Alcotest.string) "nested scheduling" [ "outer"; "inner" ]
+    (List.rev !log);
+  check Alcotest.int "events processed" 2 (Engine.events_processed e)
+
+let test_engine_past_schedule_clamped () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> ()));
+  Engine.run e;
+  let fired_at = ref (-1.) in
+  ignore (Engine.schedule_at e ~time:0.5 (fun () -> fired_at := Engine.now e));
+  Engine.run e;
+  check (Alcotest.float 1e-9) "past events fire now, not before" 2.0 !fired_at
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "sim.heap",
+      [
+        Alcotest.test_case "ordering" `Quick test_heap_ordering;
+        Alcotest.test_case "empty" `Quick test_heap_empty;
+        Alcotest.test_case "peek stable" `Quick test_heap_peek_stable;
+      ]
+      @ qsuite [ prop_heap_sorts ] );
+    ( "sim.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+        Alcotest.test_case "bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        Alcotest.test_case "chance rate" `Quick test_rng_chance_rate;
+        Alcotest.test_case "invalid bounds" `Quick test_rng_invalid_bounds;
+      ]
+      @ qsuite [ prop_shuffle_permutes; prop_sample_distinct ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "fires in order" `Quick test_engine_fires_in_order;
+        Alcotest.test_case "fifo ties" `Quick test_engine_fifo_ties;
+        Alcotest.test_case "clock advances" `Quick test_engine_clock_advances;
+        Alcotest.test_case "cancel" `Quick test_engine_cancel;
+        Alcotest.test_case "run until" `Quick test_engine_until;
+        Alcotest.test_case "periodic" `Quick test_engine_periodic;
+        Alcotest.test_case "periodic first" `Quick test_engine_periodic_first;
+        Alcotest.test_case "invalid period" `Quick test_engine_invalid_period;
+        Alcotest.test_case "nested scheduling" `Quick test_engine_schedule_inside_event;
+        Alcotest.test_case "past schedule clamped" `Quick test_engine_past_schedule_clamped;
+      ] );
+  ]
