@@ -205,12 +205,12 @@ let run_microbenches () =
           | Some _ | None -> Haf_stats.Table.add_row table [ name; "n/a" ])
         results)
     microbenches;
-  Haf_stats.Table.print table
+  Haf_stats.Table.print Format.std_formatter table
 
 let () =
   print_endline "=== Part 1: evaluation tables (experiments E1..E13, quick mode) ===";
   print_newline ();
-  Haf_experiments.Registry.run_all ~quick:true ();
+  Haf_experiments.Registry.run_all ~quick:true Format.std_formatter;
   print_endline "=== Part 2: microbenchmarks ===";
   print_newline ();
   run_microbenches ()

@@ -49,7 +49,7 @@ let run ids full list_flag csv_dir =
       List.iter
         (fun e ->
           let tables = e.Reg.run ~quick in
-          List.iter Haf_stats.Table.print tables;
+          List.iter (Haf_stats.Table.print Format.std_formatter) tables;
           match csv_dir with
           | Some dir ->
               List.iteri

@@ -1,0 +1,51 @@
+(* haf-lint: determinism & protocol-hygiene static analysis.
+
+   Usage: haf_lint [--json] [--rules] PATH...
+
+   Exit status: 0 clean, 1 violations found, 2 usage error.  All
+   diagnostics go to stdout ("file:line: [rule] message", or a JSON
+   array with --json); the summary line goes to stderr so piping the
+   findings stays clean. *)
+
+let usage = "usage: haf_lint [--json] [--rules] PATH..."
+
+let () =
+  let json = ref false in
+  let rules = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit diagnostics as a JSON array (for CI)");
+      ("--rules", Arg.Set rules, " list the rule set and exit");
+    ]
+  in
+  (try Arg.parse spec (fun p -> paths := p :: !paths) usage
+   with Arg.Bad msg ->
+     prerr_string msg;
+     exit 2);
+  if !rules then begin
+    List.iter
+      (fun (id, d) -> Printf.printf "%-4s %s\n" id d)
+      Haf_lint.Rules.descriptions;
+    exit 0
+  end;
+  match List.rev !paths with
+  | [] ->
+      prerr_endline usage;
+      exit 2
+  | paths ->
+      let diags =
+        try Haf_lint.Driver.lint_paths paths
+        with Sys_error msg ->
+          Printf.eprintf "haf-lint: %s\n" msg;
+          exit 2
+      in
+      if !json then print_endline (Haf_lint.Diagnostic.list_to_json diags)
+      else begin
+        List.iter
+          (fun d -> print_endline (Haf_lint.Diagnostic.to_string d))
+          diags;
+        Printf.eprintf "haf-lint: %d violation%s\n" (List.length diags)
+          (if List.length diags = 1 then "" else "s")
+      end;
+      exit (Haf_lint.Driver.exit_code diags)

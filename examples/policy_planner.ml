@@ -61,7 +61,7 @@ let () =
           Table.add_row table
             [ Table.fprob target; "-"; "-"; "unreachable"; "-"; "-" ])
     [ 1e-2; 1e-4; 1e-6; 1e-9 ];
-  Table.print table;
+  Table.print Format.std_formatter table;
   print_endline
     "Reading: tighter loss targets buy exponential protection with backups\n\
      (each backup multiplies loss by ~lambda*P) and only linear cost in load\n\

@@ -5,7 +5,7 @@ let loss ~lambda ~period ~backups =
     ~group_size:(float_of_int (backups + 1))
 
 let recommend ~lambda ~target_loss ~periods ~max_backups =
-  let periods = List.sort_uniq compare periods in
+  let periods = List.sort_uniq Float.compare periods in
   let rec try_backups backups =
     if backups > max_backups then None
     else

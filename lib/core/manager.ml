@@ -21,7 +21,7 @@ let evaluate ~min_replicas ~max_load healths =
   let worst_under =
     healths
     |> List.filter (fun h -> h.h_live_replicas < min_replicas)
-    |> List.sort (fun a b -> compare a.h_live_replicas b.h_live_replicas)
+    |> List.sort (fun a b -> Int.compare a.h_live_replicas b.h_live_replicas)
   in
   match worst_under with
   | h :: _ -> Some (Under_replicated h.h_unit)
@@ -33,7 +33,7 @@ let evaluate ~min_replicas ~max_load healths =
       let overloaded =
         healths
         |> List.filter (fun h -> load h > max_load)
-        |> List.sort (fun a b -> compare (load b) (load a))
+        |> List.sort (fun a b -> Float.compare (load b) (load a))
       in
       match overloaded with h :: _ -> Some (Overloaded h.h_unit) | [] -> None)
 

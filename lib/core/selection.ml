@@ -28,7 +28,7 @@ let least_loaded loads candidates =
    3. backups are chosen against the final primary loads. *)
 let assign ~n_backups ~members ~rebalance prevs =
   if members = [] then invalid_arg "Selection.assign: no members";
-  let members = List.sort_uniq compare members in
+  let members = List.sort_uniq Int.compare members in
   let loads = Hashtbl.create 8 in
   List.iter (fun m -> Hashtbl.replace loads m 0.) members;
   let bump m w = Hashtbl.replace loads m (Hashtbl.find loads m +. w) in

@@ -45,9 +45,7 @@ let add_session t ~session_id ~client ~started_at =
 
 let remove_session t sid = Hashtbl.remove t.table sid
 
-let sessions t =
-  Hashtbl.fold (fun _ s acc -> s :: acc) t.table []
-  |> List.sort (fun a b -> String.compare a.session_id b.session_id)
+let sessions t = Haf_sim.Det_tbl.sorted_values ~compare:String.compare t.table
 
 let size t = Hashtbl.length t.table
 

@@ -1,0 +1,27 @@
+(** Shared helpers for the experiment suite. *)
+
+module Metrics = Haf_stats.Metrics
+module Summary = Haf_stats.Summary
+module Table = Haf_stats.Table
+module Events = Haf_core.Events
+module Policy = Haf_core.Policy
+
+val seeds : quick:bool -> base:int -> int list
+(** The seed sweep for one experiment: 3 seeds in quick mode, 8 in full,
+    spread out so experiments sharing a base stay uncorrelated. *)
+
+val stall_threshold : float
+(** Seconds of response silence after which a session counts as stalled
+    (several tick periods). *)
+
+val mean_availability : Metrics.timeline -> until:float -> float
+
+val total_lost_sent : Metrics.timeline -> int * int
+(** Context updates (lost, sent) summed over every session. *)
+
+val total_duplicates : ?critical:bool -> Metrics.timeline -> int
+
+val total_missing : ?critical:bool -> Metrics.timeline -> int
+
+val ratio : int -> int -> float
+(** [ratio num den] as a float; 0. when [den] is 0. *)

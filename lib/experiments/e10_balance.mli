@@ -1,0 +1,9 @@
+(** E10: load balance and stickiness across crash + rejoin (Sec. 3.4)
+
+    See the header comment in [e10_balance.ml] for the paper claim under test. *)
+
+val id : string
+
+val title : string
+
+val run : quick:bool -> Haf_stats.Table.t list

@@ -1,0 +1,9 @@
+(** E11 (ablation): failure-detector timeout vs recovery speed and churn
+
+    See the header comment in [e11_detector.ml] for the paper claim under test. *)
+
+val id : string
+
+val title : string
+
+val run : quick:bool -> Haf_stats.Table.t list

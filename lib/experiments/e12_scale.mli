@@ -1,0 +1,9 @@
+(** E12: scaling with concurrent sessions (Sec. 2, variable client load)
+
+    See the header comment in [e12_scale.ml] for the paper claim under test. *)
+
+val id : string
+
+val title : string
+
+val run : quick:bool -> Haf_stats.Table.t list

@@ -1,0 +1,9 @@
+(** E13 (extension): availability manager — spawn-on-demand (Sec. 1/5)
+
+    See the header comment in [e13_manager.ml] for the paper claim under test. *)
+
+val id : string
+
+val title : string
+
+val run : quick:bool -> Haf_stats.Table.t list

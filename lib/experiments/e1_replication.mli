@@ -1,0 +1,9 @@
+(** E1: availability vs replication degree (Sec. 4, replication claim)
+
+    See the header comment in [e1_replication.ml] for the paper claim under test. *)
+
+val id : string
+
+val title : string
+
+val run : quick:bool -> Haf_stats.Table.t list

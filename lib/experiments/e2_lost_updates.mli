@@ -1,0 +1,9 @@
+(** E2: lost context updates vs propagation period x backups (Sec. 4)
+
+    See the header comment in [e2_lost_updates.ml] for the paper claim under test. *)
+
+val id : string
+
+val title : string
+
+val run : quick:bool -> Haf_stats.Table.t list

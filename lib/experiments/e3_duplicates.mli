@@ -1,0 +1,9 @@
+(** E3: duplicate frames per takeover vs propagation period (Sec. 3.1, VoD)
+
+    See the header comment in [e3_duplicates.ml] for the paper claim under test. *)
+
+val id : string
+
+val title : string
+
+val run : quick:bool -> Haf_stats.Table.t list

@@ -1,0 +1,9 @@
+(** E4: server load vs propagation period x backups (Sec. 4, cost claim)
+
+    See the header comment in [e4_load.ml] for the paper claim under test. *)
+
+val id : string
+
+val title : string
+
+val run : quick:bool -> Haf_stats.Table.t list

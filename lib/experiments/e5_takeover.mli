@@ -1,0 +1,9 @@
+(** E5: takeover latency, crash vs join (Sec. 3.4, virtual synchrony claim)
+
+    See the header comment in [e5_takeover.ml] for the paper claim under test. *)
+
+val id : string
+
+val title : string
+
+val run : quick:bool -> Haf_stats.Table.t list

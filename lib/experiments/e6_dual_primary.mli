@@ -1,0 +1,9 @@
+(** E6: dual primary, transitive vs non-transitive partitions (Sec. 4)
+
+    See the header comment in [e6_dual_primary.ml] for the paper claim under test. *)
+
+val id : string
+
+val title : string
+
+val run : quick:bool -> Haf_stats.Table.t list

@@ -1,0 +1,9 @@
+(** E7: takeover policy vs duplicate/missing frames by class (Sec. 4, MPEG)
+
+    See the header comment in [e7_policy.ml] for the paper claim under test. *)
+
+val id : string
+
+val title : string
+
+val run : quick:bool -> Haf_stats.Table.t list

@@ -1,0 +1,9 @@
+(** E8: baseline comparison — single server / [2] no-backup / framework
+
+    See the header comment in [e8_baselines.ml] for the paper claim under test. *)
+
+val id : string
+
+val title : string
+
+val run : quick:bool -> Haf_stats.Table.t list

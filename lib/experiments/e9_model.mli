@@ -1,0 +1,9 @@
+(** E9: risk model cross-validation (analysis vs Monte Carlo)
+
+    See the header comment in [e9_model.ml] for the paper claim under test. *)
+
+val id : string
+
+val title : string
+
+val run : quick:bool -> Haf_stats.Table.t list

@@ -1,5 +1,6 @@
 module Engine = Haf_sim.Engine
 module Trace = Haf_sim.Trace
+module Det_tbl = Haf_sim.Det_tbl
 module Transport = Haf_net.Transport
 module Fd = Failure_detector
 
@@ -125,8 +126,12 @@ let send_reliable t dst msg =
 let send_raw t dst msg =
   Transport.send_unreliable t.transport ~src:t.me ~dst (Wire.encode msg)
 
+(* The (group, peer) keys of [vid_mismatch], ordered. *)
+let compare_gp (g1, p1) (g2, p2) =
+  match String.compare g1 g2 with 0 -> Int.compare p1 p2 | c -> c
+
 let my_adverts t =
-  Hashtbl.fold
+  Det_tbl.fold_sorted ~compare:String.compare
     (fun g gs acc -> { Wire.adv_group = g; adv_vid = gs.view.View.id } :: acc)
     t.gstates []
 
@@ -139,12 +144,12 @@ let fresh_uid t =
 (* Beliefs                                                             *)
 
 let advertisers t group =
-  Hashtbl.fold
+  Det_tbl.fold_sorted ~compare:Int.compare
     (fun p advs acc ->
       if List.exists (fun a -> String.equal a.Wire.adv_group group) advs then p :: acc
       else acc)
     t.adverts []
-  |> List.sort compare
+  |> List.rev
 
 let believed_members t group =
   match Hashtbl.find_opt t.gstates group with
@@ -157,7 +162,7 @@ let monitor_peer t p = Fd.monitor t.fd p ~now:(now t)
 
 let suspects t = Fd.suspects t.fd
 
-let groups t = Hashtbl.fold (fun g _ acc -> g :: acc) t.gstates [] |> List.sort compare
+let groups t = Det_tbl.sorted_keys ~compare:String.compare t.gstates
 
 let is_member t group = Hashtbl.mem t.gstates group
 
@@ -225,7 +230,7 @@ let submit t gs (entry : Wire.entry) =
 let candidates_for t gs =
   let base = gs.view.View.members @ advertisers t gs.group @ [ t.me ] in
   base
-  |> List.sort_uniq compare
+  |> List.sort_uniq Int.compare
   |> List.filter (fun p ->
          p = t.me
          || ((not (Fd.suspected t.fd p)) && Fd.is_monitored t.fd p
@@ -236,9 +241,7 @@ let flush_info_of t gs =
     Wire.fi_sender = t.me;
     fi_member = true;
     fi_prev_vid = gs.view.View.id;
-    fi_log =
-      Hashtbl.fold (fun seq entry acc -> (seq, entry) :: acc) gs.log []
-      |> List.sort compare;
+    fi_log = Det_tbl.sorted_bindings ~compare:Int.compare gs.log;
   }
 
 let merge_sync_sets replies =
@@ -259,12 +262,9 @@ let merge_sync_sets replies =
         List.iter (fun (seq, entry) -> Hashtbl.replace log seq entry) info.fi_log
       end)
     replies;
-  Hashtbl.fold
+  Det_tbl.fold_sorted ~compare:View.Id.compare
     (fun vid log acc ->
-      let entries =
-        Hashtbl.fold (fun seq e acc -> (seq, e) :: acc) log [] |> List.sort compare
-      in
-      (vid, entries) :: acc)
+      (vid, Det_tbl.sorted_bindings ~compare:Int.compare log) :: acc)
     tbl []
 
 let rec apply_install t gs ~epoch ~view_id ~members ~sync =
@@ -292,7 +292,7 @@ let rec apply_install t gs ~epoch ~view_id ~members ~sync =
   gs.max_epoch <- Int.max gs.max_epoch epoch;
   gs.left <- [];
   let stale_keys =
-    Hashtbl.fold
+    Det_tbl.fold_sorted ~compare:compare_gp
       (fun ((g, _) as k) _ acc -> if String.equal g gs.group then k :: acc else acc)
       t.vid_mismatch []
   in
@@ -310,14 +310,11 @@ let rec apply_install t gs ~epoch ~view_id ~members ~sync =
   let opens = List.rev gs.pending_open in
   gs.pending_open <- [];
   List.iter (fun entry -> submit t gs entry) opens;
-  let relayed =
-    Hashtbl.fold (fun _ entry acc -> entry :: acc) gs.relayed []
-    |> List.sort (fun (a : Wire.entry) b -> compare a.uid b.uid)
-  in
+  let relayed = Det_tbl.sorted_values ~compare:Wire.compare_uid gs.relayed in
   List.iter (fun entry -> submit t gs entry) relayed
 
 and finalize_proposal t gs ~epoch ~candidates ~replies =
-  let infos = Hashtbl.fold (fun _ i acc -> i :: acc) replies [] in
+  let infos = Det_tbl.sorted_values ~compare:Int.compare replies in
   let members =
     List.filter
       (fun c ->
@@ -364,12 +361,10 @@ and propose t gs =
 let stale_vid_mismatch t gs =
   let threshold = 2.5 *. t.hb_interval in
   let cands = candidates_for t gs in
-  Hashtbl.fold
-    (fun (g, q) since acc ->
-      acc
-      || String.equal g gs.group && List.mem q cands
-         && now t -. since > threshold)
-    t.vid_mismatch false
+  Det_tbl.exists_sorted ~compare:compare_gp
+    (fun (g, q) since ->
+      String.equal g gs.group && List.mem q cands && now t -. since > threshold)
+    t.vid_mismatch
 
 let membership_needed t gs =
   let candidates = candidates_for t gs in
@@ -434,7 +429,7 @@ let record_adverts t sender advs =
   monitor_peer t sender;
   Fd.heard_from t.fd sender ~now:(now t);
   if sender <> t.me then
-    Hashtbl.iter
+    Det_tbl.iter_sorted ~compare:String.compare
       (fun g gs ->
         match
           List.find_opt (fun a -> String.equal a.Wire.adv_group g) advs
@@ -457,7 +452,9 @@ let heartbeat_tick t =
     let adverts = my_adverts t in
     List.iter (fun p -> send_raw t p (Wire.Ping { adverts })) (Fd.monitored t.fd);
     ignore (Fd.sweep t.fd ~now:(now t));
-    Hashtbl.iter (fun _ gs -> sweep_group t gs) t.gstates
+    Det_tbl.iter_sorted ~compare:String.compare
+      (fun _ gs -> sweep_group t gs)
+      t.gstates
   end
 
 (* ------------------------------------------------------------------ *)

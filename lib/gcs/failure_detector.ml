@@ -1,3 +1,5 @@
+module Det_tbl = Haf_sim.Det_tbl
+
 type proc = int
 
 type peer = { mutable last : float; mutable suspect : bool }
@@ -16,8 +18,7 @@ let monitor t p ~now =
 
 let unmonitor t p = Hashtbl.remove t.peers p
 
-let monitored t =
-  Hashtbl.fold (fun p _ acc -> p :: acc) t.peers [] |> List.sort compare
+let monitored t = Det_tbl.sorted_keys ~compare:Int.compare t.peers
 
 let is_monitored t p = Hashtbl.mem t.peers p
 
@@ -29,7 +30,7 @@ let heard_from t p ~now =
   | None -> ()
 
 let sweep t ~now =
-  Hashtbl.fold
+  Det_tbl.fold_sorted ~compare:Int.compare
     (fun p peer acc ->
       if (not peer.suspect) && now -. peer.last > t.timeout then begin
         peer.suspect <- true;
@@ -37,7 +38,7 @@ let sweep t ~now =
       end
       else acc)
     t.peers []
-  |> List.sort compare
+  |> List.rev
 
 let suspected t p =
   match Hashtbl.find_opt t.peers p with
@@ -45,8 +46,10 @@ let suspected t p =
   | None -> false
 
 let suspects t =
-  Hashtbl.fold (fun p peer acc -> if peer.suspect then p :: acc else acc) t.peers []
-  |> List.sort compare
+  Det_tbl.fold_sorted ~compare:Int.compare
+    (fun p peer acc -> if peer.suspect then p :: acc else acc)
+    t.peers []
+  |> List.rev
 
 let reachable t p =
   match Hashtbl.find_opt t.peers p with

@@ -27,6 +27,8 @@ type t = {
 
 let engine t = t.engine
 
+let trace t = t.trace
+
 let network t = t.net
 
 let config t = t.gcs_config
@@ -152,7 +154,7 @@ let heal t = Network.heal_links t.net
 let set_link t a b up = Network.set_link t.net a b up
 
 let total_view_changes t =
-  Hashtbl.fold
+  Haf_sim.Det_tbl.fold_sorted ~compare:Int.compare
     (fun _ s acc ->
       acc + s.retired_view_changes
       + (match s.daemon with Some d -> Daemon.stats_view_changes d | None -> 0))

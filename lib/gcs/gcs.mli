@@ -27,6 +27,10 @@ val create :
 
 val engine : t -> Haf_sim.Engine.t
 
+val trace : t -> Haf_sim.Trace.t
+(** The trace sink this GCS (and everything above it) logs to;
+    [Trace.disabled] unless one was passed to {!create}. *)
+
 val network : t -> Haf_net.Network.t
 
 val config : t -> Config.t

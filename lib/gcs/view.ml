@@ -8,6 +8,7 @@ module Id = struct
     | 0 -> Int.compare a.coord b.coord
     | c -> c
 
+  (* haf-lint: allow R2 — [compare] here is Id.compare above, not Stdlib's. *)
   let equal a b = compare a b = 0
 
   let initial proc = { epoch = 0; coord = proc }

@@ -2,6 +2,14 @@ type proc = int
 
 type uid = { origin : proc; incarnation : int; serial : int }
 
+let compare_uid a b =
+  match Int.compare a.origin b.origin with
+  | 0 -> (
+      match Int.compare a.incarnation b.incarnation with
+      | 0 -> Int.compare a.serial b.serial
+      | c -> c)
+  | c -> c
+
 type entry = { uid : uid; orig : proc; payload : string }
 
 type advert = { adv_group : string; adv_vid : View.Id.t }
@@ -32,8 +40,11 @@ type msg =
   | Leave of { group : string; who : proc }
   | P2p of { payload : string }
 
+(* haf-lint: allow R2 — in-memory simulated wire format; bytes never cross
+   a process boundary or feed a comparison, so Marshal is safe here. *)
 let encode (m : msg) = Marshal.to_string m []
 
+(* haf-lint: allow R2 — see [encode]. *)
 let decode (s : string) : msg = Marshal.from_string s 0
 
 let describe = function

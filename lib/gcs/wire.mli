@@ -13,6 +13,11 @@ type uid = { origin : proc; incarnation : int; serial : int }
     process never reuses a previous life's ids (survivors keep old uids
     in their dedup tables and would otherwise silence the new process). *)
 
+val compare_uid : uid -> uid -> int
+(** Explicit total order on uids ([origin], then [incarnation], then
+    [serial]); protocol code must use this rather than the polymorphic
+    [compare] (haf-lint rule R2). *)
+
 type entry = { uid : uid; orig : proc; payload : string }
 (** An application multicast as carried by the protocol. *)
 

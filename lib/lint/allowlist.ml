@@ -1,0 +1,48 @@
+let normalize path =
+  let path = String.map (fun c -> if c = '\\' then '/' else c) path in
+  let rec strip p =
+    if String.length p >= 2 && String.sub p 0 2 = "./" then
+      strip (String.sub p 2 (String.length p - 2))
+    else p
+  in
+  strip path
+
+(* [dir] matched at a path-component boundary: "lib/gcs" matches
+   "lib/gcs/daemon.ml" and "/root/repo/lib/gcs/daemon.ml" but not
+   "mylib/gcs/x.ml". *)
+let under dir path =
+  let path = normalize path in
+  let prefix = dir ^ "/" in
+  let pl = String.length prefix and n = String.length path in
+  let rec at i =
+    if i + pl > n then false
+    else if
+      String.sub path i pl = prefix && (i = 0 || path.[i - 1] = '/')
+    then true
+    else at (i + 1)
+  in
+  at 0
+
+let base_is name path =
+  String.equal (Filename.basename (normalize path)) name
+
+let ends_with suffix path =
+  let path = normalize path in
+  let n = String.length path and m = String.length suffix in
+  n >= m && String.sub path (n - m) m = suffix
+
+(* The static allowlist: (rule, predicate, reason).  Prefer inline
+   pragmas for one-off waivers; entries here are for files that *are*
+   the mechanism the rule protects, where a pragma would be noise. *)
+let table =
+  [
+    ( "R1",
+      base_is "rng.ml",
+      "lib/sim/rng.ml is the one sanctioned randomness source" );
+    ( "R5",
+      ends_with "_intf.ml",
+      "pure-interface modules (module types only) carry no .mli" );
+  ]
+
+let allowed ~rule ~path =
+  List.exists (fun (r, pred, _) -> String.equal r rule && pred path) table

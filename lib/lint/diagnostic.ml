@@ -1,0 +1,38 @@
+type t = { file : string; line : int; col : int; rule : string; message : string }
+
+let make ~file ~line ?(col = 0) ~rule message = { file; line; col; rule; message }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let to_string d = Printf.sprintf "%s:%d: [%s] %s" d.file d.line d.rule d.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf {|{"file":"%s","line":%d,"col":%d,"rule":"%s","message":"%s"}|}
+    (json_escape d.file) d.line d.col (json_escape d.rule) (json_escape d.message)
+
+let list_to_json ds =
+  "[" ^ String.concat "," (List.map to_json ds) ^ "]"

@@ -1,0 +1,16 @@
+(** A single haf-lint finding. *)
+
+type t = { file : string; line : int; col : int; rule : string; message : string }
+
+val make : file:string -> line:int -> ?col:int -> rule:string -> string -> t
+
+val compare : t -> t -> int
+(** Order by file, line, column, rule — the report order. *)
+
+val to_string : t -> string
+(** [file:line: [rule] message] — the grep-able text format. *)
+
+val to_json : t -> string
+
+val list_to_json : t list -> string
+(** A JSON array, for [--json] CI output. *)

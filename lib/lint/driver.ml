@@ -1,0 +1,123 @@
+let flatten_longident lid = String.concat "." (Longident.flatten lid)
+
+(* Collect every value-identifier occurrence with its location.  Purely
+   syntactic: no typing information, so locally-bound names shadowing a
+   banned one (e.g. a [compare] defined in the same module) need an
+   inline pragma — the price of a linter that runs without a build. *)
+let idents_of_structure structure =
+  let acc = ref [] in
+  let iterator =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_ident { txt; loc } ->
+              let pos = loc.Location.loc_start in
+              acc :=
+                ( flatten_longident txt,
+                  pos.Lexing.pos_lnum,
+                  pos.Lexing.pos_cnum - pos.Lexing.pos_bol )
+                :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iterator.structure iterator structure;
+  List.rev !acc
+
+type parsed =
+  | Implementation of Parsetree.structure
+  | Interface
+  | Failed of int * string  (* line, message *)
+
+let parse ~path text =
+  let lexbuf = Lexing.from_string text in
+  Location.init lexbuf path;
+  let is_mli = Filename.check_suffix path ".mli" in
+  match
+    if is_mli then (
+      ignore (Parse.interface lexbuf);
+      Interface)
+    else Implementation (Parse.implementation lexbuf)
+  with
+  | parsed -> parsed
+  | exception exn -> (
+      match Location.error_of_exn exn with
+      | Some (`Ok report) ->
+          let loc = report.Location.main.Location.loc in
+          Failed
+            ( loc.Location.loc_start.Lexing.pos_lnum,
+              Format.asprintf "%t" report.Location.main.Location.txt )
+      | Some `Already_displayed | None -> Failed (1, Printexc.to_string exn))
+
+let lint_source ~path ?has_mli text =
+  let pragmas = Pragma.scan text in
+  let keep rule line =
+    (not (Allowlist.allowed ~rule ~path))
+    && not (Pragma.allows pragmas ~line ~rule)
+  in
+  let ident_diags =
+    match parse ~path text with
+    | Interface -> []
+    | Failed (line, msg) ->
+        [ Diagnostic.make ~file:path ~line ~rule:"syntax" msg ]
+    | Implementation structure ->
+        List.concat_map
+          (fun (ident, line, col) ->
+            Rules.check_ident ~path ident
+            |> List.filter_map (fun (rule, message) ->
+                   if keep rule line then
+                     Some (Diagnostic.make ~file:path ~line ~col ~rule message)
+                   else None))
+          (idents_of_structure structure)
+  in
+  let mli_diags =
+    match has_mli with
+    | Some false when Rules.mli_required ~path && keep "R5" 1 ->
+        [
+          Diagnostic.make ~file:path ~line:1 ~rule:"R5"
+            (Rules.missing_mli_message path);
+        ]
+    | Some _ | None -> []
+  in
+  List.sort_uniq Diagnostic.compare (ident_diags @ mli_diags)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file path =
+  match read_file path with
+  | text ->
+      let has_mli =
+        if Filename.check_suffix path ".ml" then
+          Some (Sys.file_exists (path ^ "i"))
+        else None
+      in
+      lint_source ~path ?has_mli text
+  | exception Sys_error msg ->
+      [ Diagnostic.make ~file:path ~line:1 ~rule:"io" msg ]
+
+let skip_dir name =
+  String.length name > 0 && (name.[0] = '.' || name.[0] = '_')
+
+let rec walk path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun entry ->
+           if skip_dir entry then []
+           else walk (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then [ path ]
+  else []
+
+let lint_paths paths =
+  List.concat_map walk (List.map Allowlist.normalize paths)
+  |> List.sort_uniq String.compare
+  |> List.concat_map lint_file
+  |> List.sort_uniq Diagnostic.compare
+
+let exit_code diags = if diags = [] then 0 else 1

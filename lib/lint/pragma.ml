@@ -1,0 +1,160 @@
+type span = {
+  p_start : int;
+  p_end : int;
+  p_rules : string list;
+  p_file_wide : bool;
+}
+
+type t = span list
+
+let is_rule_token tok =
+  String.length tok >= 2
+  && tok.[0] = 'R'
+  && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub tok 1 (String.length tok - 1))
+
+let split_words s =
+  String.split_on_char ' ' (String.map (function '\n' | '\t' | '\r' -> ' ' | c -> c) s)
+  |> List.filter (fun w -> w <> "")
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Parse the directive out of one comment body, or None if the comment is
+   not a pragma.  Grammar: "haf-lint:" ("allow" | "allow-file") RULE+
+   [reason...]; rule tokens stop at the first non-rule word (the reason). *)
+let parse_comment ~start_line ~end_line body =
+  match find_sub body "haf-lint:" with
+  | Some i -> (
+      let at = i + String.length "haf-lint:" in
+      let rest = String.sub body at (String.length body - at) in
+      match split_words rest with
+      | directive :: words when directive = "allow" || directive = "allow-file" ->
+          let rec take_rules acc = function
+            | w :: ws when is_rule_token w -> take_rules (w :: acc) ws
+            | _ -> List.rev acc
+          in
+          let rules = take_rules [] words in
+          if rules = [] then None
+          else
+            Some
+              {
+                p_start = start_line;
+                p_end = end_line;
+                p_rules = rules;
+                p_file_wide = directive = "allow-file";
+              }
+      | _ -> None)
+  | None -> None
+
+(* A minimal OCaml surface lexer: we only need to know where comments are
+   (and must not mistake comment openers inside string/char literals for
+   real comments, or test fixtures embedding lint-bait in strings would
+   perturb the pragma table). *)
+let scan text =
+  let n = String.length text in
+  let spans = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some text.[!i + k] else None in
+  let bump () =
+    if !i < n && text.[!i] = '\n' then incr line;
+    incr i
+  in
+  let skip_string () =
+    (* cursor on the opening quote *)
+    bump ();
+    let fin = ref false in
+    while (not !fin) && !i < n do
+      (match text.[!i] with
+      | '\\' -> bump () (* skip the escaped char too, via the outer bump *)
+      | '"' -> fin := true
+      | _ -> ());
+      bump ()
+    done
+  in
+  let skip_quoted_string () =
+    (* cursor on '{'; quoted string iff {id| ... |id} *)
+    let j = ref (!i + 1) in
+    while !j < n && (match text.[!j] with 'a' .. 'z' | '_' -> true | _ -> false) do
+      incr j
+    done;
+    if !j < n && text.[!j] = '|' then begin
+      let id = String.sub text (!i + 1) (!j - !i - 1) in
+      let closer = "|" ^ id ^ "}" in
+      let cl = String.length closer in
+      while !i < n && not (!i + cl <= n && String.sub text !i cl = closer) do
+        bump ()
+      done;
+      for _ = 1 to cl do
+        if !i < n then bump ()
+      done;
+      true
+    end
+    else false
+  in
+  let skip_char_literal () =
+    (* cursor on '\''; distinguish 'c' / '\n' / '\xFF' from type vars *)
+    match peek 1 with
+    | Some '\\' ->
+        bump ();
+        bump ();
+        while !i < n && text.[!i] <> '\'' do
+          bump ()
+        done;
+        if !i < n then bump ()
+    | Some _ when peek 2 = Some '\'' ->
+        bump ();
+        bump ();
+        bump ()
+    | _ -> bump ()
+  in
+  let read_comment () =
+    let start_line = !line in
+    let buf = Buffer.create 64 in
+    bump ();
+    bump ();
+    let depth = ref 1 in
+    while !depth > 0 && !i < n do
+      if peek 0 = Some '(' && peek 1 = Some '*' then begin
+        incr depth;
+        Buffer.add_string buf "(*";
+        bump ();
+        bump ()
+      end
+      else if peek 0 = Some '*' && peek 1 = Some ')' then begin
+        decr depth;
+        if !depth > 0 then Buffer.add_string buf "*)";
+        bump ();
+        bump ()
+      end
+      else begin
+        Buffer.add_char buf text.[!i];
+        bump ()
+      end
+    done;
+    match parse_comment ~start_line ~end_line:!line (Buffer.contents buf) with
+    | Some span -> spans := span :: !spans
+    | None -> ()
+  in
+  while !i < n do
+    match text.[!i] with
+    | '"' -> skip_string ()
+    | '{' -> if not (skip_quoted_string ()) then bump ()
+    | '\'' -> skip_char_literal ()
+    | '(' when peek 1 = Some '*' -> read_comment ()
+    | _ -> bump ()
+  done;
+  List.rev !spans
+
+let allows t ~line ~rule =
+  List.exists
+    (fun s ->
+      List.mem rule s.p_rules
+      && (s.p_file_wide || (line >= s.p_start && line <= s.p_end + 1)))
+    t

@@ -1,0 +1,22 @@
+(** Inline suppression pragmas.
+
+    A violation can be waived, with a recorded reason, by a comment of
+    the form
+
+    {[ (* haf-lint: allow R4 — why this use is safe *) ]}
+
+    The pragma covers every line the comment itself spans plus the next
+    line, so it works both trailing the offending expression and as a
+    (possibly multi-line) comment immediately above it.  Several rules
+    may be listed ([allow R2 R3]).  [allow-file] scopes the waiver to
+    the whole file — reserve it for files that *are* the mechanism a
+    rule protects (e.g. the trace sink). *)
+
+type t
+
+val scan : string -> t
+(** Extract pragmas from raw source text.  The scanner is comment-aware:
+    pragma-looking text inside string literals (including [{|...|}]
+    quoted strings) is ignored. *)
+
+val allows : t -> line:int -> rule:string -> bool

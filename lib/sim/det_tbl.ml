@@ -1,0 +1,17 @@
+let sorted_bindings ~compare tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let sorted_keys ~compare tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+let sorted_values ~compare tbl = List.map snd (sorted_bindings ~compare tbl)
+
+let iter_sorted ~compare f tbl =
+  List.iter (fun (k, v) -> f k v) (sorted_bindings ~compare tbl)
+
+let fold_sorted ~compare f tbl init =
+  List.fold_left (fun acc (k, v) -> f k v acc) init (sorted_bindings ~compare tbl)
+
+let exists_sorted ~compare f tbl =
+  List.exists (fun (k, v) -> f k v) (sorted_bindings ~compare tbl)

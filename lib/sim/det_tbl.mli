@@ -1,0 +1,34 @@
+(** Deterministic (sorted-key) iteration over hash tables.
+
+    [Hashtbl.iter]/[Hashtbl.fold] visit buckets in an order that depends
+    on the table's internal layout, not on program semantics — a silent
+    source of run-to-run divergence the moment anything order-sensitive
+    (message emission, tie-breaking, table output) consumes the result.
+    Protocol code in [lib/gcs] and [lib/core] is therefore forbidden to
+    use them directly (haf-lint rule R3) and goes through these helpers,
+    which materialize the bindings and sort by key under an explicit
+    comparator. *)
+
+val sorted_bindings :
+  compare:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** All bindings, sorted by key.  With duplicate keys (possible via
+    [Hashtbl.add]) the most recent binding comes first among equals. *)
+
+val sorted_keys : compare:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> 'k list
+
+val sorted_values : compare:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> 'v list
+(** Values in key-sorted order. *)
+
+val iter_sorted :
+  compare:('k -> 'k -> int) -> ('k -> 'v -> unit) -> ('k, 'v) Hashtbl.t -> unit
+
+val fold_sorted :
+  compare:('k -> 'k -> int) ->
+  ('k -> 'v -> 'acc -> 'acc) ->
+  ('k, 'v) Hashtbl.t ->
+  'acc ->
+  'acc
+(** Left fold in ascending key order. *)
+
+val exists_sorted :
+  compare:('k -> 'k -> int) -> ('k -> 'v -> bool) -> ('k, 'v) Hashtbl.t -> bool

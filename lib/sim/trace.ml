@@ -19,6 +19,8 @@ let set_enabled t on = t.on <- on
 
 let emit t ~time ~component message =
   if t.on then begin
+    (* haf-lint: allow R4 — this *is* the sink every other module in lib/
+       must route output through; echo mirrors the buffer to stderr. *)
     if t.echo then Printf.eprintf "[%10.4f] %-12s %s\n%!" time component message;
     Queue.push { time; component; message } t.buffer;
     while Queue.length t.buffer > t.capacity do

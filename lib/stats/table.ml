@@ -71,10 +71,7 @@ let to_csv t =
   let rows = List.map fst t.columns :: List.rev t.rows in
   String.concat "\n" (List.map (fun r -> String.concat "," (List.map csv_escape r)) rows)
 
-let print t =
-  print_string (render t);
-  print_newline ();
-  print_newline ()
+let print ppf t = Format.fprintf ppf "%s@.@." (render t)
 
 let fint = string_of_int
 

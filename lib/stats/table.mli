@@ -17,8 +17,11 @@ val render : t -> string
 
 val to_csv : t -> string
 
-val print : t -> unit
-(** [render] to stdout, followed by a blank line. *)
+val print : Format.formatter -> t -> unit
+(** [render] to the given formatter, followed by a blank line.  The
+    formatter is a parameter on purpose: code under [lib/] must not
+    write to stdout (haf-lint rule R4); pass [Format.std_formatter] at
+    the [bin/] edge. *)
 
 (** {2 Cell formatting helpers} *)
 

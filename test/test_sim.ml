@@ -219,6 +219,25 @@ let test_engine_past_schedule_clamped () =
   Engine.run e;
   check (Alcotest.float 1e-9) "past events fire now, not before" 2.0 !fired_at
 
+(* Whole-stack determinism regression: the same seed must replay the same
+   history bit-for-bit. Rendering every metrics table of a registry
+   scenario twice and comparing the bytes catches any reintroduced
+   ambient randomness or hash-order iteration (haf-lint rules R1–R3). *)
+let test_replay_byte_identical () =
+  let experiment =
+    match Haf_experiments.Registry.find "e5" with
+    | Some e -> e
+    | None -> Alcotest.fail "experiment e5 not registered"
+  in
+  let render () =
+    experiment.run ~quick:true
+    |> List.map Haf_stats.Table.render
+    |> String.concat "\n"
+  in
+  let first = render () in
+  let second = render () in
+  check Alcotest.string "same seed, byte-identical metrics" first second
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suite =
@@ -253,5 +272,10 @@ let suite =
         Alcotest.test_case "invalid period" `Quick test_engine_invalid_period;
         Alcotest.test_case "nested scheduling" `Quick test_engine_schedule_inside_event;
         Alcotest.test_case "past schedule clamped" `Quick test_engine_past_schedule_clamped;
+      ] );
+    ( "sim.determinism",
+      [
+        Alcotest.test_case "e5 replay byte-identical" `Quick
+          test_replay_byte_identical;
       ] );
   ]
