@@ -1,12 +1,14 @@
 (* Benchmark harness.
 
-   Part 1 regenerates every evaluation table (experiments E1..E13 — the
+   Part 1 regenerates every evaluation table (experiments E1..E14 — the
    paper's Section-4 analysis turned quantitative; see EXPERIMENTS.md for
    the paper-vs-measured discussion).  Part 2 runs bechamel
    microbenchmarks of the hot operations underneath: deterministic
    selection, unit-database maintenance, wire marshalling, the risk-model
    integral, the event engine and a whole in-simulation GCS multicast
-   round. *)
+   round.  Part 3 re-measures the stable-storage path and writes
+   BENCH_store.json — store op latencies plus the E14 recovery tables in
+   machine-readable form. *)
 
 open Bechamel
 open Toolkit
@@ -160,6 +162,55 @@ let bench_framework_session =
               ~request_interval:0.);
          Haf_sim.Engine.run ~until:3. engine))
 
+(* ------------------------------------------------------------------ *)
+(* Stable-storage subjects (lib/store)                                  *)
+
+let store_quiet =
+  {
+    Haf_store.Store.default_config with
+    snapshot_period = 1000.;
+    sync_period = 1000.;
+  }
+
+let bench_store_log_sync =
+  Test.make ~name:"store: log 100 x 64B + group commit (full sim)"
+    (Staged.stage (fun () ->
+         let engine = Haf_sim.Engine.create ~seed:1 () in
+         let st = Haf_store.Store.create ~name:"b" store_quiet engine in
+         let payload = String.make 64 'r' in
+         for _ = 1 to 100 do
+           Haf_store.Store.log st payload
+         done;
+         Haf_store.Store.sync st (fun ~ok:_ -> ());
+         Haf_sim.Engine.run engine))
+
+let bench_store_snapshot =
+  Test.make ~name:"store: 8KiB snapshot + wal compaction (full sim)"
+    (Staged.stage (fun () ->
+         let engine = Haf_sim.Engine.create ~seed:1 () in
+         let st = Haf_store.Store.create ~name:"b" store_quiet engine in
+         for _ = 1 to 100 do
+           Haf_store.Store.log st (String.make 64 'r')
+         done;
+         Haf_store.Store.sync st (fun ~ok:_ -> ());
+         Haf_sim.Engine.run engine;
+         Haf_store.Store.snapshot st (String.make 8192 's') (fun ~ok:_ -> ());
+         Haf_sim.Engine.run engine))
+
+let bench_store_recover =
+  Test.make ~name:"store: crash + recover 100-record wal"
+    (let engine = Haf_sim.Engine.create ~seed:1 () in
+     let st = Haf_store.Store.create ~name:"b" store_quiet engine in
+     for _ = 1 to 100 do
+       Haf_store.Store.log st (String.make 64 'r')
+     done;
+     Haf_store.Store.sync st (fun ~ok:_ -> ());
+     Haf_sim.Engine.run engine;
+     Haf_store.Store.crash st;
+     Staged.stage (fun () -> ignore (Haf_store.Store.recover st)))
+
+let store_benches = [ bench_store_log_sync; bench_store_snapshot; bench_store_recover ]
+
 let microbenches =
   [
     bench_selection;
@@ -174,7 +225,8 @@ let microbenches =
     bench_metrics;
   ]
 
-let run_microbenches () =
+(* [(subject name, estimated ns/run)] — None when OLS cannot fit. *)
+let estimate tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -183,34 +235,95 @@ let run_microbenches () =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000)
       ~stabilize:true ()
   in
+  List.concat_map
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      Hashtbl.fold
+        (fun name raw acc ->
+          let est = Analyze.one ols instance raw in
+          match Analyze.OLS.estimates est with
+          | Some [ t ] -> (name, Some t) :: acc
+          | Some _ | None -> (name, None) :: acc)
+        results [])
+    tests
+
+let pretty_ns t =
+  if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+  else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+  else Printf.sprintf "%.0f ns" t
+
+let print_estimates title ests =
   let table =
-    Haf_stats.Table.create ~title:"microbenchmarks (monotonic clock)"
+    Haf_stats.Table.create ~title
       ~columns:[ ("operation", Haf_stats.Table.Left); ("time/run", Haf_stats.Table.Right) ]
       ()
   in
   List.iter
-    (fun test ->
-      let results = Benchmark.all cfg [ instance ] test in
-      Hashtbl.iter
-        (fun name raw ->
-          let est = Analyze.one ols instance raw in
-          match Analyze.OLS.estimates est with
-          | Some [ t ] ->
-              let pretty =
-                if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
-                else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
-                else Printf.sprintf "%.0f ns" t
-              in
-              Haf_stats.Table.add_row table [ name; pretty ]
-          | Some _ | None -> Haf_stats.Table.add_row table [ name; "n/a" ])
-        results)
-    microbenches;
+    (fun (name, est) ->
+      Haf_stats.Table.add_row table
+        [ name; (match est with Some t -> pretty_ns t | None -> "n/a") ])
+    ests;
   Haf_stats.Table.print Format.std_formatter table
 
+(* ------------------------------------------------------------------ *)
+(* BENCH_store.json: hand-rolled JSON (no json dependency) with the
+   store op latencies and the E14 recovery tables (as escaped CSV). *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_store_json ~path store_ests =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"benchmark\": \"lib/store stable storage\",\n";
+  Buffer.add_string b "  \"mode\": \"quick\",\n";
+  Buffer.add_string b "  \"op_latency_ns\": {\n";
+  List.iteri
+    (fun i (name, est) ->
+      Buffer.add_string b
+        (Printf.sprintf "    \"%s\": %s%s\n" (json_escape name)
+           (match est with Some t -> Printf.sprintf "%.1f" t | None -> "null")
+           (if i < List.length store_ests - 1 then "," else "")))
+    store_ests;
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b "  \"e14_recovery_tables_csv\": [\n";
+  let tables = Haf_experiments.E14_recovery.run ~quick:true in
+  List.iteri
+    (fun i t ->
+      Buffer.add_string b
+        (Printf.sprintf "    \"%s\"%s\n"
+           (json_escape (Haf_stats.Table.to_csv t))
+           (if i < List.length tables - 1 then "," else "")))
+    tables;
+  Buffer.add_string b "  ]\n";
+  Buffer.add_string b "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
 let () =
-  print_endline "=== Part 1: evaluation tables (experiments E1..E13, quick mode) ===";
+  print_endline "=== Part 1: evaluation tables (experiments E1..E14, quick mode) ===";
   print_newline ();
   Haf_experiments.Registry.run_all ~quick:true Format.std_formatter;
   print_endline "=== Part 2: microbenchmarks ===";
   print_newline ();
-  run_microbenches ()
+  print_estimates "microbenchmarks (monotonic clock)" (estimate microbenches);
+  print_endline "=== Part 3: stable storage (lib/store) ===";
+  print_newline ();
+  let store_ests = estimate store_benches in
+  print_estimates "store microbenchmarks (monotonic clock)" store_ests;
+  write_store_json ~path:"BENCH_store.json" store_ests;
+  print_endline "wrote BENCH_store.json"

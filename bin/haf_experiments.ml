@@ -5,7 +5,7 @@ open Cmdliner
 
 let ids =
   let doc =
-    "Experiments to run (e1..e10), or 'all'.  Default: all."
+    "Experiments to run (e1..e14), or 'all'.  Default: all."
   in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
 
@@ -21,10 +21,38 @@ let csv_dir =
   let doc = "Also write each table as CSV into $(docv)." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
 
-let run ids full list_flag csv_dir =
+let snapshot_period =
+  let doc =
+    "Run a one-off stable-storage recovery scenario (E14 machinery) with \
+     this snapshot period in simulated seconds, instead of the listed \
+     experiments."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "snapshot-period" ] ~docv:"SECONDS" ~doc)
+
+let disk_faults =
+  let doc =
+    "Enable the disk fault model (torn writes, CRC corruption, failing \
+     fsyncs) in the one-off recovery scenario; implies a default \
+     --snapshot-period of 2s when that option is absent."
+  in
+  Arg.(value & flag & info [ "disk-faults" ] ~doc)
+
+let run ids full list_flag csv_dir snapshot_period disk_faults =
   let module Reg = Haf_experiments.Registry in
   if list_flag then begin
     List.iter (fun e -> Printf.printf "%-4s %s\n" e.Reg.id e.Reg.title) Reg.all;
+    0
+  end
+  else if snapshot_period <> None || disk_faults then begin
+    let quick = not full in
+    let tables =
+      Haf_experiments.E14_recovery.run_custom ?snapshot_period ~disk_faults
+        ~quick ()
+    in
+    List.iter (Haf_stats.Table.print Format.std_formatter) tables;
     0
   end
   else begin
@@ -74,6 +102,9 @@ let run ids full list_flag csv_dir =
 let cmd =
   let doc = "Regenerate the evaluation tables of the HA-services framework paper" in
   let info = Cmd.info "haf_experiments" ~doc in
-  Cmd.v info Term.(const run $ ids $ full $ list_flag $ csv_dir)
+  Cmd.v info
+    Term.(
+      const run $ ids $ full $ list_flag $ csv_dir $ snapshot_period
+      $ disk_faults)
 
 let () = exit (Cmd.eval' cmd)

@@ -34,6 +34,15 @@ type t =
   | View_noted of { server : int; group : string; members : int list }
   | Server_crashed of { server : int }
   | Server_restarted of { server : int }
+  | Exchange_sent of { server : int; group : string; digest : bool; records : int; bytes : int }
+  | Store_recovered of {
+      server : int;
+      sessions : int;
+      wal_records : int;
+      torn_tail : bool;
+      crc_mismatch : bool;
+      snapshot_lost : bool;
+    }
 
 type sink = { mutable items : (float * t) list }  (* newest first *)
 
@@ -89,3 +98,12 @@ let pp ppf = function
         (String.concat "," (List.map string_of_int members))
   | Server_crashed { server } -> Format.fprintf ppf "server_crashed s%d" server
   | Server_restarted { server } -> Format.fprintf ppf "server_restarted s%d" server
+  | Exchange_sent { server; group; digest; records; bytes } ->
+      Format.fprintf ppf "exchange_sent s%d %s %s records=%d bytes=%d" server group
+        (if digest then "digest" else "delta")
+        records bytes
+  | Store_recovered { server; sessions; wal_records; torn_tail; crc_mismatch; snapshot_lost }
+    ->
+      Format.fprintf ppf
+        "store_recovered s%d sessions=%d wal=%d torn=%b crc=%b snap_lost=%b" server
+        sessions wal_records torn_tail crc_mismatch snapshot_lost

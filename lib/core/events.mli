@@ -48,6 +48,19 @@ type t =
           metrics layer compute takeover latencies and primary-interval
           truncation. *)
   | Server_restarted of { server : int }
+  | Exchange_sent of { server : int; group : string; digest : bool; records : int; bytes : int }
+      (** One state-exchange message multicast by [server]: the digest
+          round or the delta round.  [bytes] is the encoded payload size
+          — the recovery state-transfer cost E14 measures. *)
+  | Store_recovered of {
+      server : int;
+      sessions : int;  (** Sessions rebuilt from snapshot + WAL replay. *)
+      wal_records : int;
+      torn_tail : bool;  (** Detected (and truncated) torn append. *)
+      crc_mismatch : bool;  (** Detected (and discarded) corruption. *)
+      snapshot_lost : bool;
+    }
+      (** A restarted server replayed its stable store before rejoining. *)
 
 type sink
 

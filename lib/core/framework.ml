@@ -27,7 +27,8 @@ module Make (S : Service_intf.SERVICE) = struct
     | Start_session of { session_id : string; unit_id : string; client : int }
     | Propagate of { session_id : string; snap : S.context Unit_db.snapshot }
     | End_session of { session_id : string }
-    | State_exchange of {
+    | State_digest of { sender : int; vid : View.Id.t; digest : Unit_db.digest list }
+    | State_delta of {
         sender : int;
         vid : View.Id.t;
         records : S.context Unit_db.record list;
@@ -55,6 +56,35 @@ module Make (S : Service_intf.SERVICE) = struct
   let encode_p2p (m : p2p_msg) = Marshal.to_string m [] (* haf-lint: allow R2 — simulated wire *)
   let decode_p2p (s : string) : p2p_msg = Marshal.from_string s 0 (* haf-lint: allow R2 — simulated wire *)
 
+  (* What goes to stable storage (lib/store): the WAL records mirror
+     every unit-database mutation delivered in total order, and the
+     snapshot blob is the full per-unit export.  Same Marshal rationale
+     as the wire codecs: the bytes stay inside the simulated disk and
+     never feed a comparison. *)
+  type persisted =
+    | P_session of {
+        unit_id : string;
+        session_id : string;
+        client : int;
+        started_at : float;
+      }
+    | P_end of { unit_id : string; session_id : string }
+    | P_assign of {
+        unit_id : string;
+        session_id : string;
+        primary : int;
+        backups : int list;
+      }
+    | P_ctx of { unit_id : string; session_id : string; snap : S.context Unit_db.snapshot }
+    | P_merge of { unit_id : string; records : S.context Unit_db.record list }
+
+  type persisted_snapshot = (string * S.context Unit_db.record list) list
+
+  let encode_persisted (p : persisted) = Marshal.to_string p [] (* haf-lint: allow R2 — simulated disk *)
+  let decode_persisted (s : string) : persisted = Marshal.from_string s 0 (* haf-lint: allow R2 — simulated disk *)
+  let encode_snapshot (s : persisted_snapshot) = Marshal.to_string s [] (* haf-lint: allow R2 — simulated disk *)
+  let decode_snapshot (s : string) : persisted_snapshot = Marshal.from_string s 0 (* haf-lint: allow R2 — simulated disk *)
+
   (* ================================================================ *)
 
   module Server = struct
@@ -75,10 +105,22 @@ module Make (S : Service_intf.SERVICE) = struct
       mutable sl_ending : bool;
     }
 
+    (* The state exchange runs in two totally ordered rounds.  Round 1:
+       every member multicasts a digest of its records (tiny).  Round 2:
+       once a member holds all digests it deterministically computes, for
+       every session any member is missing or holds stale, which single
+       member owns the freshest copy — and only that member ships the
+       record.  Everyone multicasts a delta (possibly empty) so
+       completion is detectable; total order guarantees every digest
+       precedes every delta.  A recovered member that replayed its
+       stable store therefore receives only what it actually lost since
+       its last durable write, not the whole database. *)
     type exchange = {
       ex_vid : View.Id.t;
       ex_expected : int list;
-      mutable ex_records : (int * S.context Unit_db.record list) list;
+      mutable ex_digests : (int * Unit_db.digest list) list;
+      mutable ex_delta_sent : bool;
+      mutable ex_deltas : (int * S.context Unit_db.record list) list;
       mutable ex_deferred : (int * group_msg) list;  (* newest first *)
     }
 
@@ -87,6 +129,11 @@ module Make (S : Service_intf.SERVICE) = struct
       u_db : S.context Unit_db.t;
       mutable u_view : View.t option;
       mutable u_exchange : exchange option;
+      mutable u_recovering : bool;
+          (* Rebuilt from stable storage but not yet reconciled with the
+             group: suppress self-assignment until the first exchange
+             completes (or a grace period proves us alone), else a
+             restarted node would duel the live primary. *)
     }
 
     type t = {
@@ -98,6 +145,8 @@ module Make (S : Service_intf.SERVICE) = struct
       catalog : string list;
       units : (string, ustate) Hashtbl.t;
       sessions : (string, slocal) Hashtbl.t;
+      store : Haf_store.Store.t option;
+      mutable store_timers : Engine.timer list;
       mutable svc_view : View.t option;
       mutable running : bool;
     }
@@ -112,6 +161,11 @@ module Make (S : Service_intf.SERVICE) = struct
       Gcs.multicast t.gcs t.proc (Naming.content_group unit_id) (encode_group msg)
 
     let send_p2p t dst msg = Gcs.p2p t.gcs t.proc ~dst (encode_p2p msg)
+
+    let store_log t p =
+      match t.store with
+      | Some st -> Haf_store.Store.log st (encode_persisted p)
+      | None -> ()
 
     (* -------------------------------------------------------------- *)
     (* Session-local state                                             *)
@@ -347,8 +401,21 @@ module Make (S : Service_intf.SERVICE) = struct
       | None -> ()
       | Some sess ->
           let prev_primary = sess.Unit_db.primary in
+          let changed =
+            sess.Unit_db.primary <> Some a.Selection.a_primary
+            || sess.Unit_db.backups <> a.Selection.a_backups
+          in
           Unit_db.set_assignment us.u_db a.Selection.a_session_id
             ~primary:a.Selection.a_primary ~backups:a.Selection.a_backups;
+          if changed then
+            store_log t
+              (P_assign
+                 {
+                   unit_id = us.u_id;
+                   session_id = a.Selection.a_session_id;
+                   primary = a.Selection.a_primary;
+                   backups = a.Selection.a_backups;
+                 });
           let target =
             if a.Selection.a_primary = t.proc then Some Primary
             else if List.mem t.proc a.Selection.a_backups then Some Backup
@@ -369,6 +436,7 @@ module Make (S : Service_intf.SERVICE) = struct
 
     let reassign t us ~rebalance =
       match us.u_view with
+      | _ when us.u_recovering -> ()
       | None -> ()
       | Some view ->
           let prevs =
@@ -391,24 +459,40 @@ module Make (S : Service_intf.SERVICE) = struct
 
     let grant_if_primary t us session_id =
       match Unit_db.find us.u_db session_id with
-      | Some sess when sess.Unit_db.primary = Some t.proc ->
-          emit t
-            (Events.Session_granted
-               { client = sess.Unit_db.client; session_id; primary = t.proc });
-          send_p2p t sess.Unit_db.client
-            (Granted { session_id; unit_id = us.u_id; primary = t.proc })
+      | Some sess when sess.Unit_db.primary = Some t.proc && not us.u_recovering ->
+          let client = sess.Unit_db.client in
+          let grant () =
+            emit t (Events.Session_granted { client; session_id; primary = t.proc });
+            send_p2p t client
+              (Granted { session_id; unit_id = us.u_id; primary = t.proc })
+          in
+          (* Durable-before-ack: with a store attached, the session (and
+             our claim to primaryship) must hit the platter before the
+             client hears Granted — else a crash right after the ack
+             could forget a session the client believes exists.  A failed
+             fsync simply drops the grant; the client's grant timer
+             re-asks and we retry. *)
+          (match t.store with
+          | Some st ->
+              Haf_store.Store.sync st (fun ~ok -> if ok && t.running then grant ())
+          | None -> grant ())
       | Some _ | None -> ()
 
     let process_content_msg t us ~sender msg =
       match msg with
       | Start_session { session_id; unit_id = _; client } ->
           let existed = Unit_db.mem us.u_db session_id in
-          ignore
-            (Unit_db.add_session us.u_db ~session_id ~client ~started_at:(now t));
-          if not existed then reassign t us ~rebalance:false;
+          let started_at = now t in
+          ignore (Unit_db.add_session us.u_db ~session_id ~client ~started_at);
+          if not existed then begin
+            store_log t (P_session { unit_id = us.u_id; session_id; client; started_at });
+            reassign t us ~rebalance:false
+          end;
           grant_if_primary t us session_id
       | Propagate { session_id; snap } -> (
           Unit_db.set_propagated us.u_db session_id snap;
+          if Unit_db.mem us.u_db session_id then
+            store_log t (P_ctx { unit_id = us.u_id; session_id; snap });
           (* A backup folds the propagation into its live context: take
              the primary's context and replay the requests it has seen
              that the snapshot predates. *)
@@ -436,8 +520,10 @@ module Make (S : Service_intf.SERVICE) = struct
               Hashtbl.remove t.sessions session_id;
               Gcs.leave t.gcs t.proc (Naming.session_group session_id)
           | None -> ());
+          if Unit_db.mem us.u_db session_id then
+            store_log t (P_end { unit_id = us.u_id; session_id });
           Unit_db.remove_session us.u_db session_id
-      | State_exchange _ -> ()  (* handled by the exchange machinery *)
+      | State_digest _ | State_delta _ -> ()  (* handled by the exchange machinery *)
       | List_units _ | Request _ -> ()
 
     (* Exchange debugging goes to the deterministic trace (visible with a
@@ -446,15 +532,63 @@ module Make (S : Service_intf.SERVICE) = struct
       Trace.emitf (Gcs.trace t.gcs) ~time:(now t)
         ~component:(Printf.sprintf "exchange.%d" t.proc) fmt
 
+    (* For every session in the digest set, the copy every member agrees
+       is authoritative: the maximum under the total order
+       {!Unit_db.digest_preference}, computed over the same digests at
+       every member. *)
+    let best_digests ex =
+      let sids =
+        List.concat_map
+          (fun (_, ds) -> List.map (fun d -> d.Unit_db.d_session_id) ds)
+          ex.ex_digests
+        |> List.sort_uniq String.compare
+      in
+      List.map
+        (fun sid ->
+          let candidates =
+            List.filter_map
+              (fun (_, ds) ->
+                List.find_opt (fun d -> d.Unit_db.d_session_id = sid) ds)
+              ex.ex_digests
+          in
+          match candidates with
+          | [] -> assert false
+          | d0 :: rest ->
+              ( sid,
+                List.fold_left
+                  (fun acc d ->
+                    if Unit_db.digest_preference d acc > 0 then d else acc)
+                  d0 rest ))
+        sids
+
+    (* Assignment fields travel in the digests, not in the deltas: once
+       every digest is in, each member installs the winning digest's
+       primary/backups locally, so records that differ only in
+       assignment never need to ship.  This keeps the [prevs] that
+       {!reassign} feeds to the deterministic selection identical at
+       every member. *)
+    let reconcile_assignments us ex =
+      List.iter
+        (fun (sid, (d : Unit_db.digest)) ->
+          if Unit_db.mem us.u_db sid && d.Unit_db.d_primary >= 0 then
+            Unit_db.set_assignment us.u_db sid ~primary:d.Unit_db.d_primary
+              ~backups:d.Unit_db.d_backups)
+        (best_digests ex)
+
     let exchange_complete t us ex =
       dbg t "s%d exchange COMPLETE %s vid=%s senders=[%s]" t.proc us.u_id
         (Format.asprintf "%a" View.Id.pp ex.ex_vid)
-        (String.concat "," (List.map (fun (s,_) -> string_of_int s) ex.ex_records));
-      let snapshots =
-        List.sort (fun (a, _) (b, _) -> Int.compare a b) ex.ex_records |> List.map snd
+        (String.concat "," (List.map (fun (s, _) -> string_of_int s) ex.ex_deltas));
+      let deltas =
+        List.sort (fun (a, _) (b, _) -> Int.compare a b) ex.ex_deltas
+        |> List.concat_map snd
       in
-      Unit_db.replace_with_merge us.u_db snapshots;
+      Unit_db.merge_records us.u_db deltas;
+      reconcile_assignments us ex;
+      if deltas <> [] then
+        store_log t (P_merge { unit_id = us.u_id; records = deltas });
       us.u_exchange <- None;
+      us.u_recovering <- false;
       reassign t us ~rebalance:t.policy.Policy.rebalance_on_join;
       (* Replay messages that arrived during the exchange, in their
          totally ordered delivery order. *)
@@ -462,12 +596,90 @@ module Make (S : Service_intf.SERVICE) = struct
         (fun (sender, msg) -> process_content_msg t us ~sender msg)
         (List.rev ex.ex_deferred)
 
+    (* Which of my records must I ship?  For every session mentioned in
+       any digest: the preferred copy is the maximum under the total
+       order {!Unit_db.digest_preference}; among the members holding
+       content as fresh (assignment fields are reconciled from the
+       digests, so they don't force a ship), the lowest proc id is the
+       designated sender; and the record only travels at all if some
+       member is missing the session or holds strictly older content.
+       Every member computes this from the same digest set, so exactly
+       one member ships each needed record and nothing else moves. *)
+    let compute_delta t us ex =
+      let members = List.sort Int.compare ex.ex_expected in
+      let digest_of m sid =
+        match List.assoc_opt m ex.ex_digests with
+        | None -> None
+        | Some ds -> List.find_opt (fun d -> d.Unit_db.d_session_id = sid) ds
+      in
+      let sids =
+        List.concat_map
+          (fun (_, ds) -> List.map (fun d -> d.Unit_db.d_session_id) ds)
+          ex.ex_digests
+        |> List.sort_uniq String.compare
+      in
+      let my_records = Unit_db.export us.u_db in
+      List.filter_map
+        (fun sid ->
+          let holders =
+            List.filter_map
+              (fun m -> Option.map (fun d -> (m, d)) (digest_of m sid))
+              members
+          in
+          match holders with
+          | [] -> None
+          | (_, d0) :: _ ->
+              let best =
+                List.fold_left
+                  (fun acc (_, d) ->
+                    if Unit_db.digest_preference d acc > 0 then d else acc)
+                  d0 (List.tl holders)
+              in
+              let sender =
+                List.filter
+                  (fun (_, d) -> Unit_db.digest_snap_compare d best = 0)
+                  holders
+                |> List.map fst
+                |> List.fold_left Int.min max_int
+              in
+              let someone_needs =
+                List.exists
+                  (fun m ->
+                    match digest_of m sid with
+                    | None -> true
+                    | Some d -> Unit_db.digest_snap_compare best d > 0)
+                  members
+              in
+              if sender = t.proc && someone_needs then
+                List.find_opt (fun r -> r.Unit_db.r_session_id = sid) my_records
+              else None)
+        sids
+
+    let send_delta t us ex =
+      if not ex.ex_delta_sent then begin
+        ex.ex_delta_sent <- true;
+        let records = compute_delta t us ex in
+        let msg = State_delta { sender = t.proc; vid = ex.ex_vid; records } in
+        emit t
+          (Events.Exchange_sent
+             {
+               server = t.proc;
+               group = us.u_id;
+               digest = false;
+               records = List.length records;
+               bytes = String.length (encode_group msg);
+             });
+        multicast_content t us.u_id msg
+      end
+
     let start_exchange t us view ~carried =
       let ex =
         {
           ex_vid = view.View.id;
           ex_expected = view.View.members;
-          ex_records = [];
+          ex_digests = [];
+          ex_delta_sent = false;
+          ex_deltas = [];
           ex_deferred = carried;
         }
       in
@@ -475,9 +687,18 @@ module Make (S : Service_intf.SERVICE) = struct
       dbg t "s%d exchange START %s vid=%s expect=[%s]" t.proc us.u_id
         (Format.asprintf "%a" View.Id.pp view.View.id)
         (String.concat "," (List.map string_of_int view.View.members));
-      multicast_content t us.u_id
-        (State_exchange
-           { sender = t.proc; vid = view.View.id; records = Unit_db.export us.u_db })
+      let digest = List.map Unit_db.digest_of_record (Unit_db.export us.u_db) in
+      let msg = State_digest { sender = t.proc; vid = view.View.id; digest } in
+      emit t
+        (Events.Exchange_sent
+           {
+             server = t.proc;
+             group = us.u_id;
+             digest = true;
+             records = List.length digest;
+             bytes = String.length (encode_group msg);
+           });
+      multicast_content t us.u_id msg
 
     let on_content_view t us view =
       let prev = us.u_view in
@@ -498,23 +719,60 @@ module Make (S : Service_intf.SERVICE) = struct
         reassign t us ~rebalance:false
       else start_exchange t us view ~carried
 
-    let on_content_msg t us ~sender msg =
+    let rec on_content_msg t us ~sender msg =
       match us.u_exchange with
+      | None
+        when match (msg, us.u_view) with
+             | State_digest { vid; _ }, Some v -> View.Id.equal vid v.View.id
+             | _ -> false -> (
+          (* A member started an exchange for our current view that we
+             classified as crash-only: it rejoined so fast that we never
+             saw it leave, so the join that is a state-exchange trigger
+             from its side looks like a no-op membership change from
+             ours.  The decision must be symmetric — join the exchange.
+             Total order delivers this first digest before any digest or
+             delta that follows it, so every member converges on the
+             same exchange regardless of which side it classified the
+             view change from. *)
+          match us.u_view with
+          | Some view ->
+              start_exchange t us view ~carried:[];
+              on_content_msg t us ~sender msg
+          | None -> ())
       | Some ex -> (
           match msg with
-          | State_exchange { sender = xsender; vid; records }
+          | State_digest { sender = xsender; vid; digest }
             when View.Id.equal vid ex.ex_vid ->
-              dbg t "s%d exchange RECV %s from s%d vid=%s" t.proc us.u_id
+              dbg t "s%d exchange DIGEST %s from s%d vid=%s" t.proc us.u_id
                 xsender (Format.asprintf "%a" View.Id.pp vid);
-              if not (List.mem_assoc xsender ex.ex_records) then begin
-                ex.ex_records <- (xsender, records) :: ex.ex_records;
+              if not (List.mem_assoc xsender ex.ex_digests) then begin
+                ex.ex_digests <- (xsender, digest) :: ex.ex_digests;
                 if
                   List.for_all
-                    (fun m -> List.mem_assoc m ex.ex_records)
+                    (fun m -> List.mem_assoc m ex.ex_digests)
                     ex.ex_expected
+                then
+                  (* Total order: our delta will be delivered after every
+                     digest at every member, so it is safe to send now. *)
+                  send_delta t us ex
+              end
+          | State_delta { sender = xsender; vid; records }
+            when View.Id.equal vid ex.ex_vid ->
+              dbg t "s%d exchange DELTA %s from s%d vid=%s (%d records)" t.proc
+                us.u_id xsender
+                (Format.asprintf "%a" View.Id.pp vid)
+                (List.length records);
+              if not (List.mem_assoc xsender ex.ex_deltas) then begin
+                ex.ex_deltas <- (xsender, records) :: ex.ex_deltas;
+                if
+                  ex.ex_delta_sent
+                  && List.for_all
+                       (fun m -> List.mem_assoc m ex.ex_deltas)
+                       ex.ex_expected
                 then exchange_complete t us ex
               end
-          | State_exchange { sender = xsender; vid; _ } ->
+          | State_digest { sender = xsender; vid; _ }
+          | State_delta { sender = xsender; vid; _ } ->
               dbg t "s%d exchange STALE %s from s%d vid=%s (want %s)" t.proc
                 us.u_id xsender
                 (Format.asprintf "%a" View.Id.pp vid)
@@ -546,7 +804,8 @@ module Make (S : Service_intf.SERVICE) = struct
           | Some v when View.coordinator v = t.proc ->
               send_p2p t client (Unit_list t.catalog)
           | Some _ | None -> ())
-      | Start_session _ | Propagate _ | End_session _ | State_exchange _ | Request _ ->
+      | Start_session _ | Propagate _ | End_session _ | State_digest _ | State_delta _
+      | Request _ ->
           ()
 
     (* -------------------------------------------------------------- *)
@@ -596,7 +855,65 @@ module Make (S : Service_intf.SERVICE) = struct
 
     (* -------------------------------------------------------------- *)
 
-    let create gcs ~proc ~policy ~units ~catalog ~events =
+    (* Rebuild the unit databases from a recovered snapshot + WAL.  The
+       WAL mirrors the totally ordered mutation stream, so replaying it
+       in order over the snapshot reproduces the database as of the last
+       durable write. *)
+    let replay_recovery t (r : Haf_store.Store.recovery) =
+      let with_unit unit_id f =
+        match Hashtbl.find_opt t.units unit_id with
+        | Some us -> f us
+        | None -> ()
+      in
+      (match r.Haf_store.Store.rec_snapshot with
+      | Some blob ->
+          List.iter
+            (fun (u, records) -> with_unit u (fun us -> Unit_db.merge_records us.u_db records))
+            (decode_snapshot blob)
+      | None -> ());
+      List.iter
+        (fun payload ->
+          match decode_persisted payload with
+          | P_session { unit_id; session_id; client; started_at } ->
+              with_unit unit_id (fun us ->
+                  ignore (Unit_db.add_session us.u_db ~session_id ~client ~started_at))
+          | P_end { unit_id; session_id } ->
+              with_unit unit_id (fun us -> Unit_db.remove_session us.u_db session_id)
+          | P_assign { unit_id; session_id; primary; backups } ->
+              with_unit unit_id (fun us ->
+                  Unit_db.set_assignment us.u_db session_id ~primary ~backups)
+          | P_ctx { unit_id; session_id; snap } ->
+              with_unit unit_id (fun us ->
+                  Unit_db.set_propagated us.u_db session_id snap)
+          | P_merge { unit_id; records } ->
+              with_unit unit_id (fun us -> Unit_db.merge_records us.u_db records))
+        r.Haf_store.Store.rec_wal
+
+    let start_store_timers t st =
+      let cfg = Haf_store.Store.config st in
+      let sync_tm =
+        Engine.every t.engine ~period:cfg.Haf_store.Store.sync_period (fun () ->
+            if
+              t.running
+              && Haf_store.Disk.pending_size (Haf_store.Store.wal_disk st) > 0
+            then Haf_store.Store.sync st (fun ~ok:_ -> ()))
+      in
+      let snap_tm =
+        Engine.every t.engine ~period:cfg.Haf_store.Store.snapshot_period (fun () ->
+            if t.running then begin
+              let blob =
+                encode_snapshot
+                  (Det_tbl.fold_sorted ~compare:String.compare
+                     (fun u us acc -> (u, Unit_db.export us.u_db) :: acc)
+                     t.units []
+                  |> List.rev)
+              in
+              Haf_store.Store.snapshot st blob (fun ~ok:_ -> ())
+            end)
+      in
+      t.store_timers <- [ sync_tm; snap_tm ]
+
+    let create ?store gcs ~proc ~policy ~units ~catalog ~events =
       (match Policy.validate policy with
       | Ok _ -> ()
       | Error msg -> invalid_arg ("Server.create: " ^ msg));
@@ -610,6 +927,8 @@ module Make (S : Service_intf.SERVICE) = struct
           catalog;
           units = Hashtbl.create 4;
           sessions = Hashtbl.create 16;
+          store;
+          store_timers = [];
           svc_view = None;
           running = true;
         }
@@ -617,8 +936,63 @@ module Make (S : Service_intf.SERVICE) = struct
       List.iter
         (fun u ->
           Hashtbl.replace t.units u
-            { u_id = u; u_db = Unit_db.create ~unit_id:u; u_view = None; u_exchange = None })
+            {
+              u_id = u;
+              u_db = Unit_db.create ~unit_id:u;
+              u_view = None;
+              u_exchange = None;
+              u_recovering = false;
+            })
         units;
+      (match store with
+      | None -> ()
+      | Some st ->
+          let r = Haf_store.Store.recover st in
+          replay_recovery t r;
+          let sessions =
+            Det_tbl.fold_sorted ~compare:String.compare
+              (fun _ us acc -> acc + Unit_db.size us.u_db)
+              t.units 0
+          in
+          let nontrivial =
+            sessions > 0 || r.rec_wal <> [] || r.rec_torn_tail || r.rec_crc_mismatch
+            || r.rec_snapshot_lost
+          in
+          if nontrivial then
+            emit t
+              (Events.Store_recovered
+                 {
+                   server = proc;
+                   sessions;
+                   wal_records = List.length r.rec_wal;
+                   torn_tail = r.rec_torn_tail;
+                   crc_mismatch = r.rec_crc_mismatch;
+                   snapshot_lost = r.rec_snapshot_lost;
+                 });
+          if sessions > 0 then begin
+            Det_tbl.iter_sorted ~compare:String.compare
+              (fun _ us -> if Unit_db.size us.u_db > 0 then us.u_recovering <- true)
+              t.units;
+            (* Hold the recovered state back from self-assignment until a
+               state exchange reconciles us with surviving members.  If no
+               exchange completes within a couple of suspicion timeouts we
+               are genuinely alone (whole-group crash): proceed with what
+               the store gave us. *)
+            let grace =
+              2. *. (Gcs.config gcs).Haf_gcs.Config.suspect_timeout
+            in
+            ignore
+              (Engine.schedule t.engine ~delay:grace (fun () ->
+                   if t.running then
+                     Det_tbl.iter_sorted ~compare:String.compare
+                       (fun _ us ->
+                         if us.u_recovering && us.u_exchange = None then begin
+                           us.u_recovering <- false;
+                           reassign t us ~rebalance:false
+                         end)
+                       t.units))
+          end;
+          start_store_timers t st);
       Gcs.set_app gcs proc
         {
           Daemon.on_view = (fun v -> on_view t v);
@@ -631,6 +1005,8 @@ module Make (S : Service_intf.SERVICE) = struct
 
     let stop t =
       t.running <- false;
+      List.iter Engine.cancel t.store_timers;
+      t.store_timers <- [];
       Det_tbl.iter_sorted ~compare:String.compare
         (fun _ sl -> stop_timers sl)
         t.sessions

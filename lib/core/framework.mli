@@ -29,12 +29,22 @@ module Make (S : Service_intf.SERVICE) : sig
     | Propagate of { session_id : string; snap : S.context Unit_db.snapshot }
         (** Primary -> content group, every propagation period. *)
     | End_session of { session_id : string }
-    | State_exchange of {
+    | State_digest of {
+        sender : int;
+        vid : Haf_gcs.View.Id.t;
+        digest : Unit_db.digest list;
+      }
+        (** Members -> content group after a view change with joiners:
+            round one of the state exchange, advertising per-session
+            metadata only. *)
+    | State_delta of {
         sender : int;
         vid : Haf_gcs.View.Id.t;
         records : S.context Unit_db.record list;
       }
-        (** Members -> content group after a view change with joiners. *)
+        (** Round two: each member ships exactly the records it is the
+            designated holder of and that some member lacks — possibly
+            none, so completion stays detectable. *)
     | Request of { session_id : string; seq : int; body : S.request }
         (** Client -> session group: a context update, seen by the
             primary and every backup. *)
@@ -61,10 +71,45 @@ module Make (S : Service_intf.SERVICE) : sig
 
   val decode_p2p : string -> p2p_msg
 
+  (** {2 Persistence format}
+
+      What a server writes to its {!Haf_store.Store.t}: one [persisted]
+      WAL record per totally ordered unit-database mutation, and a
+      [persisted_snapshot] blob (every unit's export) per snapshot
+      cycle.  Exposed for tests that inspect recovered stores. *)
+
+  type persisted =
+    | P_session of {
+        unit_id : string;
+        session_id : string;
+        client : int;
+        started_at : float;
+      }
+    | P_end of { unit_id : string; session_id : string }
+    | P_assign of {
+        unit_id : string;
+        session_id : string;
+        primary : int;
+        backups : int list;
+      }
+    | P_ctx of { unit_id : string; session_id : string; snap : S.context Unit_db.snapshot }
+    | P_merge of { unit_id : string; records : S.context Unit_db.record list }
+
+  type persisted_snapshot = (string * S.context Unit_db.record list) list
+
+  val encode_persisted : persisted -> string
+
+  val decode_persisted : string -> persisted
+
+  val encode_snapshot : persisted_snapshot -> string
+
+  val decode_snapshot : string -> persisted_snapshot
+
   module Server : sig
     type t
 
     val create :
+      ?store:Haf_store.Store.t ->
       Haf_gcs.Gcs.t ->
       proc:int ->
       policy:Policy.t ->
@@ -76,6 +121,17 @@ module Make (S : Service_intf.SERVICE) : sig
         service group and the content group of every unit in [units].
         [catalog] is the unit list advertised to clients (the paper's
         "list of available content units").
+
+        With [?store], the server logs every unit-database mutation to
+        the WAL, snapshots all units every [snapshot_period], group-
+        commits every [sync_period], and delays session grants until the
+        WAL is durable.  If the store holds recovered state (same
+        [Store.t] across a crash/restart), {!create} replays
+        snapshot+WAL into the unit databases, emits
+        {!Events.Store_recovered}, and withholds self-assignment over
+        the recovered sessions until a state exchange reconciles it with
+        survivors — or a grace period of two suspicion timeouts proves
+        it alone, as after a whole-group crash.
 
         @raise Invalid_argument if [policy] fails {!Policy.validate}. *)
 

@@ -92,20 +92,77 @@ let export t =
            r_backups = s.backups;
          })
 
-(* Total preference order over (snapshot, primary) pairs so that merges
-   are deterministic and order-independent: fresher snapshot wins; a
-   snapshot beats none; ties go to the lower primary id. *)
-let record_beats ~cand_snap ~cand_primary ~cur_snap ~cur_primary =
-  match (cand_snap, cur_snap) with
-  | Some c, Some o when fresher c o -> true
-  | Some c, Some o when fresher o c -> false
-  | Some _, None -> true
-  | None, Some _ -> false
-  | (Some _ | None), _ -> (
-      match (cand_primary, cur_primary) with
-      | Some c, Some o -> c < o
-      | Some _, None -> true
-      | None, (Some _ | None) -> false)
+(* The per-session digest: every coordination-relevant field of a record
+   except the service context itself.  Two uses: (a) the total
+   preference order below, shared by merges and by the framework's
+   digest/delta state exchange so both pick the same winner; (b) the
+   wire digest a recovering member advertises so peers ship only the
+   records it lacks.  Sentinels: [d_req_seq = -1] / [d_primary = -1]
+   encode "no snapshot" / "no primary" (real values are >= 0). *)
+type digest = {
+  d_session_id : string;
+  d_client : int;
+  d_started_at : float;
+  d_req_seq : int;
+  d_at : float;
+  d_primary : int;
+  d_backups : int list;
+}
+
+let digest_of_record r =
+  let d_req_seq, d_at =
+    match r.r_propagated with
+    | Some s -> (s.snap_req_seq, s.snap_at)
+    | None -> (-1, 0.)
+  in
+  {
+    d_session_id = r.r_session_id;
+    d_client = r.r_client;
+    d_started_at = r.r_started_at;
+    d_req_seq;
+    d_at;
+    d_primary = Option.value r.r_primary ~default:(-1);
+    d_backups = r.r_backups;
+  }
+
+(* Compare only the replicated-content part of two digests: which
+   propagated snapshot is fresher (the [-1] sentinel means none).
+   Assignment and identity fields are deliberately ignored — a state
+   exchange reconciles those from the digests themselves, so a record
+   differing only in assignment never needs to travel. *)
+let digest_snap_compare a b =
+  if a.d_req_seq < 0 && b.d_req_seq < 0 then 0
+  else if b.d_req_seq < 0 then 1
+  else if a.d_req_seq < 0 then -1
+  else if a.d_req_seq <> b.d_req_seq then Int.compare a.d_req_seq b.d_req_seq
+  else Float.compare a.d_at b.d_at
+
+(* Total preference order (positive = first argument wins) so that
+   merges are deterministic and order-independent: fresher snapshot
+   wins; a snapshot beats none; then the lower primary id (a primary
+   beats none); remaining ties fall through the backup list and the
+   session identity fields, making the order total — members comparing
+   the same pair anywhere in the system agree on the winner. *)
+let digest_preference a b =
+  let snap = digest_snap_compare a b in
+  if snap <> 0 then snap
+  else
+    let primary =
+      if a.d_primary < 0 && b.d_primary < 0 then 0
+      else if b.d_primary < 0 then 1
+      else if a.d_primary < 0 then -1
+      else Int.compare b.d_primary a.d_primary  (* lower id preferred *)
+    in
+    if primary <> 0 then primary
+    else
+      let backups = List.compare Int.compare b.d_backups a.d_backups in
+      if backups <> 0 then backups
+      else
+        let client = Int.compare b.d_client a.d_client in
+        if client <> 0 then client
+        else Float.compare b.d_started_at a.d_started_at
+
+let preference ra rb = digest_preference (digest_of_record ra) (digest_of_record rb)
 
 let merge_records t records =
   List.iter
@@ -114,10 +171,18 @@ let merge_records t records =
         add_session t ~session_id:r.r_session_id ~client:r.r_client
           ~started_at:r.r_started_at
       in
-      if
-        record_beats ~cand_snap:r.r_propagated ~cand_primary:r.r_primary
-          ~cur_snap:s.propagated ~cur_primary:s.primary
-      then begin
+      let cur =
+        {
+          r_session_id = s.session_id;
+          r_client = s.client;
+          r_unit_id = s.unit_id;
+          r_started_at = s.started_at;
+          r_propagated = s.propagated;
+          r_primary = s.primary;
+          r_backups = s.backups;
+        }
+      in
+      if preference r cur > 0 then begin
         s.propagated <- r.r_propagated;
         s.primary <- r.r_primary;
         s.backups <- r.r_backups

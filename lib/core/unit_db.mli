@@ -70,12 +70,43 @@ type 'ctx record = {
 
 val export : 'ctx t -> 'ctx record list
 
+type digest = {
+  d_session_id : string;
+  d_client : int;
+  d_started_at : float;
+  d_req_seq : int;  (** -1 when no snapshot has been propagated. *)
+  d_at : float;
+  d_primary : int;  (** -1 when unassigned. *)
+  d_backups : int list;
+}
+(** Everything a record carries except the service context — small
+    enough to advertise on the wire during a state exchange, rich
+    enough to decide which member holds the authoritative copy. *)
+
+val digest_of_record : _ record -> digest
+
+val digest_snap_compare : digest -> digest -> int
+(** Compare only the replicated-content part — which propagated
+    snapshot is fresher; [-1] sentinels mean none.  The state exchange
+    uses this to decide whether a record must {e travel}: assignment
+    fields are reconciled from the digests themselves, so a copy that
+    differs only in assignment is not worth shipping. *)
+
+val digest_preference : digest -> digest -> int
+(** Strictly positive iff the first argument is the preferred copy; zero
+    iff the digests are identical.  A {e total} order: fresher snapshot
+    first, a snapshot beats none, then lower primary id, then the
+    remaining fields — so every member, merging in any order, picks the
+    same winner. *)
+
+val preference : _ record -> _ record -> int
+(** {!digest_preference} lifted to records. *)
+
 val merge_records : 'ctx t -> 'ctx record list -> unit
-(** Union by session id.  For sessions known on both sides, the side with
-    the fresher propagated snapshot wins both the snapshot and the
-    recorded assignment (ties broken by lower primary id) — a
-    deterministic, order-independent rule, so replicas merging the same
-    snapshots in any order converge. *)
+(** Union by session id.  For sessions known on both sides, the record
+    preferred by {!preference} wins the snapshot and the recorded
+    assignment — a deterministic, order-independent rule, so replicas
+    merging the same snapshots in any order converge. *)
 
 val replace_with_merge : 'ctx t -> 'ctx record list list -> unit
 (** Rebuild the database as the merge of several exported snapshots (the

@@ -1,0 +1,21 @@
+(** E14: recovery cost vs snapshot period; whole-group crash (lib/store)
+
+    See the header comment in [e14_recovery.ml] for the three claims
+    under test: delta-exchange recovery cost shrinking with the snapshot
+    period, survival of a simultaneous whole-content-group crash, and
+    detection (never silent reads) of injected disk faults. *)
+
+val id : string
+
+val title : string
+
+val run : quick:bool -> Haf_stats.Table.t list
+
+val run_custom :
+  ?snapshot_period:float ->
+  ?disk_faults:bool ->
+  quick:bool ->
+  unit ->
+  Haf_stats.Table.t list
+(** One-off recovery-cost run with explicit store knobs, used by the
+    [--snapshot-period] / [--disk-faults] CLI options. *)

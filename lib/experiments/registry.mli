@@ -3,7 +3,7 @@
     measured discussion. *)
 
 type experiment = {
-  id : string;  (** "e1" .. "e10" *)
+  id : string;  (** "e1" .. "e14" *)
   title : string;
   run : quick:bool -> Haf_stats.Table.t list;
 }

@@ -19,6 +19,11 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
     events : Events.sink;
     mutable servers : (int * Fw.Server.t) list;
     clients : Fw.Client.t list;
+    stores : (int, Haf_store.Store.t) Hashtbl.t;
+        (* One store per server, when the scenario enables stable
+           storage.  The store object deliberately outlives the server:
+           crash_server power-fails it, restart_server hands the same
+           store back so recovery reads what the dead life wrote. *)
     rng : Rng.t;
   }
 
@@ -37,11 +42,23 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
         ~num_servers:sc.n_servers engine
     in
     let events = Events.make_sink () in
+    let stores = Hashtbl.create 8 in
+    (match sc.store with
+    | Some cfg ->
+        List.iter
+          (fun p ->
+            Hashtbl.replace stores p
+              (Haf_store.Store.create ~trace:(Gcs.trace gcs)
+                 ~name:(Printf.sprintf "disk.s%d" p) cfg engine))
+          (Gcs.servers gcs)
+    | None -> ());
     let servers =
       List.map
         (fun p ->
           ( p,
-            Fw.Server.create gcs ~proc:p ~policy:sc.policy ~units:(units_of_server sc p)
+            Fw.Server.create
+              ?store:(Hashtbl.find_opt stores p)
+              gcs ~proc:p ~policy:sc.policy ~units:(units_of_server sc p)
               ~catalog:(catalog sc) ~events ))
         (Gcs.servers gcs)
     in
@@ -51,7 +68,7 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
           let proc = Gcs.add_client gcs in
           Fw.Client.create gcs ~proc ~policy:sc.policy ~events)
     in
-    let w = { scenario = sc; engine; gcs; events; servers; clients; rng } in
+    let w = { scenario = sc; engine; gcs; events; servers; clients; stores; rng } in
     (* Client workload: staggered session starts, units chosen
        round-robin so load spreads across content groups. *)
     List.iteri
@@ -76,10 +93,17 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
   (* ---------------------------------------------------------------- *)
   (* Fault injection                                                   *)
 
+  let store_of w p = Hashtbl.find_opt w.stores p
+
   let crash_server w p =
     match List.assoc_opt p w.servers with
     | Some srv when Gcs.alive w.gcs p ->
         Fw.Server.stop srv;
+        (* Power loss hits the disk at the same instant as the process:
+           unsynced writes are lost (or torn), per the fault config. *)
+        (match store_of w p with
+        | Some st -> Haf_store.Store.crash st
+        | None -> ());
         Gcs.crash w.gcs p;
         Events.emit w.events ~now:(Engine.now w.engine) (Events.Server_crashed { server = p })
     | Some _ | None -> ()
@@ -88,7 +112,9 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
     if not (Gcs.alive w.gcs p) then begin
       Gcs.restart w.gcs p;
       let srv =
-        Fw.Server.create w.gcs ~proc:p ~policy:w.scenario.Scenario.policy
+        Fw.Server.create
+          ?store:(store_of w p)
+          w.gcs ~proc:p ~policy:w.scenario.Scenario.policy
           ~units:(units_of_server w.scenario p)
           ~catalog:(catalog w.scenario) ~events:w.events
       in
@@ -203,6 +229,28 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
       end
     in
     plan start
+
+  (* Simultaneous loss of an entire content group: every replica of unit
+     [unit_k] crashes at the same instant and restarts [repair] seconds
+     later.  Without stable storage this is unsurvivable — nobody in the
+     merged view ever held the unit database, so sessions restart from
+     scratch.  With a store each replica recovers its database from
+     snapshot+WAL and the digest/delta exchange reconciles the copies. *)
+  let schedule_unit_wipe w ~at ~unit_k ~repair =
+    ignore
+      (Engine.schedule_at w.engine ~time:at (fun () ->
+           let victims =
+             List.filter
+               (fun p -> Gcs.alive w.gcs p)
+               (Scenario.servers_for_unit w.scenario unit_k)
+           in
+           List.iter (fun p -> crash_server w p) victims;
+           List.iter
+             (fun p ->
+               ignore
+                 (Engine.schedule w.engine ~delay:repair (fun () ->
+                      restart_server w p)))
+             victims))
 
   (* ---------------------------------------------------------------- *)
 

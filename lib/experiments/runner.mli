@@ -12,6 +12,9 @@ module Make (S : Haf_core.Service_intf.SERVICE) : sig
     events : Haf_core.Events.sink;
     mutable servers : (int * Fw.Server.t) list;
     clients : Fw.Client.t list;
+    stores : (int, Haf_store.Store.t) Hashtbl.t;
+        (** Per-server stable storage when the scenario enables it; each
+            store outlives its server's crashes. *)
     rng : Haf_sim.Rng.t;
   }
 
@@ -34,10 +37,16 @@ module Make (S : Haf_core.Service_intf.SERVICE) : sig
       the metrics layer can compute takeover latencies. *)
 
   val crash_server : world -> int -> unit
+  (** Power-fail the process {e and} its store (unsynced writes lost or
+      torn, per the scenario's fault config). *)
 
   val restart_server : world -> int -> unit
   (** Fresh GCS daemon and a fresh framework server re-join their
-      groups, triggering the state-exchange/rebalance path. *)
+      groups, triggering the state-exchange/rebalance path.  With a
+      store, the new server first recovers its unit databases from
+      snapshot+WAL (see {!Fw.Server.create}). *)
+
+  val store_of : world -> int -> Haf_store.Store.t option
 
   val schedule_poisson_crashes :
     world ->
@@ -74,6 +83,11 @@ module Make (S : Haf_core.Service_intf.SERVICE) : sig
       session-group members independently with probability [kill_prob]
       — the paper's "every session group member failing" loss pattern,
       with P(all die) = kill_prob^(group size). *)
+
+  val schedule_unit_wipe : world -> at:float -> unit_k:int -> repair:float -> unit
+  (** Crash {e every} live replica of content unit [unit_k] at the same
+      instant, restarting each [repair] seconds later: the total-loss
+      scenario the paper declares unsurvivable without stable storage. *)
 
   (** {2 Introspection} *)
 

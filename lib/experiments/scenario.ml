@@ -10,6 +10,7 @@ type t = {
   policy : Haf_core.Policy.t;
   gcs_config : Haf_gcs.Config.t;
   net_config : Haf_net.Network.config;
+  store : Haf_store.Store.config option;
   warmup : float;
   duration : float;
 }
@@ -27,6 +28,7 @@ let default =
     policy = Haf_core.Policy.default;
     gcs_config = Haf_gcs.Config.default;
     net_config = Haf_net.Network.default_config;
+    store = None;
     warmup = 3.;
     duration = 120.;
   }
@@ -38,5 +40,10 @@ let servers_for_unit t k =
 
 let pp ppf t =
   Format.fprintf ppf
-    "servers=%d units=%d repl=%d clients=%d policy=(%a) dur=%gs seed=%d" t.n_servers
+    "servers=%d units=%d repl=%d clients=%d policy=(%a) dur=%gs seed=%d%s" t.n_servers
     t.n_units t.replication t.n_clients Haf_core.Policy.pp t.policy t.duration t.seed
+    (match t.store with
+    | Some cfg ->
+        Printf.sprintf " store=(snap=%gs sync=%gs)"
+          cfg.Haf_store.Store.snapshot_period cfg.Haf_store.Store.sync_period
+    | None -> "")

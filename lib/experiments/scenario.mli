@@ -16,13 +16,17 @@ type t = {
   policy : Haf_core.Policy.t;
   gcs_config : Haf_gcs.Config.t;
   net_config : Haf_net.Network.config;
+  store : Haf_store.Store.config option;
+      (** [Some cfg]: every server gets a {!Haf_store.Store.t} that
+          survives its crashes, so a restarted server recovers its unit
+          databases from snapshot+WAL instead of rejoining amnesiac. *)
   warmup : float;  (** Views settle before clients arrive. *)
   duration : float;  (** Total simulated seconds. *)
 }
 
 val default : t
 (** 5 servers, 2 units at replication 3, 3 clients with one long session
-    each, 120 simulated seconds. *)
+    each, 120 simulated seconds, no stable storage. *)
 
 val unit_name : int -> string
 

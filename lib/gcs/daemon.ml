@@ -90,8 +90,15 @@ let now t = Engine.now t.engine
 let tr t fmt =
   Trace.emitf t.trace ~time:(now t) ~component:(Printf.sprintf "gcs.%d" t.me) fmt
 
-let create ~engine ~transport ~config ~trace ?heartbeat_interval ~contacts me =
+let create ~engine ~transport ~config ~trace ?heartbeat_interval ?incarnation
+    ~contacts me =
   let hb = Option.value heartbeat_interval ~default:config.Config.heartbeat_interval in
+  let incarnation =
+    match incarnation with
+    | Some i -> i
+    | None ->
+        Int64.to_int (Int64.shift_right_logical (Haf_sim.Rng.bits64 (Engine.rng engine)) 2)
+  in
   {
     me;
     engine;
@@ -107,7 +114,7 @@ let create ~engine ~transport ~config ~trace ?heartbeat_interval ~contacts me =
     adverts = Hashtbl.create 16;
     vid_mismatch = Hashtbl.create 16;
     contacts = List.filter (fun p -> p <> me) contacts;
-    incarnation = Int64.to_int (Int64.shift_right_logical (Haf_sim.Rng.bits64 (Engine.rng engine)) 2);
+    incarnation;
     next_serial = 0;
     timers = [];
     view_changes = 0;
@@ -170,6 +177,8 @@ let view_of t group =
   Option.map (fun gs -> gs.view) (Hashtbl.find_opt t.gstates group)
 
 let stats_view_changes t = t.view_changes
+
+let incarnation t = t.incarnation
 
 (* ------------------------------------------------------------------ *)
 (* Delivery                                                            *)

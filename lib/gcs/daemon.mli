@@ -41,13 +41,18 @@ val create :
   config:Config.t ->
   trace:Haf_sim.Trace.t ->
   ?heartbeat_interval:float ->
+  ?incarnation:int ->
   contacts:proc list ->
   proc ->
   t
 (** [contacts] are the a-priori-known peer daemons (the paper's "clients
     have a priori knowledge of this group's name"): they are monitored
     from startup and used as a routing fallback.  [heartbeat_interval]
-    overrides the config's (clients probe less often than servers). *)
+    overrides the config's (clients probe less often than servers).
+    [incarnation] overrides the default randomly drawn incarnation — a
+    restarted daemon given a value strictly above its previous life's is
+    {e guaranteed} (not just overwhelmingly likely) to be told apart
+    from it; see {!Gcs.restart}. *)
 
 val set_callbacks : t -> callbacks -> unit
 
@@ -105,3 +110,5 @@ val membership_stable : t -> string -> bool
     installed view. *)
 
 val stats_view_changes : t -> int
+
+val incarnation : t -> int

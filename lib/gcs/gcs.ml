@@ -12,6 +12,11 @@ type slot = {
   mutable daemon : Daemon.t option;  (* None while crashed *)
   mutable callbacks : Daemon.callbacks;
   mutable retired_view_changes : int;  (* from previous incarnations *)
+  mutable last_incarnation : int option;
+      (* The crashed daemon's incarnation — the one piece of GCS-level
+         state that must survive a restart (cf. Raft's currentTerm): the
+         successor gets a strictly larger value, so peers can always
+         tell the two lives apart. *)
 }
 
 type t = {
@@ -40,13 +45,13 @@ let is_server t p =
   | Some { role = Server; _ } -> true
   | Some { role = Client; _ } | None -> false
 
-let spawn_daemon t proc role =
+let spawn_daemon ?incarnation t proc role =
   let heartbeat_interval =
     match role with Server -> None | Client -> Some t.client_hb
   in
   let d =
     Daemon.create ~engine:t.engine ~transport:t.transport ~config:t.gcs_config
-      ~trace:t.trace ?heartbeat_interval ~contacts:(servers t) proc
+      ~trace:t.trace ?heartbeat_interval ?incarnation ~contacts:(servers t) proc
   in
   Daemon.start d;
   d
@@ -56,7 +61,13 @@ let add_process t role =
   if role = Server then t.server_list <- proc :: t.server_list;
   let daemon = spawn_daemon t proc role in
   Hashtbl.replace t.slots proc
-    { role; daemon = Some daemon; callbacks = Daemon.no_callbacks; retired_view_changes = 0 };
+    {
+      role;
+      daemon = Some daemon;
+      callbacks = Daemon.no_callbacks;
+      retired_view_changes = 0;
+      last_incarnation = None;
+    };
   proc
 
 let create ?(net_config = Network.default_config) ?(gcs_config = Config.default)
@@ -131,6 +142,7 @@ let crash t p =
   (match s.daemon with
   | Some d ->
       s.retired_view_changes <- s.retired_view_changes + Daemon.stats_view_changes d;
+      s.last_incarnation <- Some (Daemon.incarnation d);
       Daemon.stop d;
       s.daemon <- None
   | None -> ());
@@ -142,7 +154,8 @@ let restart t p =
   if s.daemon = None then begin
     Network.recover t.net p;
     Transport.reset_node t.transport p;
-    let d = spawn_daemon t p s.role in
+    let incarnation = Option.map (fun i -> i + 1) s.last_incarnation in
+    let d = spawn_daemon ?incarnation t p s.role in
     Daemon.set_callbacks d s.callbacks;
     s.daemon <- Some d
   end

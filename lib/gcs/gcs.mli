@@ -75,7 +75,10 @@ val crash : t -> proc -> unit
 
 val restart : t -> proc -> unit
 (** The process comes back with empty GCS state (a fresh daemon); the
-    application layer must re-register callbacks and re-join groups. *)
+    application layer must re-register callbacks and re-join groups.
+    The new daemon's incarnation is the crashed one's plus one — the
+    fabric persists that single integer across the crash, so peers are
+    guaranteed to distinguish the two lives. *)
 
 val alive : t -> proc -> bool
 

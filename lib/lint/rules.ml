@@ -1,5 +1,7 @@
 let protocol_dirs path =
-  Allowlist.under "lib/gcs" path || Allowlist.under "lib/core" path
+  Allowlist.under "lib/gcs" path
+  || Allowlist.under "lib/core" path
+  || Allowlist.under "lib/store" path
 
 let lib path = Allowlist.under "lib" path
 
@@ -119,7 +121,7 @@ let missing_mli_message path =
 let descriptions =
   [
     ("R1", "no ambient randomness/time outside lib/sim/rng.ml");
-    ("R2", "no polymorphic compare/hash/Marshal in lib/gcs and lib/core");
+    ("R2", "no polymorphic compare/hash/Marshal in lib/gcs, lib/core, lib/store");
     ("R3", "no unordered Hashtbl iteration over protocol state");
     ("R4", "no direct stdout/stderr in lib/ (use Sim.Trace / Stats)");
     ("R5", "every lib/**/*.ml has a matching .mli");

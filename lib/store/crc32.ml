@@ -1,0 +1,29 @@
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320), the checksum
+   guarding every stable-storage record.  Table-driven; the table is
+   computed once at module initialisation. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           let lsb = Int32.logand !c 1l in
+           c := Int32.shift_right_logical !c 1;
+           if lsb <> 0l then c := Int32.logxor !c 0xEDB88320l
+         done;
+         !c))
+
+let update crc s ~off ~len =
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Crc32.update";
+  let table = Lazy.force table in
+  let c = ref (Int32.lognot crc) in
+  for i = off to off + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xffl)
+    in
+    c := Int32.logxor (Int32.shift_right_logical !c 8) table.(idx)
+  done;
+  Int32.lognot !c
+
+let string s = update 0l s ~off:0 ~len:(String.length s)

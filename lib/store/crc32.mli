@@ -1,0 +1,15 @@
+(** CRC-32 (IEEE 802.3, the zlib/Ethernet polynomial).
+
+    Every record written to simulated stable storage carries this
+    checksum so that recovery can distinguish valid data from torn
+    writes and bit rot — injected corruption must be {e detected}, never
+    silently read back. *)
+
+val string : string -> int32
+(** [string s] is the CRC-32 of the whole string.  [string ""] = [0l];
+    [string "123456789"] = [0xCBF43926l] (the standard check value). *)
+
+val update : int32 -> string -> off:int -> len:int -> int32
+(** Incremental form: [update crc s ~off ~len] extends [crc] with a
+    substring.  [string s = update 0l s ~off:0 ~len:(length s)].
+    @raise Invalid_argument on an out-of-bounds range. *)

@@ -1,0 +1,49 @@
+(* Record framing for the write-ahead log: every record is
+
+     [length : u32 BE] [crc32(payload) : u32 BE] [payload bytes]
+
+   Replay walks the frames front to back and stops at the first frame
+   that cannot be trusted: a header or payload that runs past the end of
+   the device is a torn tail (an interrupted append), and a payload
+   whose CRC does not match its header is corruption.  Either way the
+   invalid suffix is reported, never silently decoded. *)
+
+let header_size = 8
+
+let frame payload =
+  let n = String.length payload in
+  let b = Bytes.create (header_size + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.set_int32_be b 4 (Crc32.string payload);
+  Bytes.blit_string payload 0 b header_size n;
+  Bytes.unsafe_to_string b
+
+let append disk payload = Disk.append disk (frame payload)
+
+let framed_size payload = header_size + String.length payload
+
+type replay = {
+  records : string list;  (* valid records, oldest first *)
+  valid_bytes : int;  (* prefix length covered by valid frames *)
+  torn_tail : bool;
+  crc_mismatch : bool;
+}
+
+let replay bytes =
+  let n = String.length bytes in
+  let rec walk off acc =
+    if off = n then { records = List.rev acc; valid_bytes = off; torn_tail = false; crc_mismatch = false }
+    else if off + header_size > n then
+      { records = List.rev acc; valid_bytes = off; torn_tail = true; crc_mismatch = false }
+    else
+      let len = Int32.to_int (String.get_int32_be bytes off) in
+      if len < 0 || off + header_size + len > n then
+        { records = List.rev acc; valid_bytes = off; torn_tail = true; crc_mismatch = false }
+      else
+        let crc = String.get_int32_be bytes (off + 4) in
+        let payload = String.sub bytes (off + header_size) len in
+        if Crc32.string payload <> crc then
+          { records = List.rev acc; valid_bytes = off; torn_tail = false; crc_mismatch = true }
+        else walk (off + header_size + len) (payload :: acc)
+  in
+  walk 0 []

@@ -1,0 +1,32 @@
+(** Checksummed record framing for the write-ahead log.
+
+    Records are appended as [[length; crc32; payload]] frames on a
+    {!Disk.t}; {!replay} walks the durable bytes back into records,
+    stopping — and reporting why — at the first torn or corrupt frame.
+    Invalid data is detected by construction, never decoded. *)
+
+val header_size : int
+(** Bytes of framing overhead per record (8). *)
+
+val frame : string -> string
+(** The on-disk encoding of one record. *)
+
+val framed_size : string -> int
+(** [framed_size p = String.length (frame p)] without building it. *)
+
+val append : Disk.t -> string -> unit
+(** Frame and append to the disk's pending buffer; durable after the
+    next successful {!Disk.fsync}. *)
+
+type replay = {
+  records : string list;  (** Valid records, oldest first. *)
+  valid_bytes : int;  (** Length of the prefix covered by valid frames. *)
+  torn_tail : bool;
+      (** The device ends mid-frame: an append was interrupted. *)
+  crc_mismatch : bool;
+      (** A complete frame failed its checksum; replay stops there
+          because frame boundaries after corrupt data are untrustworthy. *)
+}
+
+val replay : string -> replay
+(** Decode a device image (typically {!Disk.durable}). *)

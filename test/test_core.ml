@@ -251,6 +251,66 @@ let test_db_merge_freshest_assignment_wins () =
         (match s.Unit_db.propagated with Some p -> p.Unit_db.snap_ctx | None -> "?")
   | None -> Alcotest.fail "missing"
 
+let test_db_merge_records_staleness () =
+  (* merge_records (the state-exchange delta path): fresher incoming
+     content replaces stale, stale incoming never clobbers fresh, and
+     unknown sessions are adopted. *)
+  let db = mkdb () in
+  ignore (Unit_db.add_session db ~session_id:"s" ~client:1 ~started_at:0.);
+  Unit_db.set_propagated db "s" (snap "mine" 7 10.);
+  let incoming_of other =
+    match Unit_db.export other with rs -> rs
+  in
+  let fresh = mkdb () in
+  ignore (Unit_db.add_session fresh ~session_id:"s" ~client:1 ~started_at:0.);
+  Unit_db.set_propagated fresh "s" (snap "theirs" 9 11.);
+  Unit_db.merge_records db (incoming_of fresh);
+  (match Unit_db.find db "s" with
+  | Some { Unit_db.propagated = Some p; _ } ->
+      check Alcotest.string "fresher incoming wins" "theirs" p.Unit_db.snap_ctx
+  | _ -> Alcotest.fail "missing");
+  let stale = mkdb () in
+  ignore (Unit_db.add_session stale ~session_id:"s" ~client:1 ~started_at:0.);
+  Unit_db.set_propagated stale "s" (snap "old" 2 1.);
+  ignore (Unit_db.add_session stale ~session_id:"t" ~client:2 ~started_at:0.);
+  Unit_db.merge_records db (incoming_of stale);
+  (match Unit_db.find db "s" with
+  | Some { Unit_db.propagated = Some p; _ } ->
+      check Alcotest.string "stale incoming loses" "theirs" p.Unit_db.snap_ctx
+  | _ -> Alcotest.fail "missing");
+  check Alcotest.bool "unknown session adopted" true (Unit_db.mem db "t")
+
+let digest ?(req_seq = -1) ?(at = 0.) ?(primary = -1) sid =
+  {
+    Unit_db.d_session_id = sid;
+    d_client = 0;
+    d_started_at = 0.;
+    d_req_seq = req_seq;
+    d_at = at;
+    d_primary = primary;
+    d_backups = [];
+  }
+
+let test_digest_snap_compare () =
+  let cmp a b = Unit_db.digest_snap_compare a b in
+  check Alcotest.int "both none tie" 0 (cmp (digest "s") (digest "s"));
+  check Alcotest.bool "snapshot beats none" true
+    (cmp (digest ~req_seq:0 "s") (digest "s") > 0);
+  check Alcotest.bool "higher req_seq wins" true
+    (cmp (digest ~req_seq:5 "s") (digest ~req_seq:3 ~at:99. "s") > 0);
+  check Alcotest.bool "same req_seq, later time wins" true
+    (cmp (digest ~req_seq:5 ~at:2. "s") (digest ~req_seq:5 ~at:1. "s") > 0);
+  (* Assignment differences are invisible to the content comparison —
+     that is what keeps assignment-only divergence off the wire. *)
+  check Alcotest.int "assignment ignored" 0
+    (cmp (digest ~req_seq:5 ~at:2. ~primary:0 "s")
+       (digest ~req_seq:5 ~at:2. ~primary:3 "s"));
+  check Alcotest.bool "but full preference still orders it" true
+    (Unit_db.digest_preference
+       (digest ~req_seq:5 ~at:2. ~primary:0 "s")
+       (digest ~req_seq:5 ~at:2. ~primary:3 "s")
+    <> 0)
+
 let prop_db_merge_order_independent =
   QCheck.Test.make ~name:"unit_db merge is order-independent" ~count:100
     QCheck.(small_list (pair (int_bound 5) (pair (int_bound 20) (int_bound 20))))
@@ -331,6 +391,10 @@ let suite =
         Alcotest.test_case "merge union" `Quick test_db_merge_union;
         Alcotest.test_case "merge freshest wins" `Quick
           test_db_merge_freshest_assignment_wins;
+        Alcotest.test_case "merge_records staleness" `Quick
+          test_db_merge_records_staleness;
+        Alcotest.test_case "digest snap compare" `Quick
+          test_digest_snap_compare;
       ]
       @ qsuite [ prop_db_merge_order_independent ] );
     ("core.events", [ Alcotest.test_case "sink" `Quick test_events_sink ]);

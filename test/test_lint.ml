@@ -23,7 +23,9 @@ let test_r1_violation () =
   check_rules "Unix.gettimeofday flagged" [ "R1" ]
     (lint "lib/core/clock.ml" {|let now () = Unix.gettimeofday ()|});
   check_rules "Sys.time flagged even in test/" [ "R1" ]
-    (lint "test/test_foo.ml" {|let t = Sys.time ()|})
+    (lint "test/test_foo.ml" {|let t = Sys.time ()|});
+  check_rules "Random flagged in lib/store" [ "R1" ]
+    (lint "lib/store/disk.ml" {|let torn () = Random.bool ()|})
 
 let test_r1_clean () =
   check_rules "Sim.Rng is the sanctioned source" []
@@ -47,7 +49,9 @@ let test_r2_violation () =
   check_rules "Marshal flagged in lib/core" [ "R2" ]
     (lint "lib/core/foo.ml" {|let enc x = Marshal.to_string x []|});
   check_rules "Hashtbl.hash flagged" [ "R2" ]
-    (lint "lib/gcs/foo.ml" {|let h x = Hashtbl.hash x|})
+    (lint "lib/gcs/foo.ml" {|let h x = Hashtbl.hash x|});
+  check_rules "Marshal flagged in lib/store" [ "R2" ]
+    (lint "lib/store/wal.ml" {|let enc x = Marshal.to_string x []|})
 
 let test_r2_out_of_scope () =
   check_rules "bare compare fine outside protocol dirs" []
@@ -70,7 +74,9 @@ let test_r3_violation () =
   check_rules "Hashtbl.fold flagged in lib/core" [ "R3" ]
     (lint "lib/core/foo.ml" {|let keys t = Hashtbl.fold (fun k _ a -> k :: a) t []|});
   check_rules "Hashtbl.iter flagged in lib/gcs" [ "R3" ]
-    (lint "lib/gcs/foo.ml" {|let each f t = Hashtbl.iter f t|})
+    (lint "lib/gcs/foo.ml" {|let each f t = Hashtbl.iter f t|});
+  check_rules "Hashtbl.iter flagged in lib/store" [ "R3" ]
+    (lint "lib/store/store.ml" {|let each f t = Hashtbl.iter f t|})
 
 let test_r3_clean () =
   check_rules "Det_tbl iteration passes" []
