@@ -1,6 +1,6 @@
 (* Benchmark harness.
 
-   Part 1 regenerates every evaluation table (experiments E1..E14 — the
+   Part 1 regenerates every evaluation table (experiments E1..E15 — the
    paper's Section-4 analysis turned quantitative; see EXPERIMENTS.md for
    the paper-vs-measured discussion).  Part 2 runs bechamel
    microbenchmarks of the hot operations underneath: deterministic
@@ -8,7 +8,10 @@
    integral, the event engine and a whole in-simulation GCS multicast
    round.  Part 3 re-measures the stable-storage path and writes
    BENCH_store.json — store op latencies plus the E14 recovery tables in
-   machine-readable form. *)
+   machine-readable form.  Part 4 measures the chaos/monitor harness
+   itself — schedule generation, text roundtrip, ddmin shrinking, and
+   the monitor's per-event observation overhead — and writes
+   BENCH_chaos.json. *)
 
 open Bechamel
 open Toolkit
@@ -211,6 +214,96 @@ let bench_store_recover =
 
 let store_benches = [ bench_store_log_sync; bench_store_snapshot; bench_store_recover ]
 
+(* ------------------------------------------------------------------ *)
+(* Chaos & monitor subjects (lib/chaos, lib/monitor)                    *)
+
+module Chaos = Haf_chaos.Chaos
+module Monitor = Haf_monitor.Monitor
+
+let bench_chaos_generate =
+  Test.make ~name:"chaos: generate schedule (100s horizon, intensity 2)"
+    (Staged.stage (fun () ->
+         ignore
+           (Chaos.generate ~seed:42 ~intensity:2.0 ~horizon:100. ~n_servers:5
+              ~n_units:2 ())))
+
+let chaos_sched =
+  Chaos.generate ~seed:42 ~intensity:2.0 ~horizon:100. ~n_servers:5 ~n_units:2 ()
+
+let bench_chaos_roundtrip =
+  Test.make ~name:"chaos: schedule text roundtrip"
+    (Staged.stage (fun () -> ignore (Chaos.of_string (Chaos.to_string chaos_sched))))
+
+(* Pure predicate, so this times the ddmin search itself rather than
+   the simulation replays it would drive in anger. *)
+let shrink_core = (50.0, Chaos.Crash 1)
+
+let shrink_failing cand = List.mem shrink_core cand
+
+let shrink_input = chaos_sched @ [ shrink_core ]
+
+let bench_chaos_shrink =
+  Test.make
+    ~name:
+      (Printf.sprintf "chaos: ddmin shrink (%d ops, pure predicate)"
+         (List.length shrink_input))
+    (Staged.stage (fun () -> ignore (Chaos.shrink ~failing:shrink_failing shrink_input)))
+
+(* The monitor's observation cost per event, over a representative mix:
+   role changes, propagations (acked-loss bookkeeping), view notes
+   (staleness clock resets) and the client-response firehose. *)
+let monitor_bench_events = 1000
+
+let bench_monitor_observe =
+  Test.make
+    ~name:
+      (Printf.sprintf "monitor: observe %d events + pump (5 servers)"
+         monitor_bench_events)
+    (Staged.stage (fun () ->
+         let engine = Haf_sim.Engine.create ~seed:1 () in
+         let net = Haf_net.Network.create engine Haf_net.Network.default_config in
+         let servers = List.init 5 (fun _ -> Haf_net.Network.add_node net) in
+         let sink = Haf_core.Events.make_sink () in
+         let mon =
+           Monitor.create ~network:net ~servers ~policy:Haf_core.Policy.default
+             ~gcs:Haf_gcs.Config.default ~events:sink ()
+         in
+         Haf_core.Events.emit sink ~now:0.
+           (Haf_core.Events.Session_granted
+              { client = 9; session_id = "s"; primary = 0 });
+         for i = 1 to monitor_bench_events do
+           let now = float_of_int i *. 0.01 in
+           Haf_core.Events.emit sink ~now
+             (match i mod 4 with
+             | 0 ->
+                 Haf_core.Events.Propagated
+                   { server = 0; session_id = "s"; req_seq = i; applied = [ i ] }
+             | 1 ->
+                 Haf_core.Events.Response_received
+                   {
+                     client = 9;
+                     session_id = "s";
+                     id = i;
+                     critical = false;
+                     from_server = 0;
+                   }
+             | 2 ->
+                 Haf_core.Events.Role_assumed
+                   { server = 0; session_id = "s"; role = Haf_core.Events.Primary }
+             | _ ->
+                 Haf_core.Events.View_noted
+                   {
+                     server = 0;
+                     group = Haf_core.Naming.content_group "u00";
+                     members = [ 0; 1; 2 ];
+                   })
+         done;
+         Monitor.pump mon ~now:11.;
+         ignore (Monitor.violations mon)))
+
+let chaos_benches =
+  [ bench_chaos_generate; bench_chaos_roundtrip; bench_chaos_shrink; bench_monitor_observe ]
+
 let microbenches =
   [
     bench_selection;
@@ -314,8 +407,54 @@ let write_store_json ~path store_ests =
   output_string oc (Buffer.contents b);
   close_out oc
 
+(* ------------------------------------------------------------------ *)
+(* BENCH_chaos.json: harness-cost numbers — chaos op latencies, the
+   monitor's per-event overhead, and one concrete ddmin run. *)
+
+let write_chaos_json ~path chaos_ests =
+  let minimal, evals = Chaos.shrink ~failing:shrink_failing shrink_input in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"benchmark\": \"lib/chaos + lib/monitor harness\",\n";
+  Buffer.add_string b "  \"mode\": \"quick\",\n";
+  Buffer.add_string b "  \"op_latency_ns\": {\n";
+  List.iteri
+    (fun i (name, est) ->
+      Buffer.add_string b
+        (Printf.sprintf "    \"%s\": %s%s\n" (json_escape name)
+           (match est with Some t -> Printf.sprintf "%.1f" t | None -> "null")
+           (if i < List.length chaos_ests - 1 then "," else "")))
+    chaos_ests;
+  Buffer.add_string b "  },\n";
+  let observe_est =
+    List.find_map
+      (fun (name, est) ->
+        if
+          String.length name >= 7
+          && String.sub name 0 7 = "monitor"
+        then est
+        else None)
+      chaos_ests
+  in
+  Buffer.add_string b
+    (Printf.sprintf "  \"monitor_ns_per_event\": %s,\n"
+       (match observe_est with
+       | Some t -> Printf.sprintf "%.1f" (t /. float_of_int monitor_bench_events)
+       | None -> "null"));
+  Buffer.add_string b "  \"shrink\": {\n";
+  Buffer.add_string b
+    (Printf.sprintf "    \"ops_before\": %d,\n" (List.length shrink_input));
+  Buffer.add_string b
+    (Printf.sprintf "    \"ops_after\": %d,\n" (List.length minimal));
+  Buffer.add_string b (Printf.sprintf "    \"failing_evals\": %d\n" evals);
+  Buffer.add_string b "  }\n";
+  Buffer.add_string b "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
 let () =
-  print_endline "=== Part 1: evaluation tables (experiments E1..E14, quick mode) ===";
+  print_endline "=== Part 1: evaluation tables (experiments E1..E15, quick mode) ===";
   print_newline ();
   Haf_experiments.Registry.run_all ~quick:true Format.std_formatter;
   print_endline "=== Part 2: microbenchmarks ===";
@@ -326,4 +465,10 @@ let () =
   let store_ests = estimate store_benches in
   print_estimates "store microbenchmarks (monotonic clock)" store_ests;
   write_store_json ~path:"BENCH_store.json" store_ests;
-  print_endline "wrote BENCH_store.json"
+  print_endline "wrote BENCH_store.json";
+  print_endline "=== Part 4: chaos & monitor harness (lib/chaos, lib/monitor) ===";
+  print_newline ();
+  let chaos_ests = estimate chaos_benches in
+  print_estimates "chaos/monitor microbenchmarks (monotonic clock)" chaos_ests;
+  write_chaos_json ~path:"BENCH_chaos.json" chaos_ests;
+  print_endline "wrote BENCH_chaos.json"

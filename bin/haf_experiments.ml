@@ -40,11 +40,39 @@ let disk_faults =
   in
   Arg.(value & flag & info [ "disk-faults" ] ~doc)
 
-let run ids full list_flag csv_dir snapshot_period disk_faults =
+let chaos_seed =
+  let doc =
+    "Run a one-off monitored chaos scenario (E15 machinery): compile \
+     $(docv) into a fault schedule, apply it, and print the invariant \
+     monitor's findings plus the schedule in replayable form."
+  in
+  Arg.(value & opt (some int) None & info [ "chaos" ] ~docv:"SEED" ~doc)
+
+let chaos_intensity =
+  let doc = "Incident density for --chaos (1.0 = one incident per 8 simulated seconds)." in
+  Arg.(value & opt float 1.0 & info [ "chaos-intensity" ] ~docv:"X" ~doc)
+
+let run ids full list_flag csv_dir snapshot_period disk_faults chaos_seed
+    chaos_intensity =
   let module Reg = Haf_experiments.Registry in
   if list_flag then begin
     List.iter (fun e -> Printf.printf "%-4s %s\n" e.Reg.id e.Reg.title) Reg.all;
     0
+  end
+  else if chaos_seed <> None then begin
+    let quick = not full in
+    Haf_experiments.Runner.reset_observed ();
+    let tables =
+      Haf_experiments.E15_chaos.run_custom
+        ~chaos_seed:(Option.get chaos_seed)
+        ~intensity:chaos_intensity ~quick ()
+    in
+    List.iter (Haf_stats.Table.print Format.std_formatter) tables;
+    (* Nonzero on any invariant violation, so CI can gate on a seeded
+       chaos run directly. *)
+    match Haf_experiments.Runner.observed_violations () with
+    | [] -> 0
+    | _ -> 1
   end
   else if snapshot_period <> None || disk_faults then begin
     let quick = not full in
@@ -76,8 +104,17 @@ let run ids full list_flag csv_dir snapshot_period disk_faults =
       | Some _ | None -> ());
       List.iter
         (fun e ->
+          Haf_experiments.Runner.reset_observed ();
           let tables = e.Reg.run ~quick in
           List.iter (Haf_stats.Table.print Format.std_formatter) tables;
+          (match Haf_experiments.Runner.observed_violations () with
+          | [] -> Printf.printf "%s monitor: 0 invariant violations\n\n" e.Reg.id
+          | vs ->
+              Printf.printf "%s monitor: %d invariant violation(s)%s\n\n" e.Reg.id
+                (List.length vs)
+                (if String.equal e.Reg.id "e15" then
+                   " (expected: E15b provokes them deliberately)"
+                 else ""));
           match csv_dir with
           | Some dir ->
               List.iteri
@@ -105,6 +142,6 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ ids $ full $ list_flag $ csv_dir $ snapshot_period
-      $ disk_faults)
+      $ disk_faults $ chaos_seed $ chaos_intensity)
 
 let () = exit (Cmd.eval' cmd)

@@ -44,11 +44,18 @@ type t =
       snapshot_lost : bool;
     }
 
-type sink = { mutable items : (float * t) list }  (* newest first *)
+type sink = {
+  mutable items : (float * t) list;  (* newest first *)
+  mutable taps : (now:float -> t -> unit) list;  (* subscription order *)
+}
 
-let make_sink () = { items = [] }
+let make_sink () = { items = []; taps = [] }
 
-let emit sink ~now ev = sink.items <- (now, ev) :: sink.items
+let subscribe sink f = sink.taps <- sink.taps @ [ f ]
+
+let emit sink ~now ev =
+  sink.items <- (now, ev) :: sink.items;
+  List.iter (fun f -> f ~now ev) sink.taps
 
 let events sink = List.rev sink.items
 

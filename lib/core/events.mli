@@ -66,6 +66,12 @@ type sink
 
 val make_sink : unit -> sink
 
+val subscribe : sink -> (now:float -> t -> unit) -> unit
+(** Register an online tap: called synchronously on every {!emit}, in
+    subscription order, after the event is appended to the timeline.
+    This is how the invariant monitor watches a run {e as it unfolds}
+    rather than post-hoc; taps must not emit into the same sink. *)
+
 val emit : sink -> now:float -> t -> unit
 
 val events : sink -> (float * t) list

@@ -440,7 +440,7 @@ module Make (S : Service_intf.SERVICE) = struct
       | None -> ()
       | Some view ->
           let prevs =
-            Unit_db.sessions us.u_db
+            Unit_db.live_sessions us.u_db
             |> List.map (fun (s : S.context Unit_db.session) ->
                    {
                      Selection.p_session_id = s.Unit_db.session_id;
@@ -491,7 +491,7 @@ module Make (S : Service_intf.SERVICE) = struct
           grant_if_primary t us session_id
       | Propagate { session_id; snap } -> (
           Unit_db.set_propagated us.u_db session_id snap;
-          if Unit_db.mem us.u_db session_id then
+          if Unit_db.live us.u_db session_id then
             store_log t (P_ctx { unit_id = us.u_id; session_id; snap });
           (* A backup folds the propagation into its live context: take
              the primary's context and replay the requests it has seen
@@ -520,9 +520,9 @@ module Make (S : Service_intf.SERVICE) = struct
               Hashtbl.remove t.sessions session_id;
               Gcs.leave t.gcs t.proc (Naming.session_group session_id)
           | None -> ());
-          if Unit_db.mem us.u_db session_id then
+          if Unit_db.live us.u_db session_id then
             store_log t (P_end { unit_id = us.u_id; session_id });
-          Unit_db.remove_session us.u_db session_id
+          Unit_db.end_session us.u_db session_id
       | State_digest _ | State_delta _ -> ()  (* handled by the exchange machinery *)
       | List_units _ | Request _ -> ()
 
@@ -589,6 +589,16 @@ module Make (S : Service_intf.SERVICE) = struct
         store_log t (P_merge { unit_id = us.u_id; records = deltas });
       us.u_exchange <- None;
       us.u_recovering <- false;
+      (* A merged-in tombstone ends the session here too: a
+         partition-side primary that never saw the End multicast must
+         not keep serving a session the other side already closed. *)
+      List.iter
+        (fun (sess : S.context Unit_db.session) ->
+          if sess.Unit_db.ended then
+            match Hashtbl.find_opt t.sessions sess.Unit_db.session_id with
+            | Some sl -> relinquish t sl ~new_primary:None
+            | None -> ())
+        (Unit_db.sessions us.u_db);
       reassign t us ~rebalance:t.policy.Policy.rebalance_on_join;
       (* Replay messages that arrived during the exchange, in their
          totally ordered delivery order. *)
@@ -878,7 +888,7 @@ module Make (S : Service_intf.SERVICE) = struct
               with_unit unit_id (fun us ->
                   ignore (Unit_db.add_session us.u_db ~session_id ~client ~started_at))
           | P_end { unit_id; session_id } ->
-              with_unit unit_id (fun us -> Unit_db.remove_session us.u_db session_id)
+              with_unit unit_id (fun us -> Unit_db.end_session us.u_db session_id)
           | P_assign { unit_id; session_id; primary; backups } ->
               with_unit unit_id (fun us ->
                   Unit_db.set_assignment us.u_db session_id ~primary ~backups)
@@ -1025,6 +1035,16 @@ module Make (S : Service_intf.SERVICE) = struct
     let is_primary_of t sid =
       match Hashtbl.find_opt t.sessions sid with
       | Some sl -> sl.sl_role = Some Primary
+      | None -> false
+
+    let unit_view t u =
+      match Hashtbl.find_opt t.units u with
+      | Some us -> Option.map (fun v -> v.View.id) us.u_view
+      | None -> None
+
+    let unit_settled t u =
+      match Hashtbl.find_opt t.units u with
+      | Some us -> us.u_exchange = None && not us.u_recovering
       | None -> false
   end
 

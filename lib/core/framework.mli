@@ -154,6 +154,17 @@ module Make (S : Service_intf.SERVICE) : sig
     (** Sessions this server currently holds a role for, sorted. *)
 
     val is_primary_of : t -> string -> bool
+
+    val unit_view : t -> string -> Haf_gcs.View.Id.t option
+    (** The content-group view this replica currently holds for the
+        unit, if any — the scoping key for the monitor's
+        assignment-agreement probe. *)
+
+    val unit_settled : t -> string -> bool
+    (** True when the unit is in steady state: no state exchange in
+        flight and not withholding self-assignment after a store
+        recovery.  Probes comparing replicas must skip unsettled ones —
+        divergence during reconciliation is expected, not a violation. *)
   end
 
   module Client : sig

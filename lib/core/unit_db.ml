@@ -13,6 +13,7 @@ type 'ctx session = {
   mutable primary : int option;
   mutable backups : int list;
   mutable propagated : 'ctx snapshot option;
+  mutable ended : bool;
 }
 
 type 'ctx t = { uid : string; table : (string, 'ctx session) Hashtbl.t }
@@ -38,6 +39,7 @@ let add_session t ~session_id ~client ~started_at =
           primary = None;
           backups = [];
           propagated = None;
+          ended = false;
         }
       in
       Hashtbl.replace t.table session_id s;
@@ -45,7 +47,24 @@ let add_session t ~session_id ~client ~started_at =
 
 let remove_session t sid = Hashtbl.remove t.table sid
 
+(* Tombstone, not deletion: the entry stays, stripped of assignment and
+   content, and wins every merge (see [digest_snap_compare]) — so a
+   member that missed the End multicast, or recovers from a stable store
+   predating it, cannot resurrect the session through a state exchange. *)
+let end_session t sid =
+  match find t sid with
+  | None -> ()
+  | Some s ->
+      s.ended <- true;
+      s.primary <- None;
+      s.backups <- [];
+      s.propagated <- None
+
+let live t sid = match find t sid with Some s -> not s.ended | None -> false
+
 let sessions t = Haf_sim.Det_tbl.sorted_values ~compare:String.compare t.table
+
+let live_sessions t = List.filter (fun s -> not s.ended) (sessions t)
 
 let size t = Hashtbl.length t.table
 
@@ -57,6 +76,7 @@ let fresher a b =
 let set_propagated t sid snap =
   match find t sid with
   | None -> ()
+  | Some { ended = true; _ } -> ()
   | Some s -> (
       match s.propagated with
       | Some old when not (fresher snap old) -> ()
@@ -65,6 +85,7 @@ let set_propagated t sid snap =
 let set_assignment t sid ~primary ~backups =
   match find t sid with
   | None -> ()
+  | Some { ended = true; _ } -> ()
   | Some s ->
       s.primary <- Some primary;
       s.backups <- backups
@@ -77,6 +98,7 @@ type 'ctx record = {
   r_propagated : 'ctx snapshot option;
   r_primary : int option;
   r_backups : int list;
+  r_ended : bool;
 }
 
 let export t =
@@ -90,6 +112,7 @@ let export t =
            r_propagated = s.propagated;
            r_primary = s.primary;
            r_backups = s.backups;
+           r_ended = s.ended;
          })
 
 (* The per-session digest: every coordination-relevant field of a record
@@ -107,6 +130,7 @@ type digest = {
   d_at : float;
   d_primary : int;
   d_backups : int list;
+  d_ended : bool;
 }
 
 let digest_of_record r =
@@ -123,6 +147,7 @@ let digest_of_record r =
     d_at;
     d_primary = Option.value r.r_primary ~default:(-1);
     d_backups = r.r_backups;
+    d_ended = r.r_ended;
   }
 
 (* Compare only the replicated-content part of two digests: which
@@ -131,7 +156,11 @@ let digest_of_record r =
    exchange reconciles those from the digests themselves, so a record
    differing only in assignment never needs to travel. *)
 let digest_snap_compare a b =
-  if a.d_req_seq < 0 && b.d_req_seq < 0 then 0
+  (* A tombstone outranks any snapshot: an End is the final word on a
+     session's content, so it both wins merges and gets shipped to
+     members still holding live copies. *)
+  if a.d_ended || b.d_ended then Bool.compare a.d_ended b.d_ended
+  else if a.d_req_seq < 0 && b.d_req_seq < 0 then 0
   else if b.d_req_seq < 0 then 1
   else if a.d_req_seq < 0 then -1
   else if a.d_req_seq <> b.d_req_seq then Int.compare a.d_req_seq b.d_req_seq
@@ -180,12 +209,14 @@ let merge_records t records =
           r_propagated = s.propagated;
           r_primary = s.primary;
           r_backups = s.backups;
+          r_ended = s.ended;
         }
       in
       if preference r cur > 0 then begin
         s.propagated <- r.r_propagated;
         s.primary <- r.r_primary;
-        s.backups <- r.r_backups
+        s.backups <- r.r_backups;
+        s.ended <- r.r_ended
       end)
     records
 
@@ -196,7 +227,7 @@ let replace_with_merge t snapshots =
 let equal_assignments a b =
   let summary t =
     sessions t
-    |> List.map (fun s -> (s.session_id, s.client, s.primary, s.backups))
+    |> List.map (fun s -> (s.session_id, s.client, s.primary, s.backups, s.ended))
   in
   summary a = summary b
 
@@ -208,6 +239,7 @@ let equal_shape a b =
              s.client,
              s.primary,
              s.backups,
+             s.ended,
              Option.map (fun p -> (p.snap_req_seq, p.snap_at)) s.propagated ))
   in
   summary a = summary b

@@ -26,6 +26,11 @@ type 'ctx session = {
   mutable primary : int option;
   mutable backups : int list;
   mutable propagated : 'ctx snapshot option;
+  mutable ended : bool;
+      (** Tombstone: the session's End was processed here.  The entry
+          stays (and wins merges) so a state exchange with a member that
+          missed the End — or recovered from a store predating it —
+          cannot resurrect the session. *)
 }
 
 type 'ctx t
@@ -39,6 +44,14 @@ val add_session :
 (** Idempotent: re-adding an existing session returns the original. *)
 
 val remove_session : 'ctx t -> string -> unit
+(** Physical deletion; protocol code should prefer {!end_session}. *)
+
+val end_session : 'ctx t -> string -> unit
+(** Tombstone the session: mark it {!session.ended}, strip assignment
+    and content.  No-op if absent. *)
+
+val live : 'ctx t -> string -> bool
+(** Present and not tombstoned. *)
 
 val find : 'ctx t -> string -> 'ctx session option
 
@@ -46,7 +59,11 @@ val mem : 'ctx t -> string -> bool
 
 val sessions : 'ctx t -> 'ctx session list
 (** Sorted by session id — the deterministic iteration order everything
-    else relies on. *)
+    else relies on.  Includes tombstones; role assignment and
+    propagation must use {!live_sessions}. *)
+
+val live_sessions : 'ctx t -> 'ctx session list
+(** {!sessions} without the tombstones. *)
 
 val size : _ t -> int
 
@@ -66,6 +83,7 @@ type 'ctx record = {
   r_propagated : 'ctx snapshot option;
   r_primary : int option;
   r_backups : int list;
+  r_ended : bool;
 }
 
 val export : 'ctx t -> 'ctx record list
@@ -78,6 +96,7 @@ type digest = {
   d_at : float;
   d_primary : int;  (** -1 when unassigned. *)
   d_backups : int list;
+  d_ended : bool;
 }
 (** Everything a record carries except the service context — small
     enough to advertise on the wire during a state exchange, rich
@@ -87,10 +106,11 @@ val digest_of_record : _ record -> digest
 
 val digest_snap_compare : digest -> digest -> int
 (** Compare only the replicated-content part — which propagated
-    snapshot is fresher; [-1] sentinels mean none.  The state exchange
-    uses this to decide whether a record must {e travel}: assignment
-    fields are reconciled from the digests themselves, so a copy that
-    differs only in assignment is not worth shipping. *)
+    snapshot is fresher; [-1] sentinels mean none, and a tombstone
+    outranks any snapshot.  The state exchange uses this to decide
+    whether a record must {e travel}: assignment fields are reconciled
+    from the digests themselves, so a copy that differs only in
+    assignment is not worth shipping. *)
 
 val digest_preference : digest -> digest -> int
 (** Strictly positive iff the first argument is the preferred copy; zero

@@ -1,0 +1,15 @@
+(** E15 — chaos sweep under invariant monitoring: seeded fault schedules
+    must produce zero violations at every intensity; a deliberately
+    hair-trigger failure detector must produce one that ddmin shrinks to
+    a minimal counterexample. *)
+
+val id : string
+
+val title : string
+
+val run : quick:bool -> Haf_stats.Table.t list
+
+val run_custom :
+  chaos_seed:int -> ?intensity:float -> quick:bool -> unit -> Haf_stats.Table.t list
+(** One monitored chaos run with the generated schedule printed in
+    replayable form (CLI: [--chaos SEED [--chaos-intensity X]]). *)

@@ -20,6 +20,7 @@ let all =
     { id = E12_scale.id; title = E12_scale.title; run = E12_scale.run };
     { id = E13_manager.id; title = E13_manager.title; run = E13_manager.run };
     { id = E14_recovery.id; title = E14_recovery.title; run = E14_recovery.run };
+    { id = E15_chaos.id; title = E15_chaos.title; run = E15_chaos.run };
   ]
 
 let find id = List.find_opt (fun e -> String.equal e.id id) all

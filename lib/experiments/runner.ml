@@ -8,6 +8,18 @@ module Gcs = Haf_gcs.Gcs
 module Network = Haf_net.Network
 module Events = Haf_core.Events
 module Policy = Haf_core.Policy
+module Monitor = Haf_monitor.Monitor
+module Chaos = Haf_chaos.Chaos
+
+(* Cross-run violation ledger: every [run] (any functor instantiation)
+   appends what its monitor recorded, so the CLI can print a monitor
+   summary after an experiment without threading worlds through the
+   table-producing code. *)
+let observed : Haf_stats.Metrics.violation list ref = ref []
+
+let reset_observed () = observed := []
+
+let observed_violations () = !observed
 
 module Make (S : Haf_core.Service_intf.SERVICE) = struct
   module Fw = Haf_core.Framework.Make (S)
@@ -17,6 +29,7 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
     engine : Engine.t;
     gcs : Gcs.t;
     events : Events.sink;
+    monitor : Monitor.t;
     mutable servers : (int * Fw.Server.t) list;
     clients : Fw.Client.t list;
     stores : (int, Haf_store.Store.t) Hashtbl.t;
@@ -42,6 +55,13 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
         ~num_servers:sc.n_servers engine
     in
     let events = Events.make_sink () in
+    (* Every run is monitored: the checker subscribes before any process
+       exists, so it sees the complete event stream. *)
+    let monitor =
+      Monitor.create
+        ~network:(Gcs.network gcs)
+        ~servers:(Gcs.servers gcs) ~policy:sc.policy ~gcs:sc.gcs_config ~events ()
+    in
     let stores = Hashtbl.create 8 in
     (match sc.store with
     | Some cfg ->
@@ -68,7 +88,9 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
           let proc = Gcs.add_client gcs in
           Fw.Client.create gcs ~proc ~policy:sc.policy ~events)
     in
-    let w = { scenario = sc; engine; gcs; events; servers; clients; stores; rng } in
+    let w =
+      { scenario = sc; engine; gcs; events; monitor; servers; clients; stores; rng }
+    in
     (* Client workload: staggered session starts, units chosen
        round-robin so load spreads across content groups. *)
     List.iteri
@@ -253,9 +275,158 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
              victims))
 
   (* ---------------------------------------------------------------- *)
+  (* Chaos schedules                                                   *)
+
+  (* Interpret a {!Haf_chaos.Chaos.schedule} against this world.  Ops
+     name servers/units by index; every op is idempotent and tolerant of
+     the current state (restart of a live server, crash of a dead one,
+     faults on a storeless server are no-ops), so arbitrary shrunk
+     subsets of a schedule remain interpretable. *)
+  let apply_schedule w (sched : Chaos.schedule) =
+    let sc = w.scenario in
+    let server_ids = Array.of_list (Gcs.servers w.gcs) in
+    let n = Array.length server_ids in
+    let proc i = server_ids.(((i mod n) + n) mod n) in
+    let net = Gcs.network w.gcs in
+    (* Crash-restart storms would otherwise accumulate retransmission
+       timers toward peers that never come back as the same incarnation;
+       under chaos, channels silent for 30 s are declared dead. *)
+    Haf_net.Transport.set_give_up_after (Gcs.transport w.gcs) (Some 30.);
+    let apply_op op =
+      match (op : Chaos.op) with
+      | Chaos.Partition comps ->
+          let comps = List.map (List.map proc) comps in
+          (* Clients are not named by schedules: deal them round-robin
+             across the components so every side keeps some load. *)
+          let ncomps = List.length comps in
+          let client_procs = List.map Fw.Client.proc w.clients in
+          let comps =
+            if ncomps = 0 then [ client_procs ]
+            else
+              List.mapi
+                (fun ci comp ->
+                  comp
+                  @ List.filteri (fun i _ -> i mod ncomps = ci) client_procs)
+                comps
+          in
+          Network.partition net comps
+      | Chaos.Heal -> Network.heal_links net
+      | Chaos.Link { src; dst; up } -> Network.set_link net (proc src) (proc dst) up
+      | Chaos.Delay { src; dst; extra } ->
+          Network.set_link_delay net (proc src) (proc dst)
+            (if extra > 0. then Some extra else None)
+      | Chaos.Crash s -> crash_server w (proc s)
+      | Chaos.Restart s -> restart_server w (proc s)
+      | Chaos.Wipe_unit u ->
+          let k = ((u mod Int.max 1 sc.Scenario.n_units) + sc.Scenario.n_units)
+                  mod Int.max 1 sc.Scenario.n_units
+          in
+          let victims =
+            List.filter (Gcs.alive w.gcs) (Scenario.servers_for_unit sc k)
+          in
+          List.iter (fun p -> crash_server w p) victims;
+          List.iter
+            (fun p ->
+              ignore
+                (Engine.schedule w.engine ~delay:5. (fun () -> restart_server w p)))
+            victims
+      | Chaos.Disk_faults { server; on } -> (
+          match store_of w (proc server) with
+          | Some st ->
+              Haf_store.Store.set_faults st
+                (if on then Haf_store.Disk.default_faults
+                 else
+                   match sc.Scenario.store with
+                   | Some cfg -> cfg.Haf_store.Store.faults
+                   | None -> Haf_store.Disk.no_faults)
+          | None -> ())
+    in
+    List.iter
+      (fun (at, op) ->
+        ignore (Engine.schedule_at w.engine ~time:at (fun () -> apply_op op)))
+      sched
+
+  (* ---------------------------------------------------------------- *)
+  (* Monitoring loop                                                   *)
+
+  let monitor_interval = 0.25
+
+  (* Invariant (d): settled members of the same content-group view that
+     can reach each other must agree on the session assignments.  The
+     disagreement must persist across two probes ~0.5 s apart before it
+     is reported: totally ordered deliveries land at different members
+     at slightly different instants, and that skew is not a bug. *)
+  let probe_assignments w pending =
+    let now = Engine.now w.engine in
+    let sc = w.scenario in
+    let net = Gcs.network w.gcs in
+    let servers = Gcs.servers w.gcs in
+    List.iter
+      (fun k ->
+        let u = Scenario.unit_name k in
+        let holders =
+          List.filter_map
+            (fun (p, srv) ->
+              if Fw.Server.unit_settled srv u then
+                match (Fw.Server.unit_view srv u, Fw.Server.db srv u) with
+                | Some vid, Some db -> Some (p, vid, db)
+                | _ -> None
+              else None)
+            (live_servers w)
+        in
+        List.iter
+          (fun (p, vid, db) ->
+            List.iter
+              (fun (q, vid', db') ->
+                if
+                  p < q
+                  && Haf_gcs.View.Id.equal vid vid'
+                  && Network.reachable net ~among:servers p q
+                then
+                  let key = Printf.sprintf "%s/%d/%d" u p q in
+                  if Haf_core.Unit_db.equal_assignments db db' then
+                    Hashtbl.remove pending key
+                  else
+                    match Hashtbl.find_opt pending key with
+                    | None -> Hashtbl.replace pending key now
+                    | Some first when first = infinity -> ()  (* reported *)
+                    | Some first ->
+                        if now -. first >= 2. *. monitor_interval then begin
+                          Monitor.report w.monitor ~now
+                            ~invariant:Haf_stats.Metrics.Assignment_agreement
+                            ~detail:
+                              (Printf.sprintf
+                                 "s%d and s%d share view of %s but disagree on \
+                                  assignments (for %.2fs)"
+                                 p q u (now -. first))
+                            ();
+                          Hashtbl.replace pending key infinity
+                        end)
+              holders)
+          holders)
+      (List.init sc.Scenario.n_units (fun k -> k))
+
+  let start_monitor w =
+    let pending = Hashtbl.create 16 in
+    let rec loop t =
+      if t <= w.scenario.Scenario.duration then
+        ignore
+          (Engine.schedule_at w.engine ~time:t (fun () ->
+               Monitor.pump w.monitor ~now:(Engine.now w.engine);
+               probe_assignments w pending;
+               loop (t +. monitor_interval)))
+    in
+    loop monitor_interval
+
+  let violations w = Monitor.violations w.monitor
+
+  (* ---------------------------------------------------------------- *)
 
   let run w =
+    start_monitor w;
     Engine.run ~until:w.scenario.Scenario.duration w.engine;
+    Monitor.pump w.monitor ~now:(Engine.now w.engine);
+    observed := !observed @ violations w;
     Events.events w.events
 
   let run_scenario ?prepare (sc : Scenario.t) =

@@ -2,6 +2,15 @@
     fabric, drives the client workload, injects faults, and returns the
     event timeline for analysis with {!Haf_stats.Metrics}. *)
 
+val reset_observed : unit -> unit
+(** Clear the cross-run violation ledger (call before an experiment). *)
+
+val observed_violations : unit -> Haf_stats.Metrics.violation list
+(** Everything any monitored run recorded since the last
+    {!reset_observed}, across all runner instantiations — the CLI
+    prints this after each experiment, so "0 violations" is a visible
+    claim, not a silent assumption. *)
+
 module Make (S : Haf_core.Service_intf.SERVICE) : sig
   module Fw : module type of Haf_core.Framework.Make (S)
 
@@ -10,6 +19,10 @@ module Make (S : Haf_core.Service_intf.SERVICE) : sig
     engine : Haf_sim.Engine.t;
     gcs : Haf_gcs.Gcs.t;
     events : Haf_core.Events.sink;
+    monitor : Haf_monitor.Monitor.t;
+        (** Online invariant checker, subscribed to [events] before any
+            process exists.  {e Every} run is monitored; {!run} pumps it
+            periodically and once more at the horizon. *)
     mutable servers : (int * Fw.Server.t) list;
     clients : Fw.Client.t list;
     stores : (int, Haf_store.Store.t) Hashtbl.t;
@@ -88,6 +101,18 @@ module Make (S : Haf_core.Service_intf.SERVICE) : sig
   (** Crash {e every} live replica of content unit [unit_k] at the same
       instant, restarting each [repair] seconds later: the total-loss
       scenario the paper declares unsurvivable without stable storage. *)
+
+  val apply_schedule : world -> Haf_chaos.Chaos.schedule -> unit
+  (** Schedule every op of a chaos schedule against this world (server
+      and unit indices are resolved against the scenario; clients are
+      dealt round-robin across partition components).  Also arms the
+      transport give-up threshold (30 s) so crash-restart storms cannot
+      leak retransmission timers.  Every op is interpreted idempotently,
+      so shrunk sub-schedules remain valid. *)
+
+  val violations : world -> Haf_stats.Metrics.violation list
+  (** What the monitor (plus the runner's assignment-agreement probe)
+      recorded, oldest first.  Meaningful after {!run}. *)
 
   (** {2 Introspection} *)
 

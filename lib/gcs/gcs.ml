@@ -36,6 +36,8 @@ let trace t = t.trace
 
 let network t = t.net
 
+let transport t = t.transport
+
 let config t = t.gcs_config
 
 let servers t = List.rev t.server_list

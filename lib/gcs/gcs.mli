@@ -33,6 +33,10 @@ val trace : t -> Haf_sim.Trace.t
 
 val network : t -> Haf_net.Network.t
 
+val transport : t -> Haf_net.Transport.t
+(** The reliable-channel layer under this GCS; exposed so a fault
+    harness can tune the give-up threshold or watch dead channels. *)
+
 val config : t -> Config.t
 
 val servers : t -> proc list

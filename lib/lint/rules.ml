@@ -2,6 +2,8 @@ let protocol_dirs path =
   Allowlist.under "lib/gcs" path
   || Allowlist.under "lib/core" path
   || Allowlist.under "lib/store" path
+  || Allowlist.under "lib/chaos" path
+  || Allowlist.under "lib/monitor" path
 
 let lib path = Allowlist.under "lib" path
 
@@ -121,7 +123,9 @@ let missing_mli_message path =
 let descriptions =
   [
     ("R1", "no ambient randomness/time outside lib/sim/rng.ml");
-    ("R2", "no polymorphic compare/hash/Marshal in lib/gcs, lib/core, lib/store");
+    ("R2",
+     "no polymorphic compare/hash/Marshal in lib/gcs, lib/core, lib/store, \
+      lib/chaos, lib/monitor");
     ("R3", "no unordered Hashtbl iteration over protocol state");
     ("R4", "no direct stdout/stderr in lib/ (use Sim.Trace / Stats)");
     ("R5", "every lib/**/*.ml has a matching .mli");

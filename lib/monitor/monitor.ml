@@ -1,0 +1,350 @@
+module Events = Haf_core.Events
+module Metrics = Haf_stats.Metrics
+module Det_tbl = Haf_sim.Det_tbl
+module Network = Haf_net.Network
+
+type config = {
+  dual_primary_grace : float;
+  staleness_bound : float;
+  ack_confirm_delay : float;
+}
+
+let make_config ~(policy : Haf_core.Policy.t) ~(gcs : Haf_gcs.Config.t) =
+  (* The slack term covers one suspicion plus two view-change rounds:
+     the longest a correct run keeps a stale belief alive.  The merge
+     grace is wider: after connectivity is restored the daemons must
+     first notice the divergence through heartbeat vid adverts
+     (2.5 heartbeats), may burn one proposal round on a stale
+     perception (one flush timeout) and recover from a flushed-out
+     coordinator (two flush timeouts) before the merged view lands. *)
+  let slack = gcs.suspect_timeout +. (2. *. gcs.flush_timeout) in
+  let merge_grace =
+    gcs.suspect_timeout +. (4. *. gcs.flush_timeout) +. (3. *. gcs.heartbeat_interval)
+  in
+  {
+    dual_primary_grace = merge_grace;
+    staleness_bound = (3. *. policy.propagation_period) +. slack;
+    ack_confirm_delay = slack;
+  }
+
+type session_state = {
+  ss_id : string;
+  mutable ss_unit : string option;
+  mutable ss_granted : float option;
+  mutable ss_ended : bool;
+  ss_primaries : (int, float) Hashtbl.t;  (* server -> believed-since *)
+  mutable ss_dual_since : float option;
+  mutable ss_dual_flagged : bool;
+  mutable ss_acked : (float * int list) option;
+      (* Baseline propagation for the acked-loss check: (time, exact
+         applied seqs).  [None] while the baseline is invalid — before
+         the first propagation, or across a dual-primary episode whose
+         reconciliation legitimately discards one side's updates. *)
+  mutable ss_holders : int list;
+      (* Content-group members at baseline time: the candidate
+         witnesses of the acked state. *)
+  mutable ss_candidates : (float * int list * int list) list;
+      (* Unconfirmed baselines, newest first: (time, applied seqs,
+         holders).  [Propagated] fires at multicast send time, so a
+         content-group view change within [ack_confirm_delay] may have
+         dropped the delivery — such candidates are discarded, the rest
+         promote to [ss_acked] once the window passes. *)
+  mutable ss_last_activity : float;  (* staleness clock *)
+  mutable ss_stale_flagged : bool;
+}
+
+type t = {
+  net : Network.t;
+  servers : int list;
+  cfg : config;
+  sessions : (string, session_state) Hashtbl.t;
+  views : (string, int list) Hashtbl.t;
+      (* "<server>/<group>" -> members, per the server's latest view *)
+  mutable crash_log : (float * int) list;  (* newest first *)
+  mutable violations : Metrics.violation list;  (* newest first *)
+  mutable events_seen : int;
+}
+
+let record t ~now ~invariant ?session ~detail () =
+  t.violations <-
+    { Metrics.v_time = now; v_invariant = invariant; v_session = session; v_detail = detail }
+    :: t.violations
+
+let report = record
+
+let violations t = List.rev t.violations
+
+let violation_count t = List.length t.violations
+
+let events_seen t = t.events_seen
+
+let session t sid =
+  match Hashtbl.find_opt t.sessions sid with
+  | Some ss -> ss
+  | None ->
+      let ss =
+        {
+          ss_id = sid;
+          ss_unit = None;
+          ss_granted = None;
+          ss_ended = false;
+          ss_primaries = Hashtbl.create 4;
+          ss_dual_since = None;
+          ss_dual_flagged = false;
+          ss_acked = None;
+          ss_holders = [];
+          ss_candidates = [];
+          ss_last_activity = 0.;
+          ss_stale_flagged = false;
+        }
+      in
+      Hashtbl.replace t.sessions sid ss;
+      ss
+
+let view_key server group = string_of_int server ^ "/" ^ group
+
+let activity ss now =
+  ss.ss_last_activity <- now;
+  ss.ss_stale_flagged <- false
+
+let crashed_within t server ~since ~until =
+  List.exists (fun (at, s) -> s = server && at >= since && at <= until) t.crash_log
+
+let live_primaries t ss =
+  Det_tbl.fold_sorted ~compare:Int.compare
+    (fun server since acc -> if Network.alive t.net server then (server, since) :: acc else acc)
+    ss.ss_primaries []
+  |> List.rev
+
+(* Promote candidates that survived a view-change-free confirmation
+   window: only then is the snapshot known to have been delivered into
+   the members' unit databases (an interrupted delivery always surfaces
+   as a content-group view change well inside the window). *)
+let promote_candidates t ss ~now =
+  let due, pending =
+    List.partition
+      (fun (t0, _, _) -> now -. t0 >= t.cfg.ack_confirm_delay)
+      ss.ss_candidates
+  in
+  (match due with
+  | (t0, applied, holders) :: _ ->
+      (* newest confirmed candidate wins; older ones are subsumed *)
+      ss.ss_acked <- Some (t0, applied);
+      ss.ss_holders <- holders
+  | [] -> ());
+  ss.ss_candidates <- pending
+
+(* Invariant (b): a sole primary's propagation must never lose request
+   seqs that an earlier propagation already incorporated — unless every
+   member that held the earlier state has crashed since (then the loss
+   is the paper's permitted whole-group amnesia, measured by E14, not a
+   protocol bug). *)
+let check_acked_loss t ss ~now ~emitter ~applied =
+  promote_candidates t ss ~now;
+  (match (live_primaries t ss, ss.ss_acked) with
+  | [ (sole, _) ], Some (t0, prev) when sole = emitter ->
+      let missing = List.filter (fun seq -> not (List.mem seq applied)) prev in
+      if missing <> [] then begin
+        let witnesses =
+          List.filter
+            (fun h -> not (crashed_within t h ~since:t0 ~until:now))
+            ss.ss_holders
+        in
+        if witnesses <> [] then
+          record t ~now ~invariant:Metrics.No_acked_loss ~session:ss.ss_id
+            ~detail:
+              (Printf.sprintf
+                 "propagation by s%d dropped acked seqs [%s] although [%s] survived \
+                  since %.3f"
+                 emitter
+                 (String.concat "," (List.map string_of_int missing))
+                 (String.concat ","
+                    (List.map (fun s -> "s" ^ string_of_int s) witnesses))
+                 t0)
+            ()
+      end
+  | _ -> ());
+  match live_primaries t ss with
+  | [ (sole, _) ] when sole = emitter ->
+      let holders =
+        Option.value
+          (Hashtbl.find_opt t.views
+             (view_key emitter
+                (Haf_core.Naming.content_group (Option.value ss.ss_unit ~default:""))))
+          ~default:[ emitter ]
+      in
+      ss.ss_candidates <- (now, applied, holders) :: ss.ss_candidates
+  | _ ->
+      (* Concurrent primaries: reconciliation may legitimately pick one
+         side's snapshot; suspend the baseline until a sole primary
+         re-establishes it. *)
+      ss.ss_acked <- None;
+      ss.ss_candidates <- []
+
+let on_event t ~now (ev : Events.t) =
+  t.events_seen <- t.events_seen + 1;
+  match ev with
+  | Session_requested { session_id; unit_id; _ } ->
+      let ss = session t session_id in
+      if ss.ss_unit = None then ss.ss_unit <- Some unit_id
+  | Session_granted { session_id; _ } ->
+      let ss = session t session_id in
+      if ss.ss_granted = None then ss.ss_granted <- Some now;
+      activity ss now
+  | Session_ended { session_id } ->
+      let ss = session t session_id in
+      ss.ss_ended <- true;
+      (* A recovering server's stale store may resurrect an ended
+         session through the state exchange; whatever gets propagated
+         then is past the session's lifetime, so the acked-loss
+         baseline is retired with the session. *)
+      ss.ss_acked <- None;
+      ss.ss_candidates <- []
+  | Role_assumed { server; session_id; role = Primary } ->
+      let ss = session t session_id in
+      if not (Hashtbl.mem ss.ss_primaries server) then
+        Hashtbl.replace ss.ss_primaries server now;
+      if Hashtbl.length ss.ss_primaries >= 2 then begin
+        ss.ss_acked <- None;
+        ss.ss_candidates <- []
+      end;
+      activity ss now
+  | Role_dropped { server; session_id; role = Primary } ->
+      let ss = session t session_id in
+      Hashtbl.remove ss.ss_primaries server;
+      activity ss now
+  | Server_crashed { server } ->
+      t.crash_log <- (now, server) :: t.crash_log;
+      Det_tbl.iter_sorted ~compare:String.compare
+        (fun _ ss ->
+          if Hashtbl.mem ss.ss_primaries server then begin
+            Hashtbl.remove ss.ss_primaries server;
+            activity ss now
+          end)
+        t.sessions
+  | Takeover { session_id; _ } -> activity (session t session_id) now
+  | View_noted { server; group; members } ->
+      Hashtbl.replace t.views (view_key server group) members;
+      (* A view change excuses a propagation gap and restarts the
+         staleness clock for every session on that content unit; it also
+         voids unconfirmed acked-loss candidates, since the in-flight
+         propagation they came from may have been dropped. *)
+      (match Haf_core.Naming.content_unit_of group with
+      | Some u ->
+          Det_tbl.iter_sorted ~compare:String.compare
+            (fun _ ss ->
+              if ss.ss_unit = Some u then begin
+                activity ss now;
+                ss.ss_candidates <- []
+              end)
+            t.sessions
+      | None -> ())
+  | Propagated { server; session_id; applied; _ } ->
+      let ss = session t session_id in
+      activity ss now;
+      if not ss.ss_ended then check_acked_loss t ss ~now ~emitter:server ~applied
+  | Role_assumed _ | Role_dropped _ | Server_restarted _ | Request_sent _
+  | Request_applied _ | Response_sent _ | Response_received _ | Exchange_sent _
+  | Store_recovered _ ->
+      ()
+
+let create ?config ~network ~servers ~policy ~gcs ~events () =
+  let cfg = match config with Some c -> c | None -> make_config ~policy ~gcs in
+  let t =
+    {
+      net = network;
+      servers = List.sort_uniq Int.compare servers;
+      cfg;
+      sessions = Hashtbl.create 32;
+      views = Hashtbl.create 64;
+      crash_log = [];
+      violations = [];
+      events_seen = 0;
+    }
+  in
+  Events.subscribe events (fun ~now ev -> on_event t ~now ev);
+  t
+
+(* Invariant (a): two live self-believed primaries violate uniqueness
+   only when the GCS is {e obliged} to merge them into one view — their
+   servers lie in the same partition component {e and} that component is
+   a clique (all pairwise bidirectional links healthy).  Partitioned
+   duals are the paper's intended behaviour, and under non-transitive
+   connectivity (say 0-1 cut, both talking to 2) precise membership may
+   legitimately park the two primaries in disjoint views indefinitely,
+   so neither counts as a conflict. *)
+let component t p =
+  List.filter
+    (fun s -> Network.alive t.net s && (s = p || Network.reachable t.net ~among:t.servers p s))
+    t.servers
+
+let is_clique t members =
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b -> a = b || (Network.connected t.net a b && Network.connected t.net b a))
+        members)
+    members
+
+let rec conflicting_pair t = function
+  | [] -> None
+  | p :: rest -> (
+      match
+        List.find_opt
+          (fun q ->
+            Network.reachable t.net ~among:t.servers p q && is_clique t (component t p))
+          rest
+      with
+      | Some q -> Some (p, q)
+      | None -> conflicting_pair t rest)
+
+let pump t ~now =
+  Det_tbl.iter_sorted ~compare:String.compare
+    (fun _ ss ->
+      if not ss.ss_ended then begin
+        let prims = List.map fst (live_primaries t ss) in
+        (* (a) unique primary per partition component *)
+        (match (if List.length prims >= 2 then conflicting_pair t prims else None) with
+        | Some (p, q) ->
+            (match ss.ss_dual_since with
+            | None -> ss.ss_dual_since <- Some now
+            | Some since ->
+                if (not ss.ss_dual_flagged) && now -. since >= t.cfg.dual_primary_grace
+                then begin
+                  ss.ss_dual_flagged <- true;
+                  record t ~now ~invariant:Metrics.Unique_primary ~session:ss.ss_id
+                    ~detail:
+                      (Printf.sprintf
+                         "s%d and s%d both primary in one component for %.3fs" p q
+                         (now -. since))
+                    ()
+                end)
+        | None ->
+            ss.ss_dual_since <- None;
+            ss.ss_dual_flagged <- false);
+        (* (c) context staleness, suspended while no primary is up *)
+        match (prims, ss.ss_granted) with
+        | [], _ | _, None -> ss.ss_last_activity <- now
+        | _ :: _, Some _ ->
+            if
+              (not ss.ss_stale_flagged)
+              && now -. ss.ss_last_activity > t.cfg.staleness_bound
+            then begin
+              ss.ss_stale_flagged <- true;
+              record t ~now ~invariant:Metrics.Staleness_bound ~session:ss.ss_id
+                ~detail:
+                  (Printf.sprintf "no propagation for %.3fs (bound %.3fs)"
+                     (now -. ss.ss_last_activity) t.cfg.staleness_bound)
+                ()
+            end
+      end)
+    t.sessions
+
+let pp_summary ppf t =
+  let vs = violations t in
+  if vs = [] then Format.fprintf ppf "monitor: 0 violations (%d events)" t.events_seen
+  else begin
+    Format.fprintf ppf "monitor: %d violation(s) over %d events" (List.length vs)
+      t.events_seen;
+    List.iter (fun v -> Format.fprintf ppf "@,  %a" Metrics.pp_violation v) vs
+  end

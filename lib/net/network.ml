@@ -31,6 +31,7 @@ type t = {
   mutable nodes : node array;
   mutable n : int;
   down_links : (node_id * node_id, unit) Hashtbl.t;
+  delay_overrides : (node_id * node_id, float) Hashtbl.t;
 }
 
 let fresh_counters () =
@@ -45,6 +46,7 @@ let create ?(trace = Trace.disabled) engine config =
     nodes = [||];
     n = 0;
     down_links = Hashtbl.create 64;
+    delay_overrides = Hashtbl.create 16;
   }
 
 let engine t = t.engine
@@ -83,7 +85,18 @@ let set_link_sym t a b up =
   set_link t a b up;
   set_link t b a up
 
-let heal_links t = Hashtbl.reset t.down_links
+let cut_oneway t ~src ~dst = set_link t src dst false
+
+let set_link_delay t a b extra =
+  match extra with
+  | Some d when d > 0. -> Hashtbl.replace t.delay_overrides (a, b) d
+  | Some _ | None -> Hashtbl.remove t.delay_overrides (a, b)
+
+let link_delay t a b = Hashtbl.find_opt t.delay_overrides (a, b)
+
+let heal_links t =
+  Hashtbl.reset t.down_links;
+  Hashtbl.reset t.delay_overrides
 
 let partition t components =
   let comp_of = Hashtbl.create 16 in
@@ -133,7 +146,10 @@ let send t ~src ~dst payload =
         | Some bw when bw > 0. -> float_of_int (String.length payload) /. bw
         | Some _ | None -> 0.
       in
-      let delay = transmission +. Latency.sample t.config.latency t.rng in
+      let override =
+        Option.value (Hashtbl.find_opt t.delay_overrides (src, dst)) ~default:0.
+      in
+      let delay = transmission +. Latency.sample t.config.latency t.rng +. override in
       ignore
         (Engine.schedule t.engine ~delay (fun () ->
              let sink = node t dst in
@@ -163,3 +179,35 @@ let total_sent t =
     total := !total + t.nodes.(i).stats.datagrams_sent
   done;
   !total
+
+let reachable t ?among a b =
+  let allowed id =
+    match among with None -> true | Some xs -> List.mem id xs
+  in
+  let ok id = id >= 0 && id < t.n && allowed id && alive t id in
+  if not (ok a && ok b) then false
+  else if a = b then true
+  else begin
+    (* BFS over bidirectional edges: a one-way cut breaks the edge, so
+       two nodes that can only talk through an asymmetric path count as
+       separated — matching the GCS's symmetric-connectivity view. *)
+    let seen = Hashtbl.create 16 in
+    let queue = Queue.create () in
+    Hashtbl.replace seen a ();
+    Queue.push a queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let x = Queue.pop queue in
+      for y = 0 to t.n - 1 do
+        if
+          (not (Hashtbl.mem seen y))
+          && ok y && link_up t x y && link_up t y x
+        then begin
+          if y = b then found := true;
+          Hashtbl.replace seen y ();
+          Queue.push y queue
+        end
+      done
+    done;
+    !found
+  end

@@ -61,6 +61,24 @@ val set_link : t -> node_id -> node_id -> bool -> unit
 
 val set_link_sym : t -> node_id -> node_id -> bool -> unit
 
+val cut_oneway : t -> src:node_id -> dst:node_id -> unit
+(** Asymmetric (one-way) link cut: datagrams [src -> dst] are dropped
+    while [dst -> src] keeps flowing.  This is the non-transitive WAN
+    failure of the paper's Section 4 — and the chaos engine's favourite
+    way to make failure detectors disagree.  Undo with
+    [set_link t src dst true] or {!heal_links}. *)
+
+val set_link_delay : t -> node_id -> node_id -> float option -> unit
+(** Per-directed-link extra propagation delay, added on top of the
+    configured latency model and any bandwidth term.  [Some extra]
+    installs an override of [extra] seconds ([extra <= 0.] clears it);
+    [None] clears it.  Models congestion or routing spikes on one link
+    without touching the rest of the fabric; cleared by {!heal_links}
+    and {!partition}. *)
+
+val link_delay : t -> node_id -> node_id -> float option
+(** The currently installed override for the directed link, if any. *)
+
 val link_up : t -> node_id -> node_id -> bool
 
 val partition : t -> node_id list list -> unit
@@ -73,6 +91,15 @@ val heal_links : t -> unit
 
 val connected : t -> node_id -> node_id -> bool
 (** Both endpoints alive and the directed link up. *)
+
+val reachable : t -> ?among:node_id list -> node_id -> node_id -> bool
+(** [reachable t ~among a b]: is there a path of {e bidirectionally} live
+    links from [a] to [b] through alive nodes drawn from [among]
+    (default: every node)?  An edge counts only when both directions are
+    up, so one-way cuts separate; extra delay does not.  This is the
+    partition-component oracle the invariant monitor uses to scope the
+    unique-primary check: two primaries are only in conflict when their
+    servers sit in the same component. *)
 
 (** {2 Accounting (per-node, for the load experiments)} *)
 

@@ -22,6 +22,10 @@ type sender_channel = {
   mutable lowest_unacked : int;
   mutable timer : Engine.timer option;
   mutable backoff : float;
+  mutable stalled_since : float option;
+      (* Virtual time at which the current run of silence began: set when
+         the queue goes non-empty with no acks arriving, cleared by any
+         cumulative ack.  Drives the give-up threshold. *)
 }
 
 type receiver_channel = {
@@ -36,6 +40,9 @@ type t = {
   rto : float;
   max_backoff : float;
   trace : Trace.t;
+  mutable give_up_after : float option;
+  mutable give_ups : int;
+  mutable on_channel_dead : (src:int -> dst:int -> unit) option;
   mutable next_conn : int;
   senders : (int * int, sender_channel) Hashtbl.t;  (* (src, dst) *)
   receivers : (int * int, receiver_channel) Hashtbl.t;  (* (dst, src) *)
@@ -43,7 +50,7 @@ type t = {
   raw_handlers : (int, src:int -> string -> unit) Hashtbl.t;
 }
 
-let create ?(retransmit_interval = 0.05) ?(max_backoff = 2.0)
+let create ?(retransmit_interval = 0.05) ?(max_backoff = 2.0) ?give_up_after
     ?(trace = Trace.disabled) net =
   {
     net;
@@ -51,12 +58,21 @@ let create ?(retransmit_interval = 0.05) ?(max_backoff = 2.0)
     rto = retransmit_interval;
     max_backoff;
     trace;
+    give_up_after;
+    give_ups = 0;
+    on_channel_dead = None;
     next_conn = 1;
     senders = Hashtbl.create 64;
     receivers = Hashtbl.create 64;
     handlers = Hashtbl.create 16;
     raw_handlers = Hashtbl.create 16;
   }
+
+let set_give_up_after t v = t.give_up_after <- v
+
+let give_ups t = t.give_ups
+
+let set_on_channel_dead t f = t.on_channel_dead <- f
 
 let fresh_conn t =
   let c = t.next_conn in
@@ -75,6 +91,7 @@ let sender_channel t ~src ~dst =
           lowest_unacked = 1;
           timer = None;
           backoff = t.rto;
+          stalled_since = None;
         }
       in
       Hashtbl.replace t.senders (src, dst) ch;
@@ -90,15 +107,40 @@ let retransmit_all t ~src ~dst ch =
     (fun seq -> transmit t ~src ~dst ch seq (Hashtbl.find ch.unsent seq))
     (List.sort compare seqs)
 
+(* A channel that has been silent past the give-up threshold is dead:
+   cancel its timer, drop the queue and forget the channel entirely, so
+   crash-restart storms do not leak retransmission timers for peers that
+   will never ack.  A later send to the same peer opens a fresh
+   connection incarnation, which forces a clean receiver reset — the
+   same path a peer crash takes. *)
+let give_up t ~src ~dst ch =
+  (match ch.timer with Some tm -> Engine.cancel tm | None -> ());
+  ch.timer <- None;
+  Hashtbl.reset ch.unsent;
+  Hashtbl.remove t.senders (src, dst);
+  t.give_ups <- t.give_ups + 1;
+  Trace.emitf t.trace ~time:(Engine.now t.engine) ~component:"transport"
+    "channel %d->%d dead: gave up after %gs of silence" src dst
+    (Option.value t.give_up_after ~default:0.);
+  match t.on_channel_dead with Some f -> f ~src ~dst | None -> ()
+
 let rec arm_timer t ~src ~dst ch =
   ch.timer <-
     Some
       (Engine.schedule t.engine ~delay:ch.backoff (fun () ->
            ch.timer <- None;
            if Hashtbl.length ch.unsent > 0 then begin
-             ch.backoff <- Float.min (ch.backoff *. 2.) t.max_backoff;
-             retransmit_all t ~src ~dst ch;
-             arm_timer t ~src ~dst ch
+             let stalled_for =
+               match ch.stalled_since with
+               | Some since -> Engine.now t.engine -. since
+               | None -> 0.
+             in
+             match t.give_up_after with
+             | Some limit when stalled_for >= limit -> give_up t ~src ~dst ch
+             | Some _ | None ->
+                 ch.backoff <- Float.min (ch.backoff *. 2.) t.max_backoff;
+                 retransmit_all t ~src ~dst ch;
+                 arm_timer t ~src ~dst ch
            end
            else ch.backoff <- t.rto))
 
@@ -107,6 +149,7 @@ let send t ~src ~dst payload =
   let seq = ch.next_seq in
   ch.next_seq <- seq + 1;
   Hashtbl.replace ch.unsent seq payload;
+  if ch.stalled_since = None then ch.stalled_since <- Some (Engine.now t.engine);
   transmit t ~src ~dst ch seq payload;
   if ch.timer = None then arm_timer t ~src ~dst ch
 
@@ -117,6 +160,10 @@ let handle_ack t ~src:dst ~me:src conn cum =
       Hashtbl.iter (fun seq _ -> if seq <= cum then acked := seq :: !acked) ch.unsent;
       List.iter (Hashtbl.remove ch.unsent) !acked;
       if cum + 1 > ch.lowest_unacked then ch.lowest_unacked <- cum + 1;
+      (* Any ack proves the peer is alive: restart the silence clock. *)
+      ch.stalled_since <-
+        (if Hashtbl.length ch.unsent = 0 then None
+         else Some (Engine.now t.engine));
       if Hashtbl.length ch.unsent = 0 then begin
         (match ch.timer with Some tm -> Engine.cancel tm | None -> ());
         ch.timer <- None;

@@ -17,12 +17,31 @@ type t
 val create :
   ?retransmit_interval:float ->
   ?max_backoff:float ->
+  ?give_up_after:float ->
   ?trace:Haf_sim.Trace.t ->
   Network.t ->
   t
 (** [retransmit_interval] is the initial retransmission timeout (default
     50 ms); it doubles per silent round up to [max_backoff] (default
-    2 s). *)
+    2 s).  [give_up_after] is the optional give-up threshold: once a
+    channel has had payloads outstanding for that many seconds with no
+    ack at all, the channel is declared dead — its timer is cancelled,
+    its queue dropped, and {!set_on_channel_dead} is notified — instead
+    of backing off forever.  Default: never give up (the GCS transport
+    assumption: reliable delivery once eventually reconnected). *)
+
+val set_give_up_after : t -> float option -> unit
+(** Adjust the give-up threshold at runtime ([None] disables).  Applies
+    to the next retransmission round of every channel. *)
+
+val give_ups : t -> int
+(** Channels declared dead so far. *)
+
+val set_on_channel_dead : t -> (src:Network.node_id -> dst:Network.node_id -> unit) option -> unit
+(** Install the dead-channel notification.  Fires once per given-up
+    channel, after its queue has been dropped; a later {!send} to the
+    same destination transparently opens a fresh connection
+    incarnation. *)
 
 val attach :
   t ->

@@ -290,6 +290,37 @@ let count_requests_applied ?server ?role tl =
          | _ -> false)
        tl)
 
+type invariant =
+  | Unique_primary
+  | No_acked_loss
+  | Staleness_bound
+  | Assignment_agreement
+
+type violation = {
+  v_time : float;
+  v_invariant : invariant;
+  v_session : string option;
+  v_detail : string;
+}
+
+let invariant_to_string = function
+  | Unique_primary -> "unique-primary"
+  | No_acked_loss -> "no-acked-loss"
+  | Staleness_bound -> "staleness-bound"
+  | Assignment_agreement -> "assignment-agreement"
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%8.3f] %s%s: %s" v.v_time
+    (invariant_to_string v.v_invariant)
+    (match v.v_session with Some s -> " (" ^ s ^ ")" | None -> "")
+    v.v_detail
+
+let count_violations ?invariant vs =
+  List.length
+    (List.filter
+       (fun v -> match invariant with None -> true | Some i -> v.v_invariant = i)
+       vs)
+
 let responses_sent ?server tl =
   List.length
     (List.filter

@@ -70,3 +70,38 @@ val count_propagations : ?server:int -> timeline -> int
 val count_requests_applied : ?server:int -> ?role:Haf_core.Events.role -> timeline -> int
 
 val responses_sent : ?server:int -> timeline -> int
+
+(** {2 Invariant violations (online monitor)}
+
+    The invariant monitor ({!Haf_monitor.Monitor}) records its findings
+    in this vocabulary so experiments report violations alongside the
+    availability metrics. *)
+
+type invariant =
+  | Unique_primary
+      (** Two servers in the same bidirectional partition component both
+          believed they were primary for one session, beyond the
+          view-change grace window. *)
+  | No_acked_loss
+      (** A propagation by the sole primary omitted request seqs that an
+          earlier propagation had already incorporated, although a
+          continuous witness of the earlier state survived. *)
+  | Staleness_bound
+      (** A session with an active primary went longer than the
+          Policy-implied bound without propagating its context. *)
+  | Assignment_agreement
+      (** Two settled members of the same unit view disagreed on the
+          session-to-server assignment. *)
+
+type violation = {
+  v_time : float;
+  v_invariant : invariant;
+  v_session : string option;
+  v_detail : string;
+}
+
+val invariant_to_string : invariant -> string
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val count_violations : ?invariant:invariant -> violation list -> int

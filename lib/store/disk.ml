@@ -36,7 +36,7 @@ type t = {
   rng : Rng.t;
   trace : Trace.t;
   name : string;
-  faults : fault_config;
+  mutable faults : fault_config;
   mutable durable : string;  (* bytes a post-crash recovery reads back *)
   pending : Buffer.t;  (* written but not yet synced (the page cache) *)
   mutable staged : string option;  (* in-flight atomic rewrite *)
@@ -184,3 +184,5 @@ let truncate_to t n =
 let stats t = t.stats
 
 let faults t = t.faults
+
+let set_faults t f = t.faults <- f

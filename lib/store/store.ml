@@ -139,3 +139,7 @@ let stats t =
 let wal_disk t = t.wal
 
 let snap_disk t = t.snap
+
+let set_faults t f =
+  Disk.set_faults t.wal f;
+  Disk.set_faults t.snap f

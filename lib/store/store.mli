@@ -89,3 +89,7 @@ val wal_disk : t -> Disk.t
 (** The underlying devices, exposed for tests and benchmarks. *)
 
 val snap_disk : t -> Disk.t
+
+val set_faults : t -> Disk.fault_config -> unit
+(** Swap the fault model of both underlying devices at runtime — how a
+    chaos schedule opens and closes a disk-fault burst. *)

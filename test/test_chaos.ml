@@ -1,0 +1,218 @@
+(* Tests for lib/chaos (schedule generation, serialization, shrinking)
+   and lib/monitor (online invariant checking), plus the end-to-end
+   properties the chaos harness rests on: same seed => byte-identical
+   trace, and 0 violations under default configuration. *)
+
+module Chaos = Haf_chaos.Chaos
+module Monitor = Haf_monitor.Monitor
+module Scenario = Haf_experiments.Scenario
+module Metrics = Haf_stats.Metrics
+module Config = Haf_gcs.Config
+module R = Haf_experiments.Runner.Make (Haf_services.Synthetic)
+
+let check = Alcotest.check
+
+let gen ?(seed = 42) ?(intensity = 2.0) () =
+  Chaos.generate ~seed ~intensity ~horizon:100. ~n_servers:5 ~n_units:2 ()
+
+(* ------------------------------------------------------------------ *)
+(* Schedule as a first-class value                                     *)
+
+let test_generate_deterministic () =
+  let a = gen () and b = gen () in
+  check Alcotest.bool "same seed, same schedule"
+    true
+    (Chaos.to_string a = Chaos.to_string b);
+  let c = gen ~seed:43 () in
+  check Alcotest.bool "different seed, different schedule"
+    false
+    (Chaos.to_string a = Chaos.to_string c)
+
+let test_generate_nonempty_sorted () =
+  let s = gen () in
+  check Alcotest.bool "nonempty" true (s <> []);
+  let times = List.map fst s in
+  check Alcotest.bool "time-sorted" true (List.sort compare times = times);
+  List.iter
+    (fun t -> check Alcotest.bool "within horizon" true (t >= 0. && t <= 100.))
+    times
+
+let test_roundtrip () =
+  let s = gen ~intensity:3.0 () in
+  match Chaos.of_string (Chaos.to_string s) with
+  | Error e -> Alcotest.failf "of_string failed: %s" e
+  | Ok s' ->
+      check Alcotest.bool "roundtrip is identity"
+        true
+        (Chaos.to_string s = Chaos.to_string s')
+
+let test_of_string_comments_and_errors () =
+  (match Chaos.of_string "# a comment\n\n20.0 crash 3\n" with
+  | Ok [ (t, Chaos.Crash 3) ] ->
+      check (Alcotest.float 1e-9) "time parsed" 20.0 t
+  | Ok _ -> Alcotest.fail "unexpected parse"
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  match Chaos.of_string "20.0 frobnicate 3" with
+  | Ok _ -> Alcotest.fail "bogus op accepted"
+  | Error _ -> ()
+
+let test_all_op_kinds_roundtrip () =
+  let s : Chaos.schedule =
+    [
+      (1.0, Chaos.Partition [ [ 0; 1 ]; [ 2 ] ]);
+      (2.0, Chaos.Heal);
+      (3.0, Chaos.Link { src = 0; dst = 1; up = false });
+      (4.0, Chaos.Link { src = 0; dst = 1; up = true });
+      (5.0, Chaos.Delay { src = 1; dst = 2; extra = 0.25 });
+      (6.0, Chaos.Crash 4);
+      (7.0, Chaos.Restart 4);
+      (8.0, Chaos.Wipe_unit 1);
+      (9.0, Chaos.Disk_faults { server = 2; on = true });
+    ]
+  in
+  match Chaos.of_string (Chaos.to_string s) with
+  | Error e -> Alcotest.failf "of_string failed: %s" e
+  | Ok s' ->
+      check Alcotest.int "all ops survive" (List.length s) (List.length s');
+      check Alcotest.bool "identical text" true
+        (Chaos.to_string s = Chaos.to_string s')
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+
+let test_shrink_to_known_core () =
+  (* Failure := schedule still contains both ops of a specific pair.
+     ddmin must strip the 8 decoys and keep exactly the pair. *)
+  let core = [ (10.0, Chaos.Crash 1); (20.0, Chaos.Crash 2) ] in
+  let decoys =
+    List.init 8 (fun i -> (30.0 +. float_of_int i, Chaos.Heal))
+  in
+  let sched = core @ decoys in
+  let failing cand =
+    List.mem (List.nth core 0) cand && List.mem (List.nth core 1) cand
+  in
+  let minimal, iters = Chaos.shrink ~failing sched in
+  check Alcotest.int "minimal is the pair" 2 (List.length minimal);
+  check Alcotest.bool "pair preserved" true (failing minimal);
+  check Alcotest.bool "spent some iterations" true (iters > 0)
+
+let test_shrink_non_failing_is_identity () =
+  let sched = gen () in
+  let minimal, _ = Chaos.shrink ~failing:(fun _ -> false) sched in
+  check Alcotest.bool "unchanged" true
+    (Chaos.to_string minimal = Chaos.to_string sched)
+
+(* ------------------------------------------------------------------ *)
+(* End to end: monitored chaos runs                                    *)
+
+let chaos_scenario ~seed =
+  {
+    Scenario.default with
+    seed;
+    session_duration = 60.;
+    duration = 80.;
+  }
+
+let run_chaos ~seed ~intensity =
+  let sc = chaos_scenario ~seed in
+  let sched =
+    Chaos.generate ~seed:(seed * 7) ~intensity ~horizon:sc.Scenario.duration
+      ~n_servers:sc.Scenario.n_servers ~n_units:sc.Scenario.n_units ()
+  in
+  R.run_scenario sc ~prepare:(fun w -> R.apply_schedule w sched)
+
+let test_chaos_run_clean () =
+  let _tl, w = run_chaos ~seed:1600 ~intensity:2.0 in
+  check Alcotest.int "no invariant violations" 0
+    (List.length (R.violations w));
+  check Alcotest.bool "monitor saw events" true
+    (Monitor.events_seen w.R.monitor > 0)
+
+let test_chaos_trace_deterministic () =
+  let render (tl : Metrics.timeline) =
+    List.map
+      (fun (t, e) -> Format.asprintf "%.6f %a" t Haf_core.Events.pp e)
+      tl
+    |> String.concat "\n"
+  in
+  let tl1, _ = run_chaos ~seed:1723 ~intensity:2.0 in
+  let tl2, _ = run_chaos ~seed:1723 ~intensity:2.0 in
+  check Alcotest.bool "same chaos seed, byte-identical trace" true
+    (render tl1 = render tl2);
+  let tl3, _ = run_chaos ~seed:1724 ~intensity:2.0 in
+  check Alcotest.bool "different seed, different trace" false
+    (render tl1 = render tl3)
+
+(* A failure detector tuned below the injected delay: the spike forges
+   a failure, the two sides each elect a primary, and when the spike
+   ends they share one clique component — the monitor must flag it. *)
+let test_monitor_catches_dual_primary () =
+  let hair_trigger =
+    {
+      Config.default with
+      heartbeat_interval = 0.05;
+      suspect_timeout = 0.12;
+      flush_timeout = 0.3;
+    }
+  in
+  let sc =
+    {
+      Scenario.default with
+      seed = 7;
+      n_servers = 2;
+      n_units = 1;
+      replication = 2;
+      n_clients = 1;
+      sessions_per_client = 1;
+      session_duration = 70.;
+      duration = 80.;
+      gcs_config = hair_trigger;
+    }
+  in
+  let sched : Chaos.schedule =
+    [
+      (20.0, Chaos.Delay { src = 0; dst = 1; extra = 0.6 });
+      (20.0, Chaos.Delay { src = 1; dst = 0; extra = 0.6 });
+      (45.0, Chaos.Delay { src = 0; dst = 1; extra = 0. });
+      (45.0, Chaos.Delay { src = 1; dst = 0; extra = 0. });
+    ]
+  in
+  let _tl, w = R.run_scenario sc ~prepare:(fun w -> R.apply_schedule w sched) in
+  let dual =
+    List.filter
+      (fun v -> v.Metrics.v_invariant = Metrics.Unique_primary)
+      (R.violations w)
+  in
+  check Alcotest.bool "dual primary flagged" true (dual <> [])
+
+let suite =
+  [
+    ( "chaos.schedule",
+      [
+        Alcotest.test_case "generate deterministic" `Quick
+          test_generate_deterministic;
+        Alcotest.test_case "nonempty, sorted, bounded" `Quick
+          test_generate_nonempty_sorted;
+        Alcotest.test_case "to_string/of_string roundtrip" `Quick test_roundtrip;
+        Alcotest.test_case "comments and errors" `Quick
+          test_of_string_comments_and_errors;
+        Alcotest.test_case "all op kinds roundtrip" `Quick
+          test_all_op_kinds_roundtrip;
+      ] );
+    ( "chaos.shrink",
+      [
+        Alcotest.test_case "ddmin finds known core" `Quick
+          test_shrink_to_known_core;
+        Alcotest.test_case "non-failing schedule unchanged" `Quick
+          test_shrink_non_failing_is_identity;
+      ] );
+    ( "chaos.monitored",
+      [
+        Alcotest.test_case "chaos run has 0 violations" `Slow
+          test_chaos_run_clean;
+        Alcotest.test_case "trace deterministic per seed" `Slow
+          test_chaos_trace_deterministic;
+        Alcotest.test_case "monitor catches dual primary" `Slow
+          test_monitor_catches_dual_primary;
+      ] );
+  ]

@@ -280,7 +280,7 @@ let test_db_merge_records_staleness () =
   | _ -> Alcotest.fail "missing");
   check Alcotest.bool "unknown session adopted" true (Unit_db.mem db "t")
 
-let digest ?(req_seq = -1) ?(at = 0.) ?(primary = -1) sid =
+let digest ?(req_seq = -1) ?(at = 0.) ?(primary = -1) ?(ended = false) sid =
   {
     Unit_db.d_session_id = sid;
     d_client = 0;
@@ -289,6 +289,7 @@ let digest ?(req_seq = -1) ?(at = 0.) ?(primary = -1) sid =
     d_at = at;
     d_primary = primary;
     d_backups = [];
+    d_ended = ended;
   }
 
 let test_digest_snap_compare () =

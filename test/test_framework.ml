@@ -252,7 +252,13 @@ let test_session_end_cleans_up () =
   List.iter
     (fun (_, srv) ->
       (match FV.Server.db srv "movie:1" with
-      | Some db -> check Alcotest.bool "db entry removed" false (Unit_db.mem db sid)
+      | Some db ->
+          (* The entry survives as a tombstone (so merges with stale
+             stores cannot resurrect the session) but is no longer live. *)
+          check Alcotest.bool "db entry tombstoned" false (Unit_db.live db sid);
+          (match Unit_db.find db sid with
+          | Some sess -> check Alcotest.bool "marked ended" true sess.Unit_db.ended
+          | None -> Alcotest.fail "tombstone missing")
       | None -> Alcotest.fail "unit missing");
       check Alcotest.bool "no role left" false
         (List.mem_assoc sid (FV.Server.sessions_served srv)))

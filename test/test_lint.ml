@@ -51,7 +51,13 @@ let test_r2_violation () =
   check_rules "Hashtbl.hash flagged" [ "R2" ]
     (lint "lib/gcs/foo.ml" {|let h x = Hashtbl.hash x|});
   check_rules "Marshal flagged in lib/store" [ "R2" ]
-    (lint "lib/store/wal.ml" {|let enc x = Marshal.to_string x []|})
+    (lint "lib/store/wal.ml" {|let enc x = Marshal.to_string x []|});
+  (* The chaos and monitor layers are protocol code too: a schedule must
+     replay byte-identically and the monitor compares protocol ids. *)
+  check_rules "bare compare flagged in lib/chaos" [ "R2" ]
+    (lint "lib/chaos/chaos.ml" {|let order xs = List.sort compare xs|});
+  check_rules "Marshal flagged in lib/monitor" [ "R2" ]
+    (lint "lib/monitor/monitor.ml" {|let enc x = Marshal.to_string x []|})
 
 let test_r2_out_of_scope () =
   check_rules "bare compare fine outside protocol dirs" []
@@ -76,7 +82,9 @@ let test_r3_violation () =
   check_rules "Hashtbl.iter flagged in lib/gcs" [ "R3" ]
     (lint "lib/gcs/foo.ml" {|let each f t = Hashtbl.iter f t|});
   check_rules "Hashtbl.iter flagged in lib/store" [ "R3" ]
-    (lint "lib/store/store.ml" {|let each f t = Hashtbl.iter f t|})
+    (lint "lib/store/store.ml" {|let each f t = Hashtbl.iter f t|});
+  check_rules "Hashtbl.iter flagged in lib/monitor" [ "R3" ]
+    (lint "lib/monitor/monitor.ml" {|let each f t = Hashtbl.iter f t|})
 
 let test_r3_clean () =
   check_rules "Det_tbl iteration passes" []

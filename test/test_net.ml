@@ -161,6 +161,62 @@ let test_bandwidth_transmission_delay () =
     (time_of (String.make 500 'x') >= 0.5);
   check Alcotest.bool "small datagram fast" true (time_of "tiny" < 0.1)
 
+let test_oneway_cut () =
+  let engine, net, _ = make_net () in
+  let got0 = ref 0 and got1 = ref 0 in
+  Network.set_receiver net 0 (fun ~src:_ _ -> incr got0);
+  Network.set_receiver net 1 (fun ~src:_ _ -> incr got1);
+  Network.cut_oneway net ~src:0 ~dst:1;
+  Network.send net ~src:0 ~dst:1 "blocked";
+  Network.send net ~src:1 ~dst:0 "flows";
+  Engine.run engine;
+  check Alcotest.int "cut direction drops" 0 !got1;
+  check Alcotest.int "reverse direction flows" 1 !got0;
+  check Alcotest.bool "connected is directional" true
+    ((not (Network.connected net 0 1)) && Network.connected net 1 0);
+  (* One-way cuts separate for the bidirectional reachability oracle,
+     even through the untouched relay node 2. *)
+  check Alcotest.bool "not reachable through one-way cut" false
+    (Network.reachable net ~among:[ 0; 1 ] 0 1);
+  check Alcotest.bool "reachable via relay both ways up" true
+    (Network.reachable net ~among:[ 0; 1; 2 ] 0 1);
+  Network.heal_links net;
+  let before = !got1 in
+  Network.send net ~src:0 ~dst:1 "after heal";
+  Engine.run engine;
+  check Alcotest.int "heal restores the link" (before + 1) !got1
+
+let test_link_delay_override () =
+  let config =
+    { Network.default_config with latency = Latency.Constant 0.001 }
+  in
+  let engine, net, _ = make_net ~config () in
+  let arrival = ref (-1.) in
+  Network.set_receiver net 1 (fun ~src:_ _ -> arrival := Engine.now engine);
+  Network.send net ~src:0 ~dst:1 "baseline";
+  Engine.run engine;
+  let baseline = !arrival in
+  Network.set_link_delay net 0 1 (Some 0.5);
+  check
+    (Alcotest.option (Alcotest.float 1e-9))
+    "override installed" (Some 0.5)
+    (Network.link_delay net 0 1);
+  check (Alcotest.option (Alcotest.float 1e-9)) "other direction untouched" None
+    (Network.link_delay net 1 0);
+  let t0 = Engine.now engine in
+  Network.send net ~src:0 ~dst:1 "slow";
+  Engine.run engine;
+  check Alcotest.bool "spike adds the extra delay" true
+    (!arrival -. t0 >= baseline +. 0.5);
+  (* Delay degrades but never disconnects. *)
+  check Alcotest.bool "still connected under delay" true
+    (Network.connected net 0 1);
+  Network.set_link_delay net 0 1 None;
+  let t1 = Engine.now engine in
+  Network.send net ~src:0 ~dst:1 "fast again";
+  Engine.run engine;
+  check Alcotest.bool "cleared override" true (!arrival -. t1 < 0.5)
+
 (* ------------------------------------------------------------------ *)
 (* Reliable transport *)
 
@@ -248,6 +304,36 @@ let test_transport_reset_node () =
     (match payloads with "a" :: _ -> true | _ -> false);
   check Alcotest.string "fresh arrives last" "fresh" (List.nth payloads (List.length payloads - 1))
 
+let test_transport_give_up () =
+  let engine, net, tr, _ = make_transport () in
+  let got = collect tr 1 in
+  Transport.attach tr 0 (fun ~src:_ _ -> ());
+  Transport.set_give_up_after tr (Some 5.);
+  let dead = ref [] in
+  Transport.set_on_channel_dead tr
+    (Some (fun ~src ~dst -> dead := (src, dst) :: !dead));
+  Transport.send tr ~src:0 ~dst:1 "pre-cut";
+  Engine.run engine;
+  Network.partition net [ [ 0 ]; [ 1 ] ];
+  Transport.send tr ~src:0 ~dst:1 "doomed";
+  (* Without a give-up threshold the channel would back off and
+     retransmit forever; with one, it must declare the channel dead
+     within ~5s and stop (no live timers => the engine drains). *)
+  Engine.run ~until:60. engine;
+  check Alcotest.int "one channel declared dead" 1 (Transport.give_ups tr);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "notification fired" [ (0, 1) ] !dead;
+  (* A later send transparently opens a fresh incarnation. *)
+  Network.heal_links net;
+  Transport.send tr ~src:0 ~dst:1 "post-heal";
+  Engine.run ~until:120. engine;
+  let payloads = List.rev_map snd !got in
+  check Alcotest.bool "queue of the dead channel was dropped" true
+    (not (List.mem "doomed" payloads));
+  check Alcotest.string "fresh channel works" "post-heal"
+    (List.nth payloads (List.length payloads - 1))
+
 let prop_transport_partition_churn =
   (* The GCS contract on the transport: exactly-once, in-order delivery
      as long as the two endpoints are eventually connected — under
@@ -326,6 +412,8 @@ let suite =
         Alcotest.test_case "counters" `Quick test_counters;
         Alcotest.test_case "self send" `Quick test_self_send;
         Alcotest.test_case "bandwidth delay" `Quick test_bandwidth_transmission_delay;
+        Alcotest.test_case "one-way cut" `Quick test_oneway_cut;
+        Alcotest.test_case "link delay override" `Quick test_link_delay_override;
       ] );
     ( "net.transport",
       [
@@ -334,6 +422,7 @@ let suite =
         Alcotest.test_case "partition then heal" `Quick test_transport_across_partition_heal;
         Alcotest.test_case "raw datagrams" `Quick test_transport_unreliable_raw;
         Alcotest.test_case "reset node" `Quick test_transport_reset_node;
+        Alcotest.test_case "give-up threshold" `Quick test_transport_give_up;
       ]
       @ qsuite [ prop_transport_any_loss_rate; prop_transport_partition_churn ] );
   ]

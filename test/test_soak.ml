@@ -58,6 +58,17 @@ let run_soak ?(min_availability = 0.9) seed =
   let live = R.live_servers w in
   check Alcotest.bool "most servers recovered" true (List.length live >= 4);
 
+  (* Safety 0: the online monitor — which watched every event of the
+     run as it happened, not just the end state — recorded no invariant
+     violation (unique primary per component, no acked loss with a
+     surviving witness, staleness bound, assignment agreement). *)
+  (match R.violations w with
+  | [] -> ()
+  | vs ->
+      Alcotest.failf "monitor recorded %d violation(s), first: %s"
+        (List.length vs)
+        (Format.asprintf "%a" Metrics.pp_violation (List.hd vs)));
+
   (* Safety 1: per unit, all live replicas agree on coordination state. *)
   List.iter
     (fun k ->
