@@ -5,7 +5,7 @@ open Cmdliner
 
 let ids =
   let doc =
-    "Experiments to run (e1..e14), or 'all'.  Default: all."
+    "Experiments to run (e1..e16), or 'all'.  Default: all."
   in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
 
@@ -52,12 +52,48 @@ let chaos_intensity =
   let doc = "Incident density for --chaos (1.0 = one incident per 8 simulated seconds)." in
   Arg.(value & opt float 1.0 & info [ "chaos-intensity" ] ~docv:"X" ~doc)
 
+let explore_flag =
+  let doc =
+    "Run a one-off schedule-space exploration (E16 machinery): enumerate \
+     every delivery ordering and instrumented crash point of a bounded \
+     scenario with sleep-set partial-order reduction, check each execution \
+     against the spec oracle and the invariant monitor, and exit nonzero \
+     (printing a ddmin-shrunk replayable schedule) on any violation."
+  in
+  Arg.(value & flag & info [ "explore" ] ~doc)
+
+let explore_depth =
+  let doc = "Branch-point budget per execution for --explore." in
+  Arg.(value & opt int 8 & info [ "depth" ] ~docv:"N" ~doc)
+
+let explore_procs =
+  let doc = "Number of servers for --explore." in
+  Arg.(value & opt int 2 & info [ "procs" ] ~docv:"K" ~doc)
+
+let explore_bug =
+  let doc =
+    "Re-introduce the zombie-session bug (End_session deletes instead of \
+     tombstoning) under --explore; the run must then find, shrink and \
+     report it with a nonzero exit."
+  in
+  Arg.(value & flag & info [ "explore-bug" ] ~doc)
+
 let run ids full list_flag csv_dir snapshot_period disk_faults chaos_seed
-    chaos_intensity =
+    chaos_intensity explore_flag explore_depth explore_procs explore_bug =
   let module Reg = Haf_experiments.Registry in
   if list_flag then begin
     List.iter (fun e -> Printf.printf "%-4s %s\n" e.Reg.id e.Reg.title) Reg.all;
     0
+  end
+  else if explore_flag then begin
+    let tables, failed =
+      Haf_experiments.E16_explore.run_custom ~depth:explore_depth
+        ~procs:explore_procs ~bug:explore_bug ()
+    in
+    List.iter (Haf_stats.Table.print Format.std_formatter) tables;
+    (* Nonzero on any spec/monitor violation, so CI can gate on an
+       exploration directly. *)
+    if failed then 1 else 0
   end
   else if chaos_seed <> None then begin
     let quick = not full in
@@ -142,6 +178,7 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ ids $ full $ list_flag $ csv_dir $ snapshot_period
-      $ disk_faults $ chaos_seed $ chaos_intensity)
+      $ disk_faults $ chaos_seed $ chaos_intensity $ explore_flag
+      $ explore_depth $ explore_procs $ explore_bug)
 
 let () = exit (Cmd.eval' cmd)

@@ -21,6 +21,14 @@ module Gcs = Haf_gcs.Gcs
 module View = Haf_gcs.View
 module Daemon = Haf_gcs.Daemon
 
+(* Test-only fault reintroduction (PR 3's bug 6): when set, End_session
+   physically deletes the unit-db record instead of tombstoning it, so a
+   replica that crashed holding the session and recovers from stable
+   storage can resurrect it through the state exchange.  Module-level so
+   every functor instantiation shares the switch; the model-checker tests
+   flip it to prove the explorer finds the resulting zombie session. *)
+let test_end_session_deletes = ref false
+
 module Make (S : Service_intf.SERVICE) = struct
   type group_msg =
     | List_units of { client : int }
@@ -246,7 +254,13 @@ module Make (S : Service_intf.SERVICE) = struct
       end
 
     let do_propagate t sl =
-      if t.running && sl.sl_role = Some Primary then begin
+      if
+        t.running
+        && sl.sl_role = Some Primary
+        (* Risky-pattern choice point (paper §4): the explorer may crash
+           the primary at the instant it would propagate session context. *)
+        && not (Engine.choice t.engine ~site:"propagate" ~proc:t.proc)
+      then begin
         let snap =
           {
             Unit_db.snap_ctx = sl.sl_ctx;
@@ -522,7 +536,9 @@ module Make (S : Service_intf.SERVICE) = struct
           | None -> ());
           if Unit_db.live us.u_db session_id then
             store_log t (P_end { unit_id = us.u_id; session_id });
-          Unit_db.end_session us.u_db session_id
+          if !test_end_session_deletes then
+            Unit_db.remove_session us.u_db session_id
+          else Unit_db.end_session us.u_db session_id
       | State_digest _ | State_delta _ -> ()  (* handled by the exchange machinery *)
       | List_units _ | Request _ -> ()
 
@@ -683,6 +699,11 @@ module Make (S : Service_intf.SERVICE) = struct
       end
 
     let start_exchange t us view ~carried =
+      (* Risky-pattern choice point (paper §4): a member may crash right
+         as the state exchange for a new view begins, before its digest
+         reaches anyone. *)
+      if Engine.choice t.engine ~site:"exchange" ~proc:t.proc then ()
+      else
       let ex =
         {
           ex_vid = view.View.id;

@@ -16,6 +16,14 @@
     {!Haf_gcs.Gcs.t} fabric; all instances must share one
     {!Events.sink} if the run is to be analyzed with {!Haf_stats}. *)
 
+val test_end_session_deletes : bool ref
+(** Test-only fault switch reintroducing PR 3's bug 6: when [true],
+    [End_session] physically deletes the unit-db record instead of
+    tombstoning it, so a replica that recovers stale state from stable
+    storage can resurrect an ended session through the state exchange.
+    Shared across all {!Make} instantiations; must stay [false] outside
+    the model-checker tests that prove the explorer catches the zombie. *)
+
 module Make (S : Service_intf.SERVICE) : sig
   (** {2 Wire messages}
 

@@ -1,0 +1,65 @@
+(** E16 — systematic schedule-space exploration: the model checker
+    drives the full stack through every schedule of a bounded scenario,
+    checks each execution against the reference-model oracle and the
+    online monitor, and reports the sleep-set reduction over the naive
+    DFS.  A deliberately re-introduced zombie-session bug must be found,
+    ddmin-shrunk and replayed. *)
+
+val id : string
+
+val title : string
+
+val run : quick:bool -> Haf_stats.Table.t list
+
+type config = {
+  procs : int;
+  sessions : int;
+  depth : int;
+  store : bool;
+  crash_budget : int;
+  zombie : bool;
+  horizon : float;
+  branch_after : float;
+}
+
+val config :
+  ?procs:int ->
+  ?sessions:int ->
+  ?depth:int ->
+  ?store:bool ->
+  ?crash_budget:int ->
+  ?zombie:bool ->
+  unit ->
+  config
+(** Defaults: 3 servers, 2 single-session clients, depth 12, no store,
+    no crash points, correct (non-zombie) End_session. *)
+
+val run_one :
+  config ->
+  tolerant:bool ->
+  Haf_explore.Explore.decision list ->
+  Haf_explore.Explore.outcome
+(** Execute the scenario once from scratch under a forced decision
+    prefix; the outcome's violation is the spec oracle's first finding,
+    else the monitor's. *)
+
+type mode = Naive | Dpor
+
+val explore :
+  ?stop_on_violation:bool ->
+  mode:mode ->
+  config ->
+  Haf_explore.Explore.stats * Haf_explore.Explore.violation list
+
+val shrink_counterexample :
+  config ->
+  Haf_explore.Explore.violation ->
+  Haf_explore.Explore.schedule * int * Haf_explore.Explore.outcome
+(** ddmin the violating schedule (tolerant probes), re-time the minimum
+    by replaying it, and return (timed minimal schedule, probe count,
+    replay outcome). *)
+
+val run_custom :
+  depth:int -> procs:int -> bug:bool -> unit -> Haf_stats.Table.t list * bool
+(** CLI one-off ([--explore]): returns the tables and whether a
+    violation was found (drives the nonzero exit). *)

@@ -1,0 +1,37 @@
+(** Reference-model oracle for the session service.
+
+    An abstract centralized state machine of the paper's Section 3
+    service specification — open / update / fail-over / end — tracked
+    per session over the {!Haf_core.Events} stream and checked against
+    every explored execution (alongside the {!Haf_monitor} invariants).
+    The model is deliberately coarse: it records only each session's
+    lifecycle phase (requested, active, ended) and flags transitions the
+    specification forbids outright, so it is schedule-invariant and
+    never needs the grace windows the online monitor uses:
+
+    - a session granted, taken over, assumed as primary, or propagated
+      {e after} its [Session_ended] — the zombie-resurrection bug class;
+    - a grant or end for a session that was never requested;
+    - a duplicate request for the same session id.
+
+    [Session_ended] is emitted by the member holding the primary role
+    when the totally ordered [End_session] is delivered, so any such
+    post-End activity means a member acted on state the group had
+    already retired. *)
+
+type t
+
+val create : unit -> t
+
+val attach : t -> Haf_core.Events.sink -> unit
+(** Subscribe the oracle to a sink; it checks events online as they are
+    emitted. *)
+
+val create_attached : Haf_core.Events.sink -> t
+
+val violations : t -> (float * string) list
+(** Oldest first. *)
+
+val violation_count : t -> int
+
+val first_violation : t -> (float * string) option

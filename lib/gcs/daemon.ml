@@ -277,6 +277,11 @@ let merge_sync_sets replies =
     tbl []
 
 let rec apply_install t gs ~epoch ~view_id ~members ~sync =
+  (* Risky-pattern choice point (paper §4): a member may crash at the
+     instant it would install a new view — after flushing, before the
+     installation takes effect locally. *)
+  if Engine.choice t.engine ~site:"install" ~proc:t.me then ()
+  else begin
   (* Virtual synchrony: deliver the synchronization set of our previous
      view (messages some surviving member had that we may not have
      delivered) before switching views. *)
@@ -321,6 +326,7 @@ let rec apply_install t gs ~epoch ~view_id ~members ~sync =
   List.iter (fun entry -> submit t gs entry) opens;
   let relayed = Det_tbl.sorted_values ~compare:Wire.compare_uid gs.relayed in
   List.iter (fun entry -> submit t gs entry) relayed
+  end
 
 and finalize_proposal t gs ~epoch ~candidates ~replies =
   let infos = Det_tbl.sorted_values ~compare:Int.compare replies in

@@ -4,6 +4,7 @@ let protocol_dirs path =
   || Allowlist.under "lib/store" path
   || Allowlist.under "lib/chaos" path
   || Allowlist.under "lib/monitor" path
+  || Allowlist.under "lib/explore" path
 
 let lib path = Allowlist.under "lib" path
 
@@ -125,7 +126,7 @@ let descriptions =
     ("R1", "no ambient randomness/time outside lib/sim/rng.ml");
     ("R2",
      "no polymorphic compare/hash/Marshal in lib/gcs, lib/core, lib/store, \
-      lib/chaos, lib/monitor");
+      lib/chaos, lib/monitor, lib/explore");
     ("R3", "no unordered Hashtbl iteration over protocol state");
     ("R4", "no direct stdout/stderr in lib/ (use Sim.Trace / Stats)");
     ("R5", "every lib/**/*.ml has a matching .mli");

@@ -130,7 +130,7 @@ let recover t id =
       "node %d recovered" id
   end
 
-let send t ~src ~dst payload =
+let send t ?(label = Engine.Internal) ~src ~dst payload =
   let source = node t src in
   ignore (node t dst);
   if source.up then begin
@@ -151,7 +151,7 @@ let send t ~src ~dst payload =
       in
       let delay = transmission +. Latency.sample t.config.latency t.rng +. override in
       ignore
-        (Engine.schedule t.engine ~delay (fun () ->
+        (Engine.schedule t.engine ~label ~delay (fun () ->
              let sink = node t dst in
              if sink.up then begin
                sink.stats.datagrams_received <- sink.stats.datagrams_received + 1;

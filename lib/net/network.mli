@@ -42,11 +42,15 @@ val node_count : t -> int
 val set_receiver : t -> node_id -> (src:node_id -> string -> unit) -> unit
 (** Install the upper-layer datagram handler for a node. *)
 
-val send : t -> src:node_id -> dst:node_id -> string -> unit
+val send :
+  t -> ?label:Haf_sim.Engine.label -> src:node_id -> dst:node_id -> string -> unit
 (** Fire-and-forget.  Silently dropped if the source is crashed, the
     directed link [src -> dst] is down, the loss model says so, or the
     destination is crashed at delivery time.  Self-sends are delivered
-    after the minimum latency. *)
+    after the minimum latency.  [label] (default [Internal]) tags the
+    delivery event for the engine's driven scheduler: the transport
+    labels reliable data frames [Deliver] so a model checker can reorder
+    them, while acks and raw datagrams stay internal. *)
 
 (** {2 Fault injection} *)
 

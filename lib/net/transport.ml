@@ -97,8 +97,15 @@ let sender_channel t ~src ~dst =
       Hashtbl.replace t.senders (src, dst) ch;
       ch
 
+(* Data frames are the protocol-visible deliveries: labelled so a driven
+   scheduler can explore their interleavings.  Acks and raw datagrams
+   (heartbeats) stay [Internal] — they carry no protocol payload, and
+   leaving them out of the choice-point set keeps the explored branching
+   factor tractable. *)
 let transmit t ~src ~dst ch seq payload =
-  Network.send t.net ~src ~dst
+  Network.send t.net
+    ~label:(Engine.Deliver { src; dst })
+    ~src ~dst
     (encode (Data { conn = ch.conn; seq; lo = ch.lowest_unacked; payload }))
 
 let retransmit_all t ~src ~dst ch =

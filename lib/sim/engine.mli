@@ -6,14 +6,34 @@
     FIFO and every run with the same seed is bit-for-bit reproducible.
 
     The engine deliberately has no notion of processes or messages; those
-    live in {!Haf_net} and above. *)
+    live in {!Haf_net} and above.  It does, however, expose a pluggable
+    {e scheduler interface}: events carry a {!label}, and when a
+    {!set_picker} policy is installed, message deliveries become
+    explorable choice points instead of firing in fixed time order — the
+    hook the {!Haf_explore} model checker drives. *)
 
 type t
 
 type timer
 (** Handle for a scheduled (possibly periodic) event; cancellation is
-    lazy: a cancelled timer stays in the queue but its action is
-    skipped. *)
+    lazy: a cancelled timer stays in the queue until popped or until the
+    engine purges the heap (triggered once dead entries are the
+    majority), but its action is never run. *)
+
+type label =
+  | Internal
+      (** Timer/housekeeping event: always fires in deterministic
+          (time, insertion) order, never a model-checking choice point. *)
+  | Deliver of { src : int; dst : int }
+      (** Delivery of a reliable-channel message from node [src] to node
+          [dst].  Per channel, deliveries stay FIFO; across channels a
+          driven scheduler may reorder them. *)
+
+type candidate = { src : int; dst : int; k : int; at : float }
+(** One enabled delivery offered to a picker: the head of channel
+    [(src, dst)], carrying its per-channel delivery index [k] (stable
+    across re-executions of the same decision prefix) and its scheduled
+    fire time [at]. *)
 
 val create : ?seed:int -> unit -> t
 (** [create ~seed ()] makes an engine whose clock starts at [0.0].
@@ -29,16 +49,18 @@ val rng : t -> Rng.t
 val fork_rng : t -> Rng.t
 (** An independent random stream split off the root. *)
 
-val schedule : t -> delay:float -> (unit -> unit) -> timer
-(** [schedule t ~delay f] fires [f] once at [now t +. max delay 0.]. *)
+val schedule : t -> ?label:label -> delay:float -> (unit -> unit) -> timer
+(** [schedule t ~delay f] fires [f] once at [now t +. max delay 0.].
+    [label] (default [Internal]) classifies the event for driven
+    scheduling; only {!Haf_net} tags deliveries. *)
 
-val schedule_at : t -> time:float -> (unit -> unit) -> timer
+val schedule_at : t -> ?label:label -> time:float -> (unit -> unit) -> timer
 (** Absolute-time variant; times in the past fire immediately (at [now]). *)
 
 val every : t -> ?first:float -> period:float -> (unit -> unit) -> timer
 (** [every t ~first ~period f] fires [f] at [now + first] (default
     [period]) and then every [period] seconds until cancelled.  Requires
-    [period > 0.]. *)
+    [period > 0.].  Always [Internal]. *)
 
 val cancel : timer -> unit
 (** Idempotent.  A cancelled timer never fires again. *)
@@ -48,10 +70,47 @@ val run : ?until:float -> t -> unit
     fire strictly after [until] and set the clock to [until]. *)
 
 val step : t -> bool
-(** Execute the single next event.  [false] if the queue was empty. *)
+(** Execute the single next event under the seeded (time-ordered)
+    policy.  [false] if the queue held no live entry to pop. *)
+
+(** {2 Scheduler interface}
+
+    With a picker installed, [run] switches to the driven policy:
+    internal events still fire in time order, but whenever one or more
+    delivery channel heads are due no later than the next internal
+    event, the picker chooses which of them fires next (the clock moves
+    to [max clock chosen.at]).  A delivery is thus never delayed past a
+    pending timer — a bounded-asynchrony model — while deliveries due
+    together may fire in any order the picker asks for.  The candidate
+    list is sorted by [(src, dst)] and every run over the same decision
+    prefix re-offers the same candidates, which is what makes stateless
+    re-execution sound. *)
+
+val set_picker : t -> (candidate list -> candidate) option -> unit
+(** Install ([Some]) or remove ([None]) the driven-scheduling policy.
+    The picker must return one of the offered candidates. *)
+
+val set_chooser : t -> (site:string -> proc:int -> occ:int -> bool) option -> unit
+(** Install the crash choice-point handler consulted by {!choice}.  The
+    [occ]urrence counter numbers calls per [(site, proc)], giving each
+    choice point a stable identity across re-executions. *)
+
+val choice : t -> site:string -> proc:int -> bool
+(** Protocol code calls [choice t ~site ~proc] at instrumented fault
+    points ("may I be crashed here?").  Returns [false] when no chooser
+    is installed — the production fast path.  A chooser that returns
+    [true] has arranged a fault (e.g. scheduled an immediate crash of
+    [proc]); the caller must abandon the rest of its step. *)
+
+(** {2 Introspection} *)
 
 val pending : t -> int
-(** Number of queue entries (including lazily-cancelled ones). *)
+(** Number of live timers in the queue (cancelled and consumed entries
+    excluded). *)
+
+val heap_size : t -> int
+(** Physical queue size including dead entries awaiting purge; test
+    hook for the lazy-purge policy. *)
 
 val events_processed : t -> int
 (** Events fired since creation (cancelled entries excluded). *)

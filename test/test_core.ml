@@ -338,6 +338,84 @@ let prop_db_merge_order_independent =
       Unit_db.replace_with_merge m2 (List.rev exports);
       Unit_db.equal_shape m1 m2)
 
+(* Random operation histories for the digest/delta reconciliation
+   properties.  Session id determines client and start time, as in the
+   protocol (a session is created identically wherever its totally
+   ordered Start is applied); everything else may diverge freely. *)
+type db_op = Op_add of int | Op_end of int | Op_assign of int * int | Op_prop of int * int
+
+let apply_db_op db op =
+  let sid i = Printf.sprintf "s%d" i in
+  match op with
+  | Op_add i -> ignore (Unit_db.add_session db ~session_id:(sid i) ~client:i ~started_at:0.)
+  | Op_end i -> Unit_db.end_session db (sid i)
+  | Op_assign (i, p) ->
+      if Unit_db.live db (sid i) then
+        Unit_db.set_assignment db (sid i) ~primary:p ~backups:[ (p + 1) mod 4 ]
+  | Op_prop (i, seq) ->
+      if Unit_db.live db (sid i) then
+        Unit_db.set_propagated db (sid i)
+          (snap (Printf.sprintf "c%d" seq) seq (float_of_int seq))
+
+let arb_db_ops =
+  let gen_op =
+    QCheck.Gen.(
+      frequency
+        [
+          (4, map (fun i -> Op_add i) (int_bound 4));
+          (2, map (fun i -> Op_end i) (int_bound 4));
+          (3, map2 (fun i p -> Op_assign (i, p)) (int_bound 4) (int_bound 5));
+          (3, map2 (fun i s -> Op_prop (i, s)) (int_bound 4) (int_bound 30));
+        ])
+  in
+  let print_op = function
+    | Op_add i -> Printf.sprintf "add s%d" i
+    | Op_end i -> Printf.sprintf "end s%d" i
+    | Op_assign (i, p) -> Printf.sprintf "assign s%d->%d" i p
+    | Op_prop (i, s) -> Printf.sprintf "prop s%d@%d" i s
+  in
+  QCheck.make
+    ~print:(fun (a, b) ->
+      let s ops = String.concat "; " (List.map print_op ops) in
+      Printf.sprintf "[%s] / [%s]" (s a) (s b))
+    QCheck.Gen.(pair (list_size (int_bound 40) gen_op) (list_size (int_bound 40) gen_op))
+
+let prop_db_exchange_converges =
+  QCheck.Test.make
+    ~name:"unit_db replicas converge after a digest/delta exchange" ~count:200
+    arb_db_ops
+    (fun (ops1, ops2) ->
+      let db1 = mkdb () and db2 = mkdb () in
+      List.iter (apply_db_op db1) ops1;
+      List.iter (apply_db_op db2) ops2;
+      let e1 = Unit_db.export db1 and e2 = Unit_db.export db2 in
+      Unit_db.merge_records db1 e2;
+      Unit_db.merge_records db2 e1;
+      Unit_db.equal_shape db1 db2 && Unit_db.equal_assignments db1 db2)
+
+let prop_db_tombstones_win =
+  QCheck.Test.make
+    ~name:"unit_db tombstones always win the exchange" ~count:200 arb_db_ops
+    (fun (ops1, ops2) ->
+      let db1 = mkdb () and db2 = mkdb () in
+      List.iter (apply_db_op db1) ops1;
+      List.iter (apply_db_op db2) ops2;
+      let e1 = Unit_db.export db1 and e2 = Unit_db.export db2 in
+      let tombstoned =
+        List.filter_map
+          (fun r -> if r.Unit_db.r_ended then Some r.Unit_db.r_session_id else None)
+          (e1 @ e2)
+        |> List.sort_uniq String.compare
+      in
+      Unit_db.merge_records db1 e2;
+      Unit_db.merge_records db2 e1;
+      List.for_all
+        (fun sid ->
+          Unit_db.mem db1 sid && Unit_db.mem db2 sid
+          && (not (Unit_db.live db1 sid))
+          && not (Unit_db.live db2 sid))
+        tombstoned)
+
 (* ------------------------------------------------------------------ *)
 (* Events *)
 
@@ -397,6 +475,11 @@ let suite =
         Alcotest.test_case "digest snap compare" `Quick
           test_digest_snap_compare;
       ]
-      @ qsuite [ prop_db_merge_order_independent ] );
+      @ qsuite
+          [
+            prop_db_merge_order_independent;
+            prop_db_exchange_converges;
+            prop_db_tombstones_win;
+          ] );
     ("core.events", [ Alcotest.test_case "sink" `Quick test_events_sink ]);
   ]

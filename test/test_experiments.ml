@@ -123,7 +123,7 @@ let test_group_wipes_scoped () =
 
 let test_registry_complete () =
   let module Reg = Haf_experiments.Registry in
-  check Alcotest.int "fifteen experiments" 15 (List.length Reg.all);
+  check Alcotest.int "sixteen experiments" 16 (List.length Reg.all);
   List.iteri
     (fun i e ->
       check Alcotest.string "ids in order" (Printf.sprintf "e%d" (i + 1)) e.Reg.id)

@@ -1,0 +1,276 @@
+(* The schedule-space explorer: the engine's scheduler interface, the
+   sleep-set DFS against the naive baseline on a toy protocol, and the
+   full-stack hunt for the re-introduced zombie-session bug. *)
+
+module Engine = Haf_sim.Engine
+module Explore = Haf_explore.Explore
+module E16 = Haf_experiments.E16_explore
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler interface: labels, candidate sets, per-channel FIFO and
+   delivery counting at the raw engine level.                          *)
+
+let deliver ~src ~dst = Engine.Deliver { src; dst }
+
+let test_picker_sees_channel_heads () =
+  let e = Engine.create ~seed:1 () in
+  let log = ref [] in
+  let send ~src ~dst ~at tag =
+    ignore
+      (Engine.schedule_at e ~time:at ~label:(deliver ~src ~dst) (fun () ->
+           log := tag :: !log))
+  in
+  (* Two messages per channel: only the FIFO heads may be offered. *)
+  send ~src:0 ~dst:1 ~at:0.10 "a1";
+  send ~src:0 ~dst:1 ~at:0.11 "a2";
+  send ~src:2 ~dst:3 ~at:0.10 "b1";
+  send ~src:2 ~dst:3 ~at:0.11 "b2";
+  let offered = ref [] in
+  Engine.set_picker e
+    (Some
+       (fun cands ->
+         offered := List.length cands :: !offered;
+         (* Prefer channel 2->3: the picker, not time order, decides. *)
+         match
+           List.find_opt (fun (c : Engine.candidate) -> c.src = 2) cands
+         with
+         | Some c -> c
+         | None -> List.hd cands));
+  Engine.run ~until:1. e;
+  check (Alcotest.list Alcotest.string) "FIFO per channel, picker order"
+    [ "b1"; "b2"; "a1"; "a2" ] (List.rev !log);
+  check Alcotest.bool "never offered more than the two heads" true
+    (List.for_all (fun n -> n <= 2) !offered)
+
+let test_delivery_counter_k () =
+  let e = Engine.create ~seed:1 () in
+  let ks = ref [] in
+  for _ = 1 to 3 do
+    ignore (Engine.schedule_at e ~time:0.1 ~label:(deliver ~src:0 ~dst:1) ignore)
+  done;
+  Engine.set_picker e
+    (Some
+       (fun cands ->
+         let c = List.hd cands in
+         ks := c.Engine.k :: !ks;
+         c));
+  Engine.run ~until:1. e;
+  check (Alcotest.list Alcotest.int) "k counts per-channel deliveries"
+    [ 0; 1; 2 ] (List.rev !ks)
+
+let test_internal_bounds_deliveries () =
+  (* A delivery due later than a pending internal timer must wait. *)
+  let e = Engine.create ~seed:1 () in
+  let log = ref [] in
+  ignore (Engine.schedule_at e ~time:0.2 (fun () -> log := "tick" :: !log));
+  ignore
+    (Engine.schedule_at e ~time:0.5 ~label:(deliver ~src:0 ~dst:1) (fun () ->
+         log := "msg" :: !log));
+  Engine.set_picker e (Some List.hd);
+  Engine.run ~until:1. e;
+  check (Alcotest.list Alcotest.string) "internal fires first"
+    [ "tick"; "msg" ] (List.rev !log)
+
+let test_choice_occurrence_counting () =
+  let e = Engine.create ~seed:1 () in
+  let seen = ref [] in
+  Engine.set_chooser e
+    (Some
+       (fun ~site ~proc ~occ ->
+         seen := (site, proc, occ) :: !seen;
+         false));
+  List.iter
+    (fun (site, proc) -> ignore (Engine.choice e ~site ~proc))
+    [ ("x", 1); ("x", 1); ("x", 2); ("y", 1); ("x", 1) ];
+  check
+    (Alcotest.list (Alcotest.triple Alcotest.string Alcotest.int Alcotest.int))
+    "occ counts per (site, proc)"
+    [ ("x", 1, 0); ("x", 1, 1); ("x", 2, 0); ("y", 1, 0); ("x", 1, 2) ]
+    (List.rev !seen);
+  (* Without a chooser, choice points silently decline. *)
+  Engine.set_chooser e None;
+  check Alcotest.bool "no chooser: no crash" false (Engine.choice e ~site:"x" ~proc:1)
+
+(* ------------------------------------------------------------------ *)
+(* DPOR vs naive DFS on a toy protocol: two sources send one message
+   each to two receivers.  The "bug" is receiver 10 seeing source 1
+   before source 0.  Both relations must find exactly that violation;
+   the sleep sets must do it in strictly fewer schedules.              *)
+
+let toy_run plan =
+  let e = Engine.create ~seed:1 () in
+  let log10 = ref [] and log11 = ref [] in
+  let send ~src ~dst tag log =
+    ignore
+      (Engine.schedule_at e ~time:0.5 ~label:(deliver ~src ~dst) (fun () ->
+           log := tag :: !log))
+  in
+  send ~src:0 ~dst:10 "a" log10;
+  send ~src:1 ~dst:10 "b" log10;
+  send ~src:0 ~dst:11 "c" log11;
+  send ~src:1 ~dst:11 "d" log11;
+  let exec = Explore.Exec.attach ~plan e in
+  Engine.run ~until:1. e;
+  let violation =
+    if List.rev !log10 = [ "b"; "a" ] then
+      Some "receiver 10 saw source 1 before source 0"
+    else None
+  in
+  Explore.Exec.detach exec;
+  Explore.Exec.outcome exec ~violation
+
+let test_toy_naive_counts () =
+  let stats, violations =
+    Explore.explore ~run:toy_run ~max_depth:10 ~indep:Explore.dep_all
+      ~stop_on_violation:false ()
+  in
+  (* 4 concurrent singleton channels: 4! interleavings, branch points of
+     width 4, 3, 2 (a single candidate is forced, not branched). *)
+  check Alcotest.int "naive schedules = 4!" 24 stats.Explore.schedules;
+  check Alcotest.int "one distinct violation" 1 (List.length violations)
+
+let test_toy_dpor_sound_and_smaller () =
+  let explore indep =
+    Explore.explore ~run:toy_run ~max_depth:10 ~indep ~stop_on_violation:false ()
+  in
+  let sn, vn = explore Explore.dep_all in
+  let sd, vd = explore Explore.indep in
+  let messages vs =
+    List.sort_uniq String.compare
+      (List.map (fun v -> v.Explore.message) vs)
+  in
+  check (Alcotest.list Alcotest.string) "same violation set" (messages vn)
+    (messages vd);
+  check Alcotest.bool "DPOR explores strictly fewer schedules" true
+    (sd.Explore.schedules < sn.Explore.schedules);
+  (* Equivalence classes: 2 orders at receiver 10 x 2 at receiver 11. *)
+  check Alcotest.bool "at least one schedule per Mazurkiewicz trace" true
+    (sd.Explore.schedules >= 4);
+  check Alcotest.bool "pruning happened" true (sd.Explore.pruned > 0)
+
+let test_toy_replay_deterministic () =
+  let _, violations =
+    Explore.explore ~run:toy_run ~max_depth:10 ~indep:Explore.indep
+      ~stop_on_violation:false ()
+  in
+  match violations with
+  | [] -> Alcotest.fail "toy violation not found"
+  | v :: _ ->
+      let plan = List.map snd v.Explore.schedule in
+      let o1 = toy_run plan and o2 = toy_run plan in
+      check Alcotest.bool "replay reproduces the violation" true
+        (o1.Explore.violation <> None);
+      check Alcotest.string "replay is byte-identical"
+        (Explore.to_string o1.Explore.taken)
+        (Explore.to_string o2.Explore.taken)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule text round-trip.                                           *)
+
+let test_schedule_round_trip () =
+  let sched =
+    [
+      (1.25, Explore.Deliver { src = 0; dst = 2; k = 7 });
+      (1.5, Explore.Crash { site = "propagate"; proc = 1; occ = 0 });
+      (1.75, Explore.No_crash { site = "exchange"; proc = 2; occ = 3 });
+    ]
+  in
+  match Explore.of_string (Explore.to_string sched) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok parsed ->
+      check Alcotest.int "length" (List.length sched) (List.length parsed);
+      check Alcotest.bool "decisions survive the round trip" true
+        (List.for_all2
+           (fun (_, a) (_, b) -> Explore.equal_decision a b)
+           sched parsed);
+      check Alcotest.string "second render identical"
+        (Explore.to_string sched)
+        (Explore.to_string parsed)
+
+(* ------------------------------------------------------------------ *)
+(* Full stack: re-introducing PR 3's bug 6 (End_session deletes the
+   session instead of tombstoning it) must surface as a spec-oracle
+   zombie within depth 10, shrink to <= 5 decisions, and replay
+   byte-identically.                                                   *)
+
+let bug_cfg =
+  lazy
+    (E16.config ~procs:3 ~sessions:1 ~depth:10 ~store:true ~crash_budget:1
+       ~zombie:true ())
+
+let test_zombie_bug_found () =
+  let cfg = Lazy.force bug_cfg in
+  let _, violations = E16.explore ~mode:E16.Dpor cfg in
+  match violations with
+  | [] -> Alcotest.fail "seeded zombie bug not detected within depth 10"
+  | v :: _ ->
+      check Alcotest.bool "flagged as a zombie" true
+        (let msg = v.Explore.message in
+         let has_sub needle =
+           let n = String.length needle and m = String.length msg in
+           let rec go i = i + n <= m && (String.sub msg i n = needle || go (i + 1)) in
+           go 0
+         in
+         has_sub "zombie");
+      let minimal, _probes, replay = E16.shrink_counterexample cfg v in
+      check Alcotest.bool "shrunk schedule still fails" true
+        (replay.Explore.violation <> None);
+      check Alcotest.bool "minimal counterexample has <= 5 decisions" true
+        (List.length minimal <= 5);
+      (* Tolerant replay of the minimum is deterministic down to the
+         rendered schedule text. *)
+      let r1 = E16.run_one cfg ~tolerant:true (List.map snd minimal) in
+      let r2 = E16.run_one cfg ~tolerant:true (List.map snd minimal) in
+      check Alcotest.string "byte-identical replay"
+        (Explore.to_string r1.Explore.taken)
+        (Explore.to_string r2.Explore.taken);
+      check Alcotest.bool "replayed violation message stable" true
+        (r1.Explore.violation = r2.Explore.violation)
+
+let test_no_bug_no_violation () =
+  (* Same fault envelope without the seeded bug: the default (crashing)
+     path through the same config must satisfy the oracle, so E16's
+     signal is the bug, not the crash. *)
+  let cfg =
+    E16.config ~procs:3 ~sessions:1 ~depth:4 ~store:true ~crash_budget:1 ()
+  in
+  let out = E16.run_one cfg ~tolerant:false [] in
+  check (Alcotest.option Alcotest.string) "default crash path is clean" None
+    out.Explore.violation
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    ( "explore.scheduler",
+      [
+        Alcotest.test_case "picker sees channel heads" `Quick
+          test_picker_sees_channel_heads;
+        Alcotest.test_case "per-channel delivery counter" `Quick
+          test_delivery_counter_k;
+        Alcotest.test_case "internal timers bound deliveries" `Quick
+          test_internal_bounds_deliveries;
+        Alcotest.test_case "choice occurrence counting" `Quick
+          test_choice_occurrence_counting;
+      ] );
+    ( "explore.dfs",
+      [
+        Alcotest.test_case "naive counts 4! schedules" `Quick
+          test_toy_naive_counts;
+        Alcotest.test_case "DPOR sound and smaller" `Quick
+          test_toy_dpor_sound_and_smaller;
+        Alcotest.test_case "violation replay deterministic" `Quick
+          test_toy_replay_deterministic;
+        Alcotest.test_case "schedule text round-trip" `Quick
+          test_schedule_round_trip;
+      ] );
+    ( "explore.oracle",
+      [
+        Alcotest.test_case "zombie bug found and shrunk" `Quick
+          test_zombie_bug_found;
+        Alcotest.test_case "no bug, no violation" `Quick
+          test_no_bug_no_violation;
+      ] );
+  ]

@@ -559,6 +559,56 @@ let prop_causal_random_order =
       && Causal.pending receiver = 0
       && order_ok delivered)
 
+(* ------------------------------------------------------------------ *)
+(* View-ordering under exploration: across every explored delivery
+   schedule of a three-daemon merge (bounded to 8 branch points), no
+   member may ever install views out of its local order.  This drives
+   the merge through the engine's scheduler interface instead of one
+   seeded schedule. *)
+
+let merge_run plan =
+  let engine, gcs, rec_ = make ~n:3 () in
+  List.iter (fun p -> Gcs.join gcs p "g") (Gcs.servers gcs);
+  let exec = Haf_explore.Explore.Exec.attach ~plan ~max_branches:8 engine in
+  Engine.run ~until:2.5 engine;
+  let violation =
+    List.find_map
+      (fun p ->
+        let installed =
+          List.rev
+            (List.filter_map
+               (fun (q, v) ->
+                 if q = p && String.equal v.View.group "g" then Some v.View.id
+                 else None)
+               rec_.views)
+        in
+        let rec monotone = function
+          | a :: (b :: _ as rest) ->
+              if View.Id.compare a b >= 0 then
+                Some
+                  (Printf.sprintf "process %d installed non-increasing views"
+                     p)
+              else monotone rest
+          | _ -> None
+        in
+        monotone installed)
+      (Gcs.servers gcs)
+  in
+  Haf_explore.Explore.Exec.detach exec;
+  Haf_explore.Explore.Exec.outcome exec ~violation
+
+let test_view_order_all_schedules () =
+  let stats, violations =
+    Haf_explore.Explore.explore ~run:merge_run ~max_depth:8
+      ~indep:Haf_explore.Explore.indep ~stop_on_violation:true ()
+  in
+  (match violations with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "%s" v.Haf_explore.Explore.message);
+  Alcotest.(check bool)
+    "explored more than one schedule" true
+    (stats.Haf_explore.Explore.schedules > 1)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suite =
@@ -578,6 +628,8 @@ let suite =
           test_restarted_process_not_muted;
         Alcotest.test_case "two groups independent" `Quick test_two_groups_independent;
         Alcotest.test_case "overlapping groups" `Quick test_overlapping_groups;
+        Alcotest.test_case "view order across all explored schedules" `Quick
+          test_view_order_all_schedules;
       ] );
     ( "gcs.ordering",
       [

@@ -25,7 +25,9 @@ let test_r1_violation () =
   check_rules "Sys.time flagged even in test/" [ "R1" ]
     (lint "test/test_foo.ml" {|let t = Sys.time ()|});
   check_rules "Random flagged in lib/store" [ "R1" ]
-    (lint "lib/store/disk.ml" {|let torn () = Random.bool ()|})
+    (lint "lib/store/disk.ml" {|let torn () = Random.bool ()|});
+  check_rules "Random flagged in lib/explore" [ "R1" ]
+    (lint "lib/explore/explore.ml" {|let pick xs = List.nth xs (Random.int 2)|})
 
 let test_r1_clean () =
   check_rules "Sim.Rng is the sanctioned source" []
@@ -57,7 +59,11 @@ let test_r2_violation () =
   check_rules "bare compare flagged in lib/chaos" [ "R2" ]
     (lint "lib/chaos/chaos.ml" {|let order xs = List.sort compare xs|});
   check_rules "Marshal flagged in lib/monitor" [ "R2" ]
-    (lint "lib/monitor/monitor.ml" {|let enc x = Marshal.to_string x []|})
+    (lint "lib/monitor/monitor.ml" {|let enc x = Marshal.to_string x []|});
+  (* The explorer is protocol code as well: decision keys and schedule
+     text must be deterministic for prefixes to replay. *)
+  check_rules "bare compare flagged in lib/explore" [ "R2" ]
+    (lint "lib/explore/explore.ml" {|let order xs = List.sort compare xs|})
 
 let test_r2_out_of_scope () =
   check_rules "bare compare fine outside protocol dirs" []
@@ -84,7 +90,9 @@ let test_r3_violation () =
   check_rules "Hashtbl.iter flagged in lib/store" [ "R3" ]
     (lint "lib/store/store.ml" {|let each f t = Hashtbl.iter f t|});
   check_rules "Hashtbl.iter flagged in lib/monitor" [ "R3" ]
-    (lint "lib/monitor/monitor.ml" {|let each f t = Hashtbl.iter f t|})
+    (lint "lib/monitor/monitor.ml" {|let each f t = Hashtbl.iter f t|});
+  check_rules "Hashtbl.iter flagged in lib/explore" [ "R3" ]
+    (lint "lib/explore/spec.ml" {|let each f t = Hashtbl.iter f t|})
 
 let test_r3_clean () =
   check_rules "Det_tbl iteration passes" []

@@ -153,6 +153,40 @@ let test_engine_cancel () =
   Engine.run e;
   check Alcotest.bool "cancelled never fires" false !fired
 
+let test_engine_cancel_purge () =
+  (* A long-lived run that keeps scheduling and cancelling (the
+     retransmission pattern) must not let dead entries pile up in the
+     queue: once more than half the heap is cancelled it is purged, and
+     [pending] counts live timers only throughout. *)
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let timers =
+    List.init 100 (fun i ->
+        Engine.schedule_at e ~time:(10. +. float_of_int i) (fun () -> incr fired))
+  in
+  check Alcotest.int "all queued" 100 (Engine.heap_size e);
+  check Alcotest.int "all pending" 100 (Engine.pending e);
+  (* Below the half-dead threshold nothing is reclaimed eagerly... *)
+  List.iteri (fun i tm -> if i < 20 then Engine.cancel tm) timers;
+  check Alcotest.int "dead entries linger below threshold" 100 (Engine.heap_size e);
+  check Alcotest.int "pending excludes cancelled" 80 (Engine.pending e);
+  (* ...but crossing it triggers the rebuild. *)
+  List.iteri (fun i tm -> if i < 60 then Engine.cancel tm) timers;
+  check Alcotest.bool "purge dropped dead entries" true (Engine.heap_size e < 60);
+  check Alcotest.int "pending still exact" 40 (Engine.pending e);
+  Engine.run e;
+  check Alcotest.int "survivors all fire" 40 !fired;
+  check Alcotest.int "drained" 0 (Engine.pending e)
+
+let test_engine_cancel_periodic_purge () =
+  (* Cancelling periodic timers releases their queue entries too. *)
+  let e = Engine.create () in
+  let timers = List.init 50 (fun _ -> Engine.every e ~period:1.0 (fun () -> ())) in
+  ignore (Engine.schedule_at e ~time:100. (fun () -> ()));
+  List.iter Engine.cancel timers;
+  check Alcotest.int "only the one-shot left" 1 (Engine.pending e);
+  check Alcotest.bool "heap purged" true (Engine.heap_size e <= 26)
+
 let test_engine_until () =
   let e = Engine.create () in
   let fired = ref [] in
@@ -266,6 +300,9 @@ let suite =
         Alcotest.test_case "fifo ties" `Quick test_engine_fifo_ties;
         Alcotest.test_case "clock advances" `Quick test_engine_clock_advances;
         Alcotest.test_case "cancel" `Quick test_engine_cancel;
+        Alcotest.test_case "cancelled timers purged" `Quick test_engine_cancel_purge;
+        Alcotest.test_case "cancelled periodics purged" `Quick
+          test_engine_cancel_periodic_purge;
         Alcotest.test_case "run until" `Quick test_engine_until;
         Alcotest.test_case "periodic" `Quick test_engine_periodic;
         Alcotest.test_case "periodic first" `Quick test_engine_periodic_first;
