@@ -1,21 +1,43 @@
 (* haf-lint: determinism & protocol-hygiene static analysis.
 
-   Usage: haf_lint [--json] [--rules] PATH...
+   Usage: haf_lint [--deep] [--json] [--rules] PATH...
 
-   Exit status: 0 clean, 1 violations found, 2 usage error.  All
-   diagnostics go to stdout ("file:line: [rule] message", or a JSON
-   array with --json); the summary line goes to stderr so piping the
-   findings stays clean. *)
+   Two tiers.  The lexical tier (always on) parses sources and applies
+   R1-R5.  [--deep] additionally loads compiled typedtrees (.cmt under
+   the given paths, or _build/default/...) and applies R6-R9 — so it
+   needs a `dune build` first.
 
-let usage = "usage: haf_lint [--json] [--rules] PATH..."
+   Exit status: 0 clean, 2 usage error.  Findings set bits: 1 for
+   lexical/syntax/pragma findings, and with --deep, 4 for R6, 8 for
+   R7, 16 for R8, 32 for R9 — so CI can tell which protocol invariant
+   broke from the status alone.  Diagnostics go to stdout
+   ("file:line: [rule] message"; --json emits a schema-v1 array, or
+   the schema-v2 object under --deep); the summary line goes to stderr
+   so piping the findings stays clean. *)
+
+let usage = "usage: haf_lint [--deep] [--json] [--rules] PATH..."
+
+let deep_bits = [ ("R6", 4); ("R7", 8); ("R8", 16); ("R9", 32) ]
+
+let exit_bits diags =
+  List.fold_left
+    (fun bits (d : Haf_lint.Diagnostic.t) ->
+      bits
+      lor
+      match List.assoc_opt d.Haf_lint.Diagnostic.rule deep_bits with
+      | Some bit -> bit
+      | None -> 1)
+    0 diags
 
 let () =
   let json = ref false in
   let rules = ref false in
+  let deep = ref false in
   let paths = ref [] in
   let spec =
     [
-      ("--json", Arg.Set json, " emit diagnostics as a JSON array (for CI)");
+      ("--deep", Arg.Set deep, " also run R6-R9 over compiled typedtrees");
+      ("--json", Arg.Set json, " emit diagnostics as JSON (for CI)");
       ("--rules", Arg.Set rules, " list the rule set and exit");
     ]
   in
@@ -34,18 +56,33 @@ let () =
       prerr_endline usage;
       exit 2
   | paths ->
-      let diags =
+      let lexical =
         try Haf_lint.Driver.lint_paths paths
         with Sys_error msg ->
           Printf.eprintf "haf-lint: %s\n" msg;
           exit 2
       in
-      if !json then print_endline (Haf_lint.Diagnostic.list_to_json diags)
+      let diags =
+        if not !deep then lexical
+        else
+          match Haf_lint.Deep.run paths with
+          | Ok deep_diags ->
+              List.sort_uniq Haf_lint.Diagnostic.compare
+                (lexical @ deep_diags)
+          | Error msg ->
+              Printf.eprintf "haf-lint: %s\n" msg;
+              exit 2
+      in
+      if !json then
+        print_endline
+          (if !deep then Haf_lint.Diagnostic.report_to_json diags
+           else Haf_lint.Diagnostic.list_to_json diags)
       else begin
         List.iter
           (fun d -> print_endline (Haf_lint.Diagnostic.to_string d))
           diags;
-        Printf.eprintf "haf-lint: %d violation%s\n" (List.length diags)
+        Printf.eprintf "haf-lint: %d violation%s%s\n" (List.length diags)
           (if List.length diags = 1 then "" else "s")
+          (if !deep then " (deep tier on)" else "")
       end;
-      exit (Haf_lint.Driver.exit_code diags)
+      exit (if !deep then exit_bits diags else Haf_lint.Driver.exit_code diags)

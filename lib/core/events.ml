@@ -43,6 +43,10 @@ type t =
       crc_mismatch : bool;
       snapshot_lost : bool;
     }
+[@@haf.protocol]
+(* Deep-lint R6: dispatches over the event timeline in protocol code
+   (monitor, explore oracle) must enumerate every constructor, so a new
+   event cannot silently bypass an invariant checker. *)
 
 type sink = {
   mutable items : (float * t) list;  (* newest first *)

@@ -42,10 +42,19 @@ module Make (S : Service_intf.SERVICE) = struct
         records : S.context Unit_db.record list;
       }
     | Request of { session_id : string; seq : int; body : S.request }
+  [@@haf.protocol]
 
   type p2p_msg =
     | Unit_list of string list
-    | Granted of { session_id : string; unit_id : string; primary : int }
+    | Granted of {
+        session_id : string;
+        unit_id : string;
+        primary : int;
+      } [@haf.ack]
+        (* The session-establishment ack: deep-lint R7 proves every
+           emission is dominated by a stable-store sync (or the no-store
+           arm), so a crash after the client hears Granted cannot forget
+           the session. *)
     | Response of { session_id : string; id : int; body : S.response }
     | Handoff of {
         session_id : string;
@@ -54,6 +63,7 @@ module Make (S : Service_intf.SERVICE) = struct
         applied : int list;
         at : float;
       }
+  [@@haf.protocol]
 
   (* Group/p2p messages carry the service functor's abstract types, so a
      hand-written codec is impossible here; the bytes stay inside the
@@ -755,7 +765,11 @@ module Make (S : Service_intf.SERVICE) = struct
       | None
         when match (msg, us.u_view) with
              | State_digest { vid; _ }, Some v -> View.Id.equal vid v.View.id
-             | _ -> false -> (
+             | State_digest _, None -> false
+             | ( ( List_units _ | Start_session _ | Propagate _
+                 | End_session _ | State_delta _ | Request _ ),
+                 _ ) ->
+                 false -> (
           (* A member started an exchange for our current view that we
              classified as crash-only: it rejoined so fast that we never
              saw it leave, so the join that is a state-exchange trigger
@@ -808,7 +822,9 @@ module Make (S : Service_intf.SERVICE) = struct
                 us.u_id xsender
                 (Format.asprintf "%a" View.Id.pp vid)
                 (Format.asprintf "%a" View.Id.pp ex.ex_vid)
-          | other -> ex.ex_deferred <- (sender, other) :: ex.ex_deferred)
+          | ( List_units _ | Start_session _ | Propagate _ | End_session _
+            | Request _ ) as other ->
+              ex.ex_deferred <- (sender, other) :: ex.ex_deferred)
       | None -> process_content_msg t us ~sender msg
 
     (* -------------------------------------------------------------- *)
@@ -869,7 +885,11 @@ module Make (S : Service_intf.SERVICE) = struct
               match (Naming.session_of group, msg) with
               | Some _, Request { session_id; seq; body } ->
                   on_request t ~session_id ~seq ~body
-              | _, _ -> ())
+              | None, Request _ -> ()
+              | ( _,
+                  ( List_units _ | Start_session _ | Propagate _
+                  | End_session _ | State_digest _ | State_delta _ ) ) ->
+                  ())
 
     let on_p2p t ~sender:_ payload =
       if t.running then

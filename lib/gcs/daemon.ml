@@ -615,7 +615,12 @@ let on_raw t ~src payload =
         record_adverts t src adverts;
         send_raw t src (Wire.Pong { adverts = my_adverts t })
     | Wire.Pong { adverts } -> record_adverts t src adverts
-    | _ -> ()
+    (* Reliable-only traffic never legitimately arrives on the raw
+       datagram path; name every constructor (deep-lint R6) so a new
+       message kind must decide its transport explicitly. *)
+    | Wire.Propose _ | Wire.Flush_reply _ | Wire.Nack _ | Wire.Install _
+    | Wire.Data _ | Wire.Data_req _ | Wire.Open_send _ | Wire.Leave _
+    | Wire.P2p _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Public operations                                                   *)

@@ -39,6 +39,10 @@ type msg =
   | Open_send of { group : string; entry : entry; ttl : int }
   | Leave of { group : string; who : proc }
   | P2p of { payload : string }
+[@@haf.protocol]
+(* Deep-lint R6 (handler totality): every [match] over [msg] in protocol
+   code must name each constructor; adding one fails lint until every
+   daemon dispatch handles it. *)
 
 (* haf-lint: allow R2 — in-memory simulated wire format; bytes never cross
    a process boundary or feed a comparison, so Marshal is safe here. *)

@@ -39,6 +39,10 @@ let table =
     ( "R1",
       base_is "rng.ml",
       "lib/sim/rng.ml is the one sanctioned randomness source" );
+    ( "R8",
+      base_is "rng.ml",
+      "protocol code reaching Sim.Rng is the sanctioned path to \
+       randomness; R8 polices every other route" );
     ( "R5",
       ends_with "_intf.ml",
       "pure-interface modules (module types only) carry no .mli" );

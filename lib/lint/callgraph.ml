@@ -1,0 +1,244 @@
+type node = {
+  n_id : int;
+  n_file : string;
+  n_name : string;  (* global dotted name, e.g. "Haf_store.Store.sync" *)
+  n_loc : Location.t;
+  n_refs : (string * Location.t) list;
+      (* value references out of the body: same-unit uses as the
+         target's global name, cross-unit uses as dotted paths *)
+}
+
+type t = {
+  t_nodes : node array;
+  t_index : (string, int list) Hashtbl.t;  (* name suffix -> node ids *)
+}
+
+(* ---- pass 1: one pre-node per bound value, nested modules included -- *)
+
+type pre = {
+  p_name : string;
+  p_stamp : string;  (* Ident.unique_name of the binder *)
+  p_loc : Location.t;
+  p_expr : Typedtree.expression;
+}
+
+let rec collect_items ~prefix items acc =
+  List.iter
+    (fun (si : Typedtree.structure_item) ->
+      match si.Typedtree.str_desc with
+      | Typedtree.Tstr_value (_, vbs) ->
+          List.iter
+            (fun (vb : Typedtree.value_binding) ->
+              List.iter
+                (fun id ->
+                  acc :=
+                    {
+                      p_name = prefix ^ "." ^ Ident.name id;
+                      p_stamp = Ident.unique_name id;
+                      p_loc = vb.Typedtree.vb_loc;
+                      p_expr = vb.Typedtree.vb_expr;
+                    }
+                    :: !acc)
+                (Typedtree.pat_bound_idents vb.Typedtree.vb_pat))
+            vbs
+      | Typedtree.Tstr_module mb -> collect_binding ~prefix mb acc
+      | Typedtree.Tstr_recmodule mbs ->
+          List.iter (fun mb -> collect_binding ~prefix mb acc) mbs
+      | _ -> ())
+    items
+
+and collect_binding ~prefix (mb : Typedtree.module_binding) acc =
+  match mb.Typedtree.mb_id with
+  | Some id ->
+      collect_mod ~prefix:(prefix ^ "." ^ Ident.name id) mb.Typedtree.mb_expr
+        acc
+  | None -> ()
+
+(* Functor bodies are collected under the functor's own name (without
+   the parameter): [module F (X) = struct let f .. end] yields a node
+   [..F.f], and the alias map points applications [module A = F (X)]
+   back at [F]. *)
+and collect_mod ~prefix (me : Typedtree.module_expr) acc =
+  match me.Typedtree.mod_desc with
+  | Typedtree.Tmod_structure str ->
+      collect_items ~prefix str.Typedtree.str_items acc
+  | Typedtree.Tmod_functor (_, body) -> collect_mod ~prefix body acc
+  | Typedtree.Tmod_constraint (inner, _, _, _) -> collect_mod ~prefix inner acc
+  | Typedtree.Tmod_ident _ | Typedtree.Tmod_apply _
+  | Typedtree.Tmod_apply_unit _ | Typedtree.Tmod_unpack _ ->
+      ()
+
+(* ---- pass 2: references -------------------------------------------- *)
+
+let expand_alias aliases name =
+  match String.split_on_char '.' name with
+  | head :: rest -> (
+      (* one level of alias-chasing is enough for [module S = Store];
+         bound the loop so alias cycles cannot hang the linter *)
+      let rec chase head budget =
+        match List.assoc_opt head aliases with
+        | Some target when budget > 0 -> (
+            match String.split_on_char '.' target with
+            | [ single ] -> chase single (budget - 1)
+            | _ -> target)
+        | _ -> head
+      in
+      String.concat "." (chase head 4 :: rest))
+  | [] -> name
+
+let refs_of_expr ~stamps ~aliases expr =
+  let acc = ref [] in
+  let iterator =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.Typedtree.exp_desc with
+          | Typedtree.Texp_ident (path, _, _) -> (
+              match path with
+              | Path.Pident id -> (
+                  (* locals and parameters are invisible; only names
+                     bound by some node in the same unit resolve *)
+                  match Hashtbl.find_opt stamps (Ident.unique_name id) with
+                  | Some global ->
+                      acc := (global, e.Typedtree.exp_loc) :: !acc
+                  | None -> ())
+              | Path.Pdot _ ->
+                  acc :=
+                    ( Marks.dotted (expand_alias aliases (Path.name path)),
+                      e.Typedtree.exp_loc )
+                    :: !acc
+              | _ -> ())
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  iterator.expr iterator expr;
+  List.rev !acc
+
+(* ---- assembly ------------------------------------------------------- *)
+
+let components name = String.split_on_char '.' name
+
+let register_suffixes index name id =
+  let rec each comps =
+    match comps with
+    | [] | [ _ ] -> ()
+    | _ :: tl ->
+        let key = String.concat "." comps in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt index key) in
+        Hashtbl.replace index key (id :: prev);
+        each tl
+  in
+  each (components name)
+
+let build units =
+  let pres = ref [] in
+  let all = ref [] in
+  List.iter
+    (fun (u : Cmt_load.unit_) ->
+      let acc = ref [] in
+      collect_items
+        ~prefix:(Marks.dotted u.Cmt_load.u_modname)
+        u.Cmt_load.u_str.Typedtree.str_items acc;
+      pres := (u, List.rev !acc) :: !pres)
+    units;
+  List.iter
+    (fun ((u : Cmt_load.unit_), pre_list) ->
+      let stamps = Hashtbl.create 64 in
+      List.iter (fun p -> Hashtbl.replace stamps p.p_stamp p.p_name) pre_list;
+      let aliases = Marks.alias_map u in
+      List.iter
+        (fun p ->
+          all :=
+            ( u.Cmt_load.u_file,
+              p.p_name,
+              p.p_loc,
+              refs_of_expr ~stamps ~aliases p.p_expr )
+            :: !all)
+        pre_list)
+    (List.rev !pres);
+  let listed =
+    List.sort
+      (fun (f1, n1, _, _) (f2, n2, _, _) ->
+        match String.compare f1 f2 with
+        | 0 -> String.compare n1 n2
+        | c -> c)
+      !all
+  in
+  let t_nodes =
+    Array.of_list
+      (List.mapi
+         (fun i (n_file, n_name, n_loc, n_refs) ->
+           { n_id = i; n_file; n_name; n_loc; n_refs })
+         listed)
+  in
+  let t_index = Hashtbl.create 256 in
+  Array.iter (fun n -> register_suffixes t_index n.n_name n.n_id) t_nodes;
+  Hashtbl.iter
+    (fun key ids -> Hashtbl.replace t_index key (List.sort Int.compare ids))
+    (Hashtbl.copy t_index);
+  { t_nodes; t_index }
+
+let nodes t = Array.to_list t.t_nodes
+
+(* A reference resolves by trying the longest matching suffix of its
+   own components, so ["Haf_store.Store.sync"], ["Store.sync"] and
+   alias-expanded forms all land on the same node. *)
+let resolve t name =
+  let rec try_drop comps =
+    match comps with
+    | [] | [ _ ] -> []
+    | _ -> (
+        match Hashtbl.find_opt t.t_index (String.concat "." comps) with
+        | Some ids -> ids
+        | None -> try_drop (List.tl comps))
+  in
+  try_drop (components name)
+
+let callees t node =
+  List.concat_map (fun (name, _) -> resolve t name) node.n_refs
+  |> List.sort_uniq Int.compare
+  |> List.map (fun id -> t.t_nodes.(id))
+
+let find t ~suffix =
+  if String.contains suffix '.' then
+    match Hashtbl.find_opt t.t_index suffix with
+    | Some ids -> List.map (fun id -> t.t_nodes.(id)) ids
+    | None ->
+        Array.to_list t.t_nodes
+        |> List.filter (fun n -> String.equal n.n_name suffix)
+  else
+    Array.to_list t.t_nodes
+    |> List.filter (fun n ->
+           String.equal (Marks.last_component n.n_name) suffix)
+
+let reach t ~roots =
+  let n = Array.length t.t_nodes in
+  let parent = Array.make n (-2) in  (* -2 unseen, -1 root *)
+  let queue = Queue.create () in
+  List.iter
+    (fun r ->
+      if parent.(r.n_id) = -2 then (
+        parent.(r.n_id) <- -1;
+        Queue.add r.n_id queue))
+    (List.sort (fun a b -> Int.compare a.n_id b.n_id) roots);
+  let order = ref [] in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    order := id :: !order;
+    List.iter
+      (fun callee ->
+        if parent.(callee.n_id) = -2 then (
+          parent.(callee.n_id) <- id;
+          Queue.add callee.n_id queue))
+      (callees t t.t_nodes.(id))
+  done;
+  let chain id =
+    let rec up id acc =
+      if parent.(id) = -1 then t.t_nodes.(id) :: acc
+      else up parent.(id) (t.t_nodes.(id) :: acc)
+    in
+    up id []
+  in
+  List.rev_map (fun id -> (t.t_nodes.(id), chain id)) !order

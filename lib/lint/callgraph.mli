@@ -1,0 +1,37 @@
+(** Whole-program call graph over the loaded typedtrees.
+
+    Nodes are value bindings (top level and inside nested modules,
+    functors included); edges are resolved [Texp_ident] references.
+    Resolution is name-based across units — longest-suffix matching on
+    dotted names, with top-level [module S = Store] aliases expanded —
+    and stamp-based within a unit, so locals never shadow into the
+    graph.  The graph over-approximates: an unresolvable reference
+    simply contributes no edge. *)
+
+type node = {
+  n_id : int;
+  n_file : string;
+  n_name : string;  (** global dotted name, e.g. ["Haf_store.Store.sync"] *)
+  n_loc : Location.t;
+  n_refs : (string * Location.t) list;
+      (** every resolved value reference in the body, cross-unit ones
+          as dotted paths — R8 scans these for banned names *)
+}
+
+type t
+
+val build : Cmt_load.unit_ list -> t
+
+val nodes : t -> node list
+
+val callees : t -> node -> node list
+(** Deduplicated, in node-id order. *)
+
+val find : t -> suffix:string -> node list
+(** Nodes whose global name ends with [suffix] at a component
+    boundary; a bare name matches the last component. *)
+
+val reach : t -> roots:node list -> (node * node list) list
+(** Every node reachable from [roots] (roots included), each with a
+    breadth-first witness chain starting at a root and ending at the
+    node itself.  Deterministic: BFS in node-id order. *)

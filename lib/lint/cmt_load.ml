@@ -1,0 +1,47 @@
+type unit_ = {
+  u_file : string;
+  u_modname : string;
+  u_str : Typedtree.structure;
+}
+
+(* Unlike {!Driver.walk} this descends into dot/underscore directories:
+   cmt files live under _build/default/lib/X/.haf_x.objs/byte/. *)
+let rec find_cmts path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun entry -> find_cmts (Filename.concat path entry))
+  else if Filename.check_suffix path ".cmt" then [ path ]
+  else []
+
+let read path =
+  match Cmt_format.read_cmt path with
+  | infos -> (
+      match (infos.Cmt_format.cmt_annots, infos.Cmt_format.cmt_sourcefile) with
+      | Cmt_format.Implementation str, Some src
+        when Filename.check_suffix src ".ml" ->
+          Some
+            {
+              u_file = Allowlist.normalize src;
+              u_modname = infos.Cmt_format.cmt_modname;
+              u_str = str;
+            }
+      | _ -> None)
+  | exception _ -> None
+
+let load_tree root =
+  if Sys.file_exists root then find_cmts root |> List.filter_map read else []
+
+let load_roots paths =
+  let per_root root =
+    match load_tree root with
+    | [] ->
+        (* Running from the project root rather than inside _build: fall
+           back to the default build context for the same path. *)
+        load_tree (Filename.concat "_build/default" root)
+    | units -> units
+  in
+  List.concat_map per_root (List.map Allowlist.normalize paths)
+  |> List.sort_uniq (fun a b ->
+         match String.compare a.u_file b.u_file with
+         | 0 -> String.compare a.u_modname b.u_modname
+         | c -> c)

@@ -1,0 +1,23 @@
+(** Loading typedtrees for the deep tier.
+
+    The deep rules (R6–R9) need types and resolved paths, which the
+    parsetree cannot give; dune already produces [.cmt] files for every
+    compiled module, so the deep tier reads those instead of re-running
+    the type-checker. *)
+
+type unit_ = {
+  u_file : string;  (** source path as recorded by the compiler,
+                        normally relative to the dune root *)
+  u_modname : string;  (** e.g. ["Haf_sim__Engine"] *)
+  u_str : Typedtree.structure;
+}
+
+val read : string -> unit_ option
+(** Read one [.cmt].  [None] for interfaces, packed modules,
+    generated alias units ([.ml-gen]) and unreadable files. *)
+
+val load_roots : string list -> unit_ list
+(** All implementation units under the given directories, sorted and
+    deduplicated by source file.  A root with no [.cmt]s underneath is
+    retried under [_build/default/<root>], so [haf_lint --deep lib]
+    works from the project root after [dune build]. *)

@@ -1,0 +1,107 @@
+let read_file path =
+  match open_in_bin path with
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  | exception Sys_error _ -> None
+
+let unused_message rule =
+  Printf.sprintf
+    "unused [@haf.lint.allow %S]: it suppresses nothing; remove it or fix \
+     its scope"
+    rule
+
+let analyze ?(source = fun _ -> None) units =
+  let marks = List.concat_map Marks.protocol_types units in
+  let acks =
+    List.concat_map Marks.ack_constructors units
+    |> List.sort_uniq String.compare
+  in
+  let graph = Callgraph.build units in
+  (* Per-file suppression state: comment pragmas (from the source text,
+     when available) plus attribute pragmas (from the typedtree), and a
+     usage table for the unused-pragma warning. *)
+  let per_file = Hashtbl.create 16 in
+  List.iter
+    (fun (u : Cmt_load.unit_) ->
+      let file = u.Cmt_load.u_file in
+      if not (Hashtbl.mem per_file file) then begin
+        let comment_spans =
+          match source file with
+          | Some text -> Pragma.spans (Pragma.scan text)
+          | None -> []
+        in
+        let spans = comment_spans @ Marks.attr_pragmas u in
+        Hashtbl.replace per_file file
+          (spans, Pragma.of_spans spans, Hashtbl.create 8)
+      end)
+    units;
+  let allow ~file ~line ~rules =
+    List.fold_left
+      (fun acc rule ->
+        if Allowlist.allowed ~rule ~path:file then true
+        else
+          match Hashtbl.find_opt per_file file with
+          | None -> acc
+          | Some (_, pragmas, used) -> (
+              match Pragma.covering pragmas ~line ~rule with
+              | Some i ->
+                  Hashtbl.replace used (i, rule) ();
+                  true
+              | None -> acc))
+      false rules
+  in
+  let keep (d : Diagnostic.t) =
+    not
+      (allow ~file:d.Diagnostic.file ~line:d.Diagnostic.line
+         ~rules:[ d.Diagnostic.rule ])
+  in
+  let direct =
+    List.concat_map
+      (fun u -> Deep_rules.r6 ~marks u @ Deep_rules.r7 ~acks u @ Deep_rules.r9 u)
+      units
+    |> List.filter keep
+  in
+  let r8 = Deep_rules.r8 ~allow graph in
+  (* Usage tables are complete only now that every rule has run. *)
+  let unused =
+    Hashtbl.fold
+      (fun file (spans, _, used) acc ->
+        List.concat
+          (List.mapi
+             (fun i (s : Pragma.span) ->
+               if not s.Pragma.p_attr then []
+               else
+                 List.filter_map
+                   (fun rule ->
+                     if
+                       List.mem rule Rules.deep_rules
+                       && not (Hashtbl.mem used (i, rule))
+                     then
+                       Some
+                         (Diagnostic.make ~file ~line:s.Pragma.p_start
+                            ~rule:"pragma" (unused_message rule))
+                     else None)
+                   s.Pragma.p_rules)
+             spans)
+        @ acc)
+      per_file []
+  in
+  List.sort_uniq Diagnostic.compare (direct @ r8 @ unused)
+
+let run paths =
+  match Cmt_load.load_roots paths with
+  | [] ->
+      Error
+        (Printf.sprintf
+           "no .cmt files under %s (or _build/default/...): run `dune build` \
+            first — the deep tier reads compiled typedtrees"
+           (String.concat ", " paths))
+  | units ->
+      let source file =
+        match read_file file with
+        | Some text -> Some text
+        | None -> read_file (Filename.concat "_build/default" file)
+      in
+      Ok (analyze ~source units)

@@ -1,0 +1,21 @@
+(** The deep tier: R6–R9 over loaded typedtrees.
+
+    Suppression honours the same two pragma forms as the lexical tier —
+    [(* haf-lint: allow R8 — reason *)] comments (when the source text
+    is available) and [@haf.lint.allow] attributes — plus the static
+    {!Allowlist}.  Attribute pragmas naming deep rules that suppress
+    nothing yield ["pragma"]-rule findings. *)
+
+val analyze :
+  ?source:(string -> string option) ->
+  Cmt_load.unit_ list ->
+  Diagnostic.t list
+(** Run R6–R9 over the units.  [source] fetches a unit's source text
+    for comment-pragma scanning; absent or [None], only attribute
+    pragmas and the allowlist suppress. *)
+
+val run : string list -> (Diagnostic.t list, string) result
+(** Load every [.cmt] under the given roots (falling back to
+    [_build/default/<root>]) and {!analyze}, reading source text from
+    disk.  [Error] when no typedtrees are found — the tree has not
+    been built. *)

@@ -36,3 +36,24 @@ let to_json d =
 
 let list_to_json ds =
   "[" ^ String.concat "," (List.map to_json ds) ^ "]"
+
+(* Schema v2 (the --deep report): an object carrying the schema version,
+   per-rule counts and the diagnostics array, so CI consumers can branch
+   on the envelope instead of sniffing an array. *)
+let report_to_json ds =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      Hashtbl.replace counts d.rule
+        (1 + Option.value (Hashtbl.find_opt counts d.rule) ~default:0))
+    ds;
+  let rules =
+    Hashtbl.fold (fun rule n acc -> (rule, n) :: acc) counts []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (rule, n) ->
+           Printf.sprintf {|"%s":%d|} (json_escape rule) n)
+  in
+  Printf.sprintf {|{"schema":2,"total":%d,"rules":{%s},"diagnostics":%s}|}
+    (List.length ds)
+    (String.concat "," rules)
+    (list_to_json ds)

@@ -13,4 +13,8 @@ val to_string : t -> string
 val to_json : t -> string
 
 val list_to_json : t list -> string
-(** A JSON array, for [--json] CI output. *)
+(** A JSON array — the schema-v1 [--json] output of the lexical tier. *)
+
+val report_to_json : t list -> string
+(** Schema v2, emitted by [--deep --json]: an object
+    [{"schema":2,"total":N,"rules":{"R6":n,...},"diagnostics":[...]}]. *)

@@ -51,14 +51,112 @@ let parse ~path text =
               Format.asprintf "%t" report.Location.main.Location.txt )
       | Some `Already_displayed | None -> Failed (1, Printexc.to_string exn))
 
+(* Rule tokens out of a [@haf.lint.allow "R2 R8"] payload string. *)
+let pragma_rules_of_payload (payload : Parsetree.payload) =
+  match payload with
+  | Parsetree.PStr items ->
+      List.concat_map
+        (fun (it : Parsetree.structure_item) ->
+          match it.Parsetree.pstr_desc with
+          | Parsetree.Pstr_eval (e, _) -> (
+              match e.Parsetree.pexp_desc with
+              | Parsetree.Pexp_constant (Parsetree.Pconst_string (s, _, _)) ->
+                  String.split_on_char ' '
+                    (String.map (function ',' | ';' -> ' ' | c -> c) s)
+                  |> List.filter (fun w -> w <> "")
+              | _ -> [])
+          | _ -> [])
+        items
+  | _ -> []
+
+let pragma_span_of_attribute ~file_wide (loc : Location.t)
+    (a : Parsetree.attribute) =
+  if String.equal a.Parsetree.attr_name.Location.txt "haf.lint.allow" then
+    match
+      List.filter Pragma.is_rule_token
+        (pragma_rules_of_payload a.Parsetree.attr_payload)
+    with
+    | [] -> None
+    | rules ->
+        Some
+          (Pragma.attribute_span
+             ~start_line:loc.Location.loc_start.Lexing.pos_lnum
+             ~end_line:loc.Location.loc_end.Lexing.pos_lnum ~rules ~file_wide)
+  else None
+
+(* Attribute pragmas in the parsetree: floating [@@@haf.lint.allow "R6"]
+   items are file-wide; [let[@haf.lint.allow "R2"] f = ...] covers the
+   binding's own lines. *)
+let attr_spans_of_structure structure =
+  let acc = ref [] in
+  let add span = match span with Some s -> acc := s :: !acc | None -> () in
+  let iterator =
+    {
+      Ast_iterator.default_iterator with
+      structure_item =
+        (fun self si ->
+          (match si.Parsetree.pstr_desc with
+          | Parsetree.Pstr_attribute a ->
+              add (pragma_span_of_attribute ~file_wide:true si.Parsetree.pstr_loc a)
+          | _ -> ());
+          Ast_iterator.default_iterator.structure_item self si);
+      value_binding =
+        (fun self vb ->
+          List.iter
+            (fun a ->
+              add (pragma_span_of_attribute ~file_wide:false vb.Parsetree.pvb_loc a))
+            vb.Parsetree.pvb_attributes;
+          Ast_iterator.default_iterator.value_binding self vb);
+    }
+  in
+  iterator.structure iterator structure;
+  List.rev !acc
+
+(* Unused-attribute-pragma findings, restricted to the rules this run
+   actually checked: a pragma naming only deep rules is not "unused"
+   just because the lexical tier could not have used it. *)
+let unused_pragma_diags ~path ~checked_rules spans used =
+  List.concat
+    (List.mapi
+       (fun i (s : Pragma.span) ->
+         if not s.Pragma.p_attr then []
+         else
+           List.filter_map
+             (fun rule ->
+               if List.mem rule checked_rules && not (Hashtbl.mem used (i, rule))
+               then
+                 Some
+                   (Diagnostic.make ~file:path ~line:s.Pragma.p_start
+                      ~rule:"pragma"
+                      (Printf.sprintf
+                         "unused [@haf.lint.allow %S]: it suppresses \
+                          nothing; remove it or fix its scope"
+                         rule))
+               else None)
+             s.Pragma.p_rules)
+       spans)
+
 let lint_source ~path ?has_mli text =
-  let pragmas = Pragma.scan text in
+  let parsed = parse ~path text in
+  let spans =
+    Pragma.spans (Pragma.scan text)
+    @ (match parsed with
+      | Implementation structure -> attr_spans_of_structure structure
+      | Interface | Failed _ -> [])
+  in
+  let pragmas = Pragma.of_spans spans in
+  let used = Hashtbl.create 8 in
   let keep rule line =
-    (not (Allowlist.allowed ~rule ~path))
-    && not (Pragma.allows pragmas ~line ~rule)
+    if Allowlist.allowed ~rule ~path then false
+    else
+      match Pragma.covering pragmas ~line ~rule with
+      | Some i ->
+          Hashtbl.replace used (i, rule) ();
+          false
+      | None -> true
   in
   let ident_diags =
-    match parse ~path text with
+    match parsed with
     | Interface -> []
     | Failed (line, msg) ->
         [ Diagnostic.make ~file:path ~line ~rule:"syntax" msg ]
@@ -81,7 +179,10 @@ let lint_source ~path ?has_mli text =
         ]
     | Some _ | None -> []
   in
-  List.sort_uniq Diagnostic.compare (ident_diags @ mli_diags)
+  let unused_diags =
+    unused_pragma_diags ~path ~checked_rules:Rules.lexical_rules spans used
+  in
+  List.sort_uniq Diagnostic.compare (ident_diags @ mli_diags @ unused_diags)
 
 let read_file path =
   let ic = open_in_bin path in

@@ -1,0 +1,185 @@
+let dotted modname =
+  let buf = Buffer.create (String.length modname) in
+  let n = String.length modname in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && modname.[!i] = '_' && modname.[!i + 1] = '_' then (
+      Buffer.add_char buf '.';
+      i := !i + 2)
+    else (
+      Buffer.add_char buf modname.[!i];
+      incr i)
+  done;
+  Buffer.contents buf
+
+let last_component name =
+  match List.rev (String.split_on_char '.' name) with
+  | last :: _ -> last
+  | [] -> name
+
+let has_attr name (attrs : Parsetree.attributes) =
+  List.exists
+    (fun (a : Parsetree.attribute) ->
+      String.equal a.Parsetree.attr_name.Location.txt name)
+    attrs
+
+type protocol_type = { d_file : string; d_module : string; d_name : string }
+
+let protocol_types (u : Cmt_load.unit_) =
+  let acc = ref [] in
+  let d_module = last_component (dotted u.Cmt_load.u_modname) in
+  let iterator =
+    {
+      Tast_iterator.default_iterator with
+      type_declaration =
+        (fun self td ->
+          if has_attr "haf.protocol" td.Typedtree.typ_attributes then
+            acc :=
+              {
+                d_file = u.Cmt_load.u_file;
+                d_module;
+                d_name = td.Typedtree.typ_name.Location.txt;
+              }
+              :: !acc;
+          Tast_iterator.default_iterator.type_declaration self td);
+    }
+  in
+  iterator.structure iterator u.Cmt_load.u_str;
+  List.rev !acc
+
+(* Constructor names carrying [@haf.ack] — the protocol's acknowledgement
+   messages, the subjects of R7. *)
+let ack_constructors (u : Cmt_load.unit_) =
+  let acc = ref [] in
+  let iterator =
+    {
+      Tast_iterator.default_iterator with
+      type_declaration =
+        (fun self td ->
+          (match td.Typedtree.typ_kind with
+          | Typedtree.Ttype_variant cds ->
+              List.iter
+                (fun (cd : Typedtree.constructor_declaration) ->
+                  if has_attr "haf.ack" cd.Typedtree.cd_attributes then
+                    acc := cd.Typedtree.cd_name.Location.txt :: !acc)
+                cds
+          | _ -> ());
+          Tast_iterator.default_iterator.type_declaration self td);
+    }
+  in
+  iterator.structure iterator u.Cmt_load.u_str;
+  List.rev !acc
+
+(* Top-level-reachable value bindings marked [@hot] (or [@haf.hot]),
+   the subjects of R9. *)
+let hot_bindings (u : Cmt_load.unit_) =
+  let acc = ref [] in
+  let iterator =
+    {
+      Tast_iterator.default_iterator with
+      value_binding =
+        (fun self vb ->
+          (if
+             has_attr "hot" vb.Typedtree.vb_attributes
+             || has_attr "haf.hot" vb.Typedtree.vb_attributes
+           then
+             match Typedtree.pat_bound_idents vb.Typedtree.vb_pat with
+             | [ id ] ->
+                 acc :=
+                   (Ident.name id, vb.Typedtree.vb_expr, vb.Typedtree.vb_loc)
+                   :: !acc
+             | _ -> ());
+          Tast_iterator.default_iterator.value_binding self vb);
+    }
+  in
+  iterator.structure iterator u.Cmt_load.u_str;
+  List.rev !acc
+
+let pragma_string_of_payload (payload : Parsetree.payload) =
+  match payload with
+  | Parsetree.PStr
+      [
+        {
+          Parsetree.pstr_desc =
+            Parsetree.Pstr_eval
+              ( {
+                  Parsetree.pexp_desc =
+                    Parsetree.Pexp_constant (Parsetree.Pconst_string (s, _, _));
+                  _;
+                },
+                _ );
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+let rules_of_payload payload =
+  match pragma_string_of_payload payload with
+  | None -> []
+  | Some s ->
+      String.split_on_char ' '
+        (String.map (function ',' | ';' -> ' ' | c -> c) s)
+      |> List.filter Pragma.is_rule_token
+
+let span_of_attr ~file_wide (loc : Location.t) (a : Parsetree.attribute) =
+  if String.equal a.Parsetree.attr_name.Location.txt "haf.lint.allow" then
+    match rules_of_payload a.Parsetree.attr_payload with
+    | [] -> None
+    | rules ->
+        Some
+          (Pragma.attribute_span
+             ~start_line:loc.Location.loc_start.Lexing.pos_lnum
+             ~end_line:loc.Location.loc_end.Lexing.pos_lnum ~rules ~file_wide)
+  else None
+
+(* Attribute pragmas as seen from the typedtree, mirroring
+   {!Driver}'s parsetree collection for deep-tier suppression. *)
+let attr_pragmas (u : Cmt_load.unit_) =
+  let acc = ref [] in
+  let add s = match s with Some s -> acc := s :: !acc | None -> () in
+  let iterator =
+    {
+      Tast_iterator.default_iterator with
+      structure_item =
+        (fun self si ->
+          (match si.Typedtree.str_desc with
+          | Typedtree.Tstr_attribute a ->
+              add (span_of_attr ~file_wide:true si.Typedtree.str_loc a)
+          | _ -> ());
+          Tast_iterator.default_iterator.structure_item self si);
+      value_binding =
+        (fun self vb ->
+          List.iter
+            (fun a -> add (span_of_attr ~file_wide:false vb.Typedtree.vb_loc a))
+            vb.Typedtree.vb_attributes;
+          Tast_iterator.default_iterator.value_binding self vb);
+    }
+  in
+  iterator.structure iterator u.Cmt_load.u_str;
+  List.rev !acc
+
+(* [module S = Store] aliases at the unit's top level, so a name
+   reference through [S.sync] resolves to ["Store.sync"].  Functor
+   applications map the alias to the functor ([module M = F (X)] gives
+   [M -> F]): the call graph names functor-body bindings under the
+   functor itself. *)
+let alias_map (u : Cmt_load.unit_) =
+  let rec head_of (me : Typedtree.module_expr) =
+    match me.Typedtree.mod_desc with
+    | Typedtree.Tmod_ident (path, _) -> Some (Path.name path)
+    | Typedtree.Tmod_apply (f, _, _) -> head_of f
+    | Typedtree.Tmod_constraint (inner, _, _, _) -> head_of inner
+    | _ -> None
+  in
+  let acc = ref [] in
+  List.iter
+    (fun (si : Typedtree.structure_item) ->
+      match si.Typedtree.str_desc with
+      | Typedtree.Tstr_module mb -> (
+          match (mb.Typedtree.mb_id, head_of mb.Typedtree.mb_expr) with
+          | Some id, Some target -> acc := (Ident.name id, target) :: !acc
+          | _ -> ())
+      | _ -> ())
+    u.Cmt_load.u_str.Typedtree.str_items;
+  List.rev !acc

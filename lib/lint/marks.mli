@@ -1,0 +1,38 @@
+(** Harvesting deep-lint marker attributes from typedtrees.
+
+    The deep rules are driven by in-source marks rather than hard-coded
+    type lists: [@@haf.protocol] on a variant makes R6 police its
+    matches, [@haf.ack] on a constructor makes R7 police its emissions,
+    and [\[@hot\]] on a binding makes R9 police its body. *)
+
+val dotted : string -> string
+(** Compiler module names use ["__"] for nesting
+    (["Haf_sim__Engine"]); [dotted] rewrites to ["Haf_sim.Engine"]. *)
+
+val last_component : string -> string
+
+type protocol_type = {
+  d_file : string;
+  d_module : string;  (** last component of the declaring module *)
+  d_name : string;  (** the type constructor's own name *)
+}
+
+val protocol_types : Cmt_load.unit_ -> protocol_type list
+(** Type declarations carrying [@@haf.protocol]. *)
+
+val ack_constructors : Cmt_load.unit_ -> string list
+(** Constructor names carrying [@haf.ack]. *)
+
+val hot_bindings :
+  Cmt_load.unit_ -> (string * Typedtree.expression * Location.t) list
+(** Single-name value bindings carrying [\[@hot\]] or [\[@haf.hot\]]. *)
+
+val attr_pragmas : Cmt_load.unit_ -> Pragma.span list
+(** [@haf.lint.allow] attribute spans, as {!Driver} collects them from
+    the parsetree: floating attributes are file-wide, binding
+    attributes cover the binding's lines. *)
+
+val alias_map : Cmt_load.unit_ -> (string * string) list
+(** Top-level [module S = Store] (and [module M = F (X)], mapped to
+    [F]) aliases, for expanding the first component of name
+    references. *)

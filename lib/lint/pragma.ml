@@ -3,9 +3,23 @@ type span = {
   p_end : int;
   p_rules : string list;
   p_file_wide : bool;
+  p_attr : bool;  (* [@haf.lint.allow]-style, eligible for unused warnings *)
 }
 
 type t = span list
+
+let spans t = t
+
+let of_spans s = s
+
+let attribute_span ~start_line ~end_line ~rules ~file_wide =
+  {
+    p_start = start_line;
+    p_end = end_line;
+    p_rules = rules;
+    p_file_wide = file_wide;
+    p_attr = true;
+  }
 
 let is_rule_token tok =
   String.length tok >= 2
@@ -48,6 +62,7 @@ let parse_comment ~start_line ~end_line body =
                 p_end = end_line;
                 p_rules = rules;
                 p_file_wide = directive = "allow-file";
+                p_attr = false;
               }
       | _ -> None)
   | None -> None
@@ -152,9 +167,22 @@ let scan text =
   done;
   List.rev !spans
 
-let allows t ~line ~rule =
-  List.exists
-    (fun s ->
-      List.mem rule s.p_rules
-      && (s.p_file_wide || (line >= s.p_start && line <= s.p_end + 1)))
-    t
+(* Comment pragmas cover their own lines plus the next (the "pragma
+   above the offender" idiom); attribute spans already carry the exact
+   extent of the construct they annotate, so they do not spill over. *)
+let span_allows s ~line ~rule =
+  List.mem rule s.p_rules
+  && (s.p_file_wide
+     || (line >= s.p_start && line <= s.p_end + if s.p_attr then 0 else 1))
+
+let allows t ~line ~rule = List.exists (fun s -> span_allows s ~line ~rule) t
+
+(* Index of the first span covering (line, rule): lets callers record
+   which pragma did the suppressing, so attribute pragmas that never
+   suppress anything can be reported as rot. *)
+let covering t ~line ~rule =
+  let rec go i = function
+    | [] -> None
+    | s :: rest -> if span_allows s ~line ~rule then Some i else go (i + 1) rest
+  in
+  go 0 t

@@ -130,4 +130,20 @@ let descriptions =
     ("R3", "no unordered Hashtbl iteration over protocol state");
     ("R4", "no direct stdout/stderr in lib/ (use Sim.Trace / Stats)");
     ("R5", "every lib/**/*.ml has a matching .mli");
+    ("R6",
+     "(deep) handler totality: no catch-all arms over [@@haf.protocol] \
+      message/event types in protocol dispatch");
+    ("R7",
+     "(deep) durable-before-ack: every [@haf.ack] emission is dominated \
+      by a Store.sync/Store.append (or the explicit no-store arm)");
+    ("R8",
+     "(deep) transitive determinism: protocol code cannot reach ambient \
+      time/randomness/polymorphic compare through helpers in other dirs");
+    ("R9",
+     "(deep) hot-path allocation: no closures, @-appends or polymorphic \
+      comparisons inside [@hot] functions");
   ]
+
+let deep_rules = [ "R6"; "R7"; "R8"; "R9" ]
+
+let lexical_rules = [ "R1"; "R2"; "R3"; "R4"; "R5" ]

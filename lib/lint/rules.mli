@@ -42,3 +42,15 @@ val missing_mli_message : string -> string
 
 val descriptions : (string * string) list
 (** [(rule id, one-line summary)], for [--rules] output. *)
+
+val protocol_dirs : string -> bool
+(** Is this (normalized) path protocol code — [lib/gcs], [lib/core],
+    [lib/store], [lib/chaos], [lib/monitor], [lib/explore]?  Shared
+    scope predicate for R2/R3 and the deep tier (R6 dispatch sites, R8
+    entry points). *)
+
+val deep_rules : string list
+(** The typedtree/call-graph tier: R6–R9. *)
+
+val lexical_rules : string list
+(** The parsetree tier: R1–R5. *)

@@ -1,0 +1,33 @@
+let initialized = ref false
+
+let init () =
+  if not !initialized then begin
+    initialized := true;
+    Compmisc.init_path ();
+    (* Fixtures deliberately contain code the compiler grumbles about
+       (catch-alls, unused values); keep their noise out of test logs. *)
+    Location.warning_reporter := (fun _ _ -> None);
+    Location.alert_reporter := (fun _ _ -> None)
+  end
+
+type result = { tc_str : Typedtree.structure; tc_sig : Types.signature }
+
+let structure ?(filename = "fixture.ml") ?(opens = []) src =
+  init ();
+  let env = Compmisc.initial_env () in
+  let env =
+    List.fold_left
+      (fun env (name, sg) ->
+        Env.add_module (Ident.create_persistent name) Types.Mp_present
+          (Types.Mty_signature sg) env)
+      env opens
+  in
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf filename;
+  let parsed = Parse.implementation lexbuf in
+  let tstr, sg, _, _, _ = Typemod.type_structure env parsed in
+  { tc_str = tstr; tc_sig = sg }
+
+let unit_ ?(file = "fixture.ml") ?(modname = "Fixture") ?opens src =
+  let r = structure ~filename:file ?opens src in
+  ({ Cmt_load.u_file = file; u_modname = modname; u_str = r.tc_str }, r.tc_sig)

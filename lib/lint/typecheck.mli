@@ -1,0 +1,29 @@
+(** In-process type-checking of test fixtures.
+
+    The deep-tier tests need typedtrees without shelling out to dune:
+    this runs the compiler's own [Typemod] over a source string against
+    the initial environment.  [opens] injects previously-checked units
+    as persistent modules, so a fixture can reference [Helper.f]
+    cross-unit. *)
+
+type result = { tc_str : Typedtree.structure; tc_sig : Types.signature }
+
+val init : unit -> unit
+(** Idempotent: set up the load path and silence compiler warnings. *)
+
+val structure :
+  ?filename:string ->
+  ?opens:(string * Types.signature) list ->
+  string ->
+  result
+(** Raises on parse or type errors — fixtures are expected to be
+    well-typed. *)
+
+val unit_ :
+  ?file:string ->
+  ?modname:string ->
+  ?opens:(string * Types.signature) list ->
+  string ->
+  Cmt_load.unit_ * Types.signature
+(** Package a checked fixture as a loadable unit for {!Deep.analyze};
+    also returns the signature for chaining through [opens]. *)

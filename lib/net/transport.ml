@@ -11,8 +11,12 @@ type wire =
   | Ack of { conn : int; cum : int }
   | Raw of string
 
+(* haf-lint: allow R8 — in-memory simulated wire format, reached from
+   protocol senders; bytes never cross a process boundary or feed a
+   comparison, so Marshal is safe here. *)
 let encode (w : wire) = Marshal.to_string w []
 
+(* haf-lint: allow R8 — see [encode]. *)
 let decode (s : string) : wire = Marshal.from_string s 0
 
 type sender_channel = {
@@ -102,7 +106,7 @@ let sender_channel t ~src ~dst =
    (heartbeats) stay [Internal] — they carry no protocol payload, and
    leaving them out of the choice-point set keeps the explored branching
    factor tractable. *)
-let transmit t ~src ~dst ch seq payload =
+let[@hot] transmit t ~src ~dst ch seq payload =
   Network.send t.net
     ~label:(Engine.Deliver { src; dst })
     ~src ~dst
@@ -112,7 +116,7 @@ let retransmit_all t ~src ~dst ch =
   let seqs = Hashtbl.fold (fun seq _ acc -> seq :: acc) ch.unsent [] in
   List.iter
     (fun seq -> transmit t ~src ~dst ch seq (Hashtbl.find ch.unsent seq))
-    (List.sort compare seqs)
+    (List.sort Int.compare seqs)
 
 (* A channel that has been silent past the give-up threshold is dead:
    cancel its timer, drop the queue and forget the channel entirely, so
@@ -151,21 +155,26 @@ let rec arm_timer t ~src ~dst ch =
            end
            else ch.backoff <- t.rto))
 
-let send t ~src ~dst payload =
+let[@hot] send t ~src ~dst payload =
   let ch = sender_channel t ~src ~dst in
   let seq = ch.next_seq in
   ch.next_seq <- seq + 1;
   Hashtbl.replace ch.unsent seq payload;
-  if ch.stalled_since = None then ch.stalled_since <- Some (Engine.now t.engine);
+  (match ch.stalled_since with
+  | None -> ch.stalled_since <- Some (Engine.now t.engine)
+  | Some _ -> ());
   transmit t ~src ~dst ch seq payload;
-  if ch.timer = None then arm_timer t ~src ~dst ch
+  match ch.timer with None -> arm_timer t ~src ~dst ch | Some _ -> ()
 
-let handle_ack t ~src:dst ~me:src conn cum =
+let[@hot] handle_ack t ~src:dst ~me:src conn cum =
   match Hashtbl.find_opt t.senders (src, dst) with
   | Some ch when ch.conn = conn ->
-      let acked = ref [] in
-      Hashtbl.iter (fun seq _ -> if seq <= cum then acked := seq :: !acked) ch.unsent;
-      List.iter (Hashtbl.remove ch.unsent) !acked;
+      (* Every queued seq is >= lowest_unacked, so a bounded removal scan
+         covers exactly the acked prefix without allocating a closure or
+         an intermediate list on this per-ack path (deep-lint R9). *)
+      for seq = ch.lowest_unacked to Int.min cum (ch.next_seq - 1) do
+        Hashtbl.remove ch.unsent seq
+      done;
       if cum + 1 > ch.lowest_unacked then ch.lowest_unacked <- cum + 1;
       (* Any ack proves the peer is alive: restart the silence clock. *)
       ch.stalled_since <-
@@ -178,19 +187,19 @@ let handle_ack t ~src:dst ~me:src conn cum =
       end
   | Some _ | None -> ()
 
-let handle_data t ~me ~src conn seq lo payload =
+let[@hot] handle_data t ~me ~src conn seq lo payload =
   let key = (me, src) in
-  let fresh () =
-    let rc = { rconn = conn; next_expected = lo; pending = Hashtbl.create 8 } in
-    Hashtbl.replace t.receivers key rc;
-    Some rc
-  in
   let rc =
     match Hashtbl.find_opt t.receivers key with
     | Some rc when rc.rconn = conn -> Some rc
-    | Some rc when conn > rc.rconn -> fresh ()
-    | Some _ -> None  (* stale incarnation: ignore *)
-    | None -> fresh ()
+    | Some rc when conn < rc.rconn -> None  (* stale incarnation: ignore *)
+    | Some _ | None ->
+        (* newer incarnation, or first contact: fresh reassembly state *)
+        let rc =
+          { rconn = conn; next_expected = lo; pending = Hashtbl.create 8 }
+        in
+        Hashtbl.replace t.receivers key rc;
+        Some rc
   in
   match rc with
   | None -> ()
@@ -209,7 +218,7 @@ let handle_data t ~me ~src conn seq lo payload =
       Network.send t.net ~src:me ~dst:src
         (encode (Ack { conn; cum = rc.next_expected - 1 }))
 
-let dispatch t me ~src raw =
+let[@hot] dispatch t me ~src raw =
   match decode raw with
   | Data { conn; seq; lo; payload } -> handle_data t ~me ~src conn seq lo payload
   | Ack { conn; cum } -> handle_ack t ~src ~me conn cum

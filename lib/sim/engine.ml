@@ -85,7 +85,7 @@ let maybe_purge t =
     t.dead_in_heap <- 0
   end
 
-let push_entry t ~at ~label timer =
+let[@hot] push_entry t ~at ~label timer =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   timer.in_heap <- timer.in_heap + 1;
@@ -124,22 +124,22 @@ let cancel timer =
 (* ---------------------------------------------------------------- *)
 (* Firing                                                            *)
 
-let delivered_on t key =
+let[@hot] delivered_on t key =
   Option.value (Hashtbl.find_opt t.delivered key) ~default:0
 
-let note_delivery t = function
+let[@hot] note_delivery t = function
   | Internal -> ()
   | Deliver { src; dst } ->
       Hashtbl.replace t.delivered (src, dst) (delivered_on t (src, dst) + 1)
 
-let fire t e =
+let[@hot] fire t e =
   t.clock <- Float.max t.clock e.fire_at;
   t.fired <- t.fired + 1;
   note_delivery t e.label;
   e.timer.action ()
 
 (* Seeded policy: pop strictly in (time, insertion) order. *)
-let step t =
+let[@hot] step t =
   match Heap.pop t.queue with
   | None -> false
   | Some e ->

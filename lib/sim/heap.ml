@@ -19,7 +19,7 @@ let grow t x =
     t.data <- ndata
   end
 
-let rec sift_up t i =
+let[@hot] rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
     if not (t.leq t.data.(parent) t.data.(i)) then begin
@@ -30,15 +30,15 @@ let rec sift_up t i =
     end
   end
 
-let push t x =
+let[@hot] push t x =
   grow t x;
   t.data.(t.size) <- x;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
-let peek t = if t.size = 0 then None else Some t.data.(0)
+let[@hot] peek t = if t.size = 0 then None else Some t.data.(0)
 
-let rec sift_down t i =
+let[@hot] rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = if l < t.size && not (t.leq t.data.(i) t.data.(l)) then l else i in
   let smallest =
@@ -51,7 +51,7 @@ let rec sift_down t i =
     sift_down t smallest
   end
 
-let pop t =
+let[@hot] pop t =
   if t.size = 0 then None
   else begin
     let top = t.data.(0) in

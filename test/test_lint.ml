@@ -170,6 +170,31 @@ let test_pragma_does_not_leak () =
         let a () = Random.int 10\n\
         let b () = Random.int 10")
 
+let test_attr_pragma_binding () =
+  check_rules "binding attribute suppresses over the whole binding" []
+    (lint "lib/net/foo.ml"
+       "let[@haf.lint.allow \"R1\"] jitter () =\n  Random.int 10");
+  check_rules "other bindings stay policed" [ "R1" ]
+    (lint "lib/net/foo.ml"
+       "let[@haf.lint.allow \"R1\"] jitter () = Random.int 10\n\
+        let b () = Random.int 10")
+
+let test_attr_pragma_file_wide () =
+  check_rules "floating attribute covers the file" []
+    (lint "lib/net/foo.ml"
+       "[@@@haf.lint.allow \"R1\"]\n\
+        let a () = Random.int 10\n\
+        let b () = Random.int 10")
+
+let test_attr_pragma_unused () =
+  check_rules "unused attribute pragma is itself a finding" [ "pragma" ]
+    (lint "lib/net/foo.ml"
+       "[@@@haf.lint.allow \"R1\"]\nlet a = 1");
+  (* A pragma naming a deep rule is the deep tier's business; the
+     lexical tier must not call it unused. *)
+  check_rules "deep-rule pragma not flagged by the lexical tier" []
+    (lint "lib/net/foo.ml" "[@@@haf.lint.allow \"R8\"]\nlet a = 1")
+
 (* ------------------------------------------------------------------ *)
 (* Diagnostics, exit codes, the on-disk walker                         *)
 
@@ -243,6 +268,9 @@ let suite =
           test_pragma_in_string_ignored;
         Alcotest.test_case "pragma wrong rule" `Quick test_pragma_wrong_rule;
         Alcotest.test_case "pragma scope bounded" `Quick test_pragma_does_not_leak;
+        Alcotest.test_case "attr pragma binding" `Quick test_attr_pragma_binding;
+        Alcotest.test_case "attr pragma file-wide" `Quick test_attr_pragma_file_wide;
+        Alcotest.test_case "attr pragma unused" `Quick test_attr_pragma_unused;
         Alcotest.test_case "syntax error" `Quick test_syntax_error;
         Alcotest.test_case "exit codes" `Quick test_exit_codes;
         Alcotest.test_case "json output" `Quick test_json;
