@@ -11,7 +11,10 @@
    machine-readable form.  Part 4 measures the chaos/monitor harness
    itself — schedule generation, text roundtrip, ddmin shrinking, and
    the monitor's per-event observation overhead — and writes
-   BENCH_chaos.json. *)
+   BENCH_chaos.json.  Part 5 exercises the real-time substrate
+   (lib/net_unix): reliable-FIFO throughput and ping-pong latency of the
+   unmodified Transport over actual UDP loopback sockets, with the
+   per-node traffic table rendered through Netstats. *)
 
 open Bechamel
 open Toolkit
@@ -453,6 +456,86 @@ let write_chaos_json ~path chaos_ests =
   output_string oc (Buffer.contents b);
   close_out oc
 
+(* ------------------------------------------------------------------ *)
+(* Part 5: the real-time substrate.  Not a bechamel subject — sockets
+   and the select reactor do not fit a closed staged thunk — so this is
+   a direct wall-clock measurement of the same Transport the sim
+   benchmarks exercise, now over real UDP loopback. *)
+
+let udp_loopback_bench () =
+  let module Udp = Haf_net_unix.Udp in
+  let module Sub = Haf_net.Substrate in
+  let module Transport = Haf_net.Transport in
+  let module Clock = Haf_net_unix.Clock in
+  let u = Udp.create_local ~seed:7 ~base_port:7950 ~nodes:2 () in
+  let sub = Udp.substrate u in
+  ignore (sub.Sub.add_node ());
+  ignore (sub.Sub.add_node ());
+  let tr = Transport.create sub in
+  let delivered = ref 0 in
+  let last = ref "" in
+  Transport.attach tr 1 (fun ~src:_ p ->
+      incr delivered;
+      last := p);
+  Transport.attach tr 0 (fun ~src:_ p ->
+      incr delivered;
+      last := p);
+  (* One-way throughput: a batch of payloads through the reliable-FIFO
+     pipeline (seq/ack bookkeeping, cumulative acks, no loss). *)
+  let n_batch = 5_000 in
+  let payload = String.make 64 'x' in
+  let t0 = Clock.now () in
+  for _ = 1 to n_batch do
+    Transport.send tr ~src:0 ~dst:1 payload
+  done;
+  let ok = Udp.run_until u ~timeout:30. (fun () -> !delivered = n_batch) in
+  let batch_s = Clock.now () -. t0 in
+  (* Ping-pong: one payload in flight at a time, so each round trip pays
+     the full select-wakeup + recv + ack path twice. *)
+  let n_pong = 500 in
+  delivered := 0;
+  let t0 = Clock.now () in
+  let pong = ref true in
+  for i = 1 to n_pong do
+    let tag = string_of_int i in
+    Transport.send tr ~src:0 ~dst:1 tag;
+    pong := Udp.run_until u ~timeout:5. (fun () -> !last = tag) && !pong;
+    Transport.send tr ~src:1 ~dst:0 tag;
+    pong := Udp.run_until u ~timeout:5. (fun () -> !delivered = 2 * i) && !pong
+  done;
+  let pong_s = Clock.now () -. t0 in
+  let table =
+    Haf_stats.Table.create ~title:"UDP loopback (lib/net_unix, 64-byte payloads)"
+      ~columns:
+        [
+          ("measure", Haf_stats.Table.Left);
+          ("count", Haf_stats.Table.Right);
+          ("seconds", Haf_stats.Table.Right);
+          ("rate", Haf_stats.Table.Right);
+        ]
+      ()
+  in
+  Haf_stats.Table.add_row table
+    [
+      (if ok then "one-way throughput" else "one-way throughput (INCOMPLETE)");
+      string_of_int n_batch;
+      Printf.sprintf "%.3f" batch_s;
+      Printf.sprintf "%.0f payloads/s" (float_of_int n_batch /. batch_s);
+    ];
+  Haf_stats.Table.add_row table
+    [
+      (if !pong then "ping-pong round trip" else "ping-pong (INCOMPLETE)");
+      string_of_int n_pong;
+      Printf.sprintf "%.3f" pong_s;
+      Printf.sprintf "%.1f us/rtt" (1e6 *. pong_s /. float_of_int n_pong);
+    ];
+  Haf_stats.Table.print Format.std_formatter table;
+  Haf_stats.Table.print Format.std_formatter
+    (Haf_stats.Netstats.substrate_table sub);
+  Haf_stats.Table.print Format.std_formatter
+    (Haf_stats.Netstats.transport_table (Transport.stats tr));
+  Udp.close u
+
 let () =
   print_endline "=== Part 1: evaluation tables (experiments E1..E15, quick mode) ===";
   print_newline ();
@@ -471,4 +554,7 @@ let () =
   let chaos_ests = estimate chaos_benches in
   print_estimates "chaos/monitor microbenchmarks (monotonic clock)" chaos_ests;
   write_chaos_json ~path:"BENCH_chaos.json" chaos_ests;
-  print_endline "wrote BENCH_chaos.json"
+  print_endline "wrote BENCH_chaos.json";
+  print_endline "=== Part 5: real UDP loopback substrate (lib/net_unix) ===";
+  print_newline ();
+  udp_loopback_bench ()

@@ -1,0 +1,467 @@
+(* haf_cluster: the framework on real sockets, measured on a wall clock.
+
+   Spawns an N-server group of the synthetic streaming service over the
+   UDP loopback substrate — by default one OS process per server (this
+   executable re-invokes itself with --server), or all in one process
+   with --single — drives a client session against it, SIGKILLs the
+   primary's process repeatedly, and measures client-observed takeover
+   latency in real seconds.  Results go to stdout as a table comparing
+   the wall-clock numbers against the deterministic simulation of the
+   same deployment and the closed-form model (experiment E17), and to
+   BENCH_net.json for CI trend tracking.
+
+   The point of the exercise: the server, client, GCS and transport code
+   running here is byte-for-byte the code the simulator runs — only the
+   substrate record differs. *)
+
+module Engine = Haf_sim.Engine
+module Sub = Haf_net.Substrate
+module Transport = Haf_net.Transport
+module Udp = Haf_net_unix.Udp
+module Clock = Haf_net_unix.Clock
+module Gcs = Haf_gcs.Gcs
+module Policy = Haf_core.Policy
+module Events = Haf_core.Events
+module Fw = Haf_core.Framework.Make (Haf_services.Synthetic)
+module Table = Haf_stats.Table
+module Summary = Haf_stats.Summary
+
+let unit_id = "u0"
+
+(* ------------------------------------------------------------------ *)
+(* Child mode: one server process *)
+
+let run_server ~id ~n ~base_port ~seed ~run_for =
+  let u = Udp.create ~seed ~base_port ~nodes:(n + 1) ~local:[ id ] () in
+  let gcs =
+    Gcs.create_on ~servers:(List.init n Fun.id) ~local:[ id ] (Udp.substrate u)
+  in
+  let events = Events.make_sink () in
+  let _server =
+    Fw.Server.create gcs ~proc:id ~policy:Policy.default ~units:[ unit_id ]
+      ~catalog:[ unit_id ] ~events
+  in
+  Udp.run_for u run_for;
+  Udp.close u
+
+(* ------------------------------------------------------------------ *)
+(* Client-side probe: everything we measure is client-observed, read
+   off the same event stream the sim experiments analyze. *)
+
+type probe = {
+  mutable req_count : int;
+  mutable resp_count : int;
+  mutable last_from : int;  (* server that sent the latest response *)
+  mutable granted_primary : int;
+  mutable watch_kill : int;  (* server killed by the current trial *)
+  mutable watch_t0 : float;
+  mutable takeover_at : float option;
+}
+
+let install_probe events =
+  let pr =
+    {
+      req_count = 0;
+      resp_count = 0;
+      last_from = -1;
+      granted_primary = -1;
+      watch_kill = -1;
+      watch_t0 = 0.;
+      takeover_at = None;
+    }
+  in
+  Events.subscribe events (fun ~now e ->
+      match e with
+      | Events.Response_received { from_server; _ } ->
+          pr.resp_count <- pr.resp_count + 1;
+          pr.last_from <- from_server;
+          if
+            pr.watch_kill >= 0
+            && from_server <> pr.watch_kill
+            && now >= pr.watch_t0
+            && pr.takeover_at = None
+          then pr.takeover_at <- Some now
+      | Events.Request_sent _ -> pr.req_count <- pr.req_count + 1
+      | Events.Session_granted { primary; _ } -> pr.granted_primary <- primary
+      | _ -> ());
+  pr
+
+let current_primary pr =
+  if pr.last_from >= 0 then pr.last_from else pr.granted_primary
+
+(* ------------------------------------------------------------------ *)
+(* The two cluster shapes behind one fault surface *)
+
+type cluster = {
+  kill : int -> unit;  (* crash this server, for real *)
+  revive : int -> unit;  (* bring a fresh one back on the same id *)
+  shutdown : unit -> unit;
+  max_kills : int option;  (* single mode cannot restart; bound trials *)
+}
+
+let spawn_child ~exe ~id ~n ~base_port ~seed =
+  Unix.create_process exe
+    [|
+      exe;
+      "--server";
+      string_of_int id;
+      "--servers";
+      string_of_int n;
+      "--base-port";
+      string_of_int base_port;
+      "--seed";
+      string_of_int seed;
+    |]
+    Unix.stdin Unix.stdout Unix.stderr
+
+let multi_process_cluster ~exe ~n ~base_port ~seed =
+  let pids = Array.make n (-1) in
+  let next_seed = ref (seed + 1000) in
+  let spawn id =
+    (* A distinct engine seed per process life: restarted daemons must
+       draw fresh GCS incarnations. *)
+    incr next_seed;
+    pids.(id) <- spawn_child ~exe ~id ~n ~base_port ~seed:!next_seed
+  in
+  for id = 0 to n - 1 do
+    spawn id
+  done;
+  let kill id =
+    if pids.(id) > 0 then begin
+      Unix.kill pids.(id) Sys.sigkill;
+      ignore (Unix.waitpid [] pids.(id));
+      pids.(id) <- -1
+    end
+  in
+  {
+    kill;
+    revive = spawn;
+    shutdown =
+      (fun () ->
+        Array.iteri
+          (fun id pid ->
+            if pid > 0 then begin
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+              pids.(id) <- -1
+            end)
+          pids);
+    max_kills = None;
+  }
+
+let single_process_cluster ~u ~gcs ~events ~n =
+  let servers = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace servers p
+        (Fw.Server.create gcs ~proc:p ~policy:Policy.default ~units:[ unit_id ]
+           ~catalog:[ unit_id ] ~events))
+    (List.init n Fun.id);
+  let kill p =
+    (match Hashtbl.find_opt servers p with
+    | Some s ->
+        Fw.Server.stop s;
+        Hashtbl.remove servers p
+    | None -> ());
+    (* Deaf and mute: peers stop hearing heartbeats and suspect it, the
+       same observable crash the sim injects. *)
+    Udp.set_down u p true
+  in
+  {
+    kill;
+    revive = (fun _ -> ());
+    shutdown = (fun () -> ());
+    (* Without process isolation we cannot cleanly restart a server, so
+       each trial kills the new primary and we stop while one lives. *)
+    max_kills = Some (n - 1);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Simulated twin + closed-form model for the E17 comparison *)
+
+module Sim = Haf_experiments.Runner.Make (Haf_services.Synthetic)
+
+let simulated_takeovers ~n ~trials =
+  let module Scenario = Haf_experiments.Scenario in
+  let rec gather acc seed =
+    if List.length acc >= trials then acc
+    else
+      let sc =
+        {
+          Scenario.default with
+          seed;
+          n_servers = n;
+          n_units = 1;
+          replication = n;
+          n_clients = 1;
+          request_interval = 0.5;
+          session_duration = 150.;
+          duration = 120.;
+        }
+      in
+      let tl, _ =
+        Sim.run_scenario sc ~prepare:(fun w ->
+            Sim.schedule_primary_kills w ~every:25. ~repair:10. ~start:10. ())
+      in
+      gather (acc @ Haf_stats.Metrics.takeover_latencies tl) (seed + 1)
+  in
+  gather [] 1700
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_net.json *)
+
+let write_bench_json ~path ~mode ~n ~trials ~req_rate ~resp_rate ~lats
+    ~(tr : Transport.stats) ~(c : Sub.counters) =
+  let b = Buffer.create 1024 in
+  let p pct = Summary.percentile lats pct in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"benchmark\": \"lib/net_unix cluster harness\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
+  Buffer.add_string b (Printf.sprintf "  \"servers\": %d,\n" n);
+  Buffer.add_string b (Printf.sprintf "  \"requests_per_sec\": %.1f,\n" req_rate);
+  Buffer.add_string b (Printf.sprintf "  \"responses_per_sec\": %.1f,\n" resp_rate);
+  Buffer.add_string b "  \"takeover_latency_s\": {\n";
+  Buffer.add_string b (Printf.sprintf "    \"trials\": %d,\n" trials);
+  Buffer.add_string b (Printf.sprintf "    \"measured\": %d,\n" (List.length lats));
+  Buffer.add_string b (Printf.sprintf "    \"p50\": %.4f,\n" (p 50.));
+  Buffer.add_string b (Printf.sprintf "    \"p95\": %.4f,\n" (p 95.));
+  Buffer.add_string b (Printf.sprintf "    \"p99\": %.4f\n" (p 99.));
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b "  \"client_transport\": {\n";
+  Buffer.add_string b
+    (Printf.sprintf "    \"payloads_sent\": %d,\n" tr.Transport.payloads_sent);
+  Buffer.add_string b
+    (Printf.sprintf "    \"payloads_delivered\": %d,\n"
+       tr.Transport.payloads_delivered);
+  Buffer.add_string b
+    (Printf.sprintf "    \"retransmissions\": %d,\n" tr.Transport.retransmissions);
+  Buffer.add_string b
+    (Printf.sprintf "    \"duplicates\": %d,\n" tr.Transport.duplicates);
+  Buffer.add_string b
+    (Printf.sprintf "    \"give_ups\": %d\n" tr.Transport.give_ups);
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b "  \"client_datagrams\": {\n";
+  Buffer.add_string b (Printf.sprintf "    \"sent\": %d,\n" c.Sub.datagrams_sent);
+  Buffer.add_string b
+    (Printf.sprintf "    \"received\": %d,\n" c.Sub.datagrams_received);
+  Buffer.add_string b
+    (Printf.sprintf "    \"dropped\": %d,\n" c.Sub.datagrams_dropped);
+  Buffer.add_string b (Printf.sprintf "    \"bytes_sent\": %d,\n" c.Sub.bytes_sent);
+  Buffer.add_string b
+    (Printf.sprintf "    \"bytes_received\": %d\n" c.Sub.bytes_received);
+  Buffer.add_string b "  }\n";
+  Buffer.add_string b "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Parent mode: the harness proper *)
+
+let run_parent ~single ~n ~base_port ~seed ~trials ~measure ~json_path ~no_sim =
+  let mode = if single then "single-process" else "multi-process" in
+  Printf.printf "haf_cluster: %d servers, %s, ports %d-%d\n%!" n mode base_port
+    (base_port + n);
+  let nodes = n + 1 in
+  let local = if single then List.init nodes Fun.id else [ n ] in
+  let u = Udp.create ~seed ~base_port ~nodes ~local () in
+  let sub = Udp.substrate u in
+  let gcs =
+    Gcs.create_on
+      ~servers:(List.init n Fun.id)
+      ~local:(if single then List.init n Fun.id else [])
+      sub
+  in
+  let events = Events.make_sink () in
+  let pr = install_probe events in
+  let cluster =
+    if single then single_process_cluster ~u ~gcs ~events ~n
+    else multi_process_cluster ~exe:Sys.executable_name ~n ~base_port ~seed
+  in
+  let finish ok =
+    cluster.shutdown ();
+    Udp.close u;
+    if not ok then exit 1
+  in
+  let client_proc = Gcs.add_client gcs in
+  let client = Fw.Client.create gcs ~proc:client_proc ~policy:Policy.default ~events in
+  let sid =
+    Fw.Client.start_session client ~unit_id ~duration:3600.
+      ~request_interval:0.05
+  in
+  if not (Udp.run_until u ~timeout:20. (fun () -> Fw.Client.granted client sid))
+  then begin
+    Printf.printf "haf_cluster: session never granted (ports in use?)\n%!";
+    finish false
+  end;
+  Printf.printf "haf_cluster: session granted by server %d\n%!"
+    pr.granted_primary;
+  (* Steady-state throughput over a clean window. *)
+  Udp.run_for u 1.0;
+  sub.Sub.reset_counters ();
+  let req0 = pr.req_count and resp0 = pr.resp_count in
+  let w0 = Clock.now () in
+  Udp.run_for u measure;
+  let dt = Clock.now () -. w0 in
+  let req_rate = float_of_int (pr.req_count - req0) /. dt in
+  let resp_rate = float_of_int (pr.resp_count - resp0) /. dt in
+  Printf.printf
+    "haf_cluster: steady state %.1f requests/s, %.1f responses/s over %.1fs\n%!"
+    req_rate resp_rate dt;
+  (* Takeover trials: kill the current primary, time the first response
+     from its successor, bring a fresh server back, settle. *)
+  let trials =
+    match cluster.max_kills with Some m -> Int.min trials m | None -> trials
+  in
+  let lats = ref [] in
+  for trial = 1 to trials do
+    ignore (Udp.run_until u ~timeout:10. (fun () -> current_primary pr >= 0));
+    let p = current_primary pr in
+    pr.takeover_at <- None;
+    pr.watch_t0 <- Clock.now ();
+    pr.watch_kill <- p;
+    cluster.kill p;
+    let ok = Udp.run_until u ~timeout:15. (fun () -> pr.takeover_at <> None) in
+    (match pr.takeover_at with
+    | Some at when ok ->
+        let lat = at -. pr.watch_t0 in
+        Printf.printf "haf_cluster: trial %d: killed %d, takeover %.3fs\n%!"
+          trial p lat;
+        lats := lat :: !lats
+    | _ ->
+        Printf.printf "haf_cluster: trial %d: killed %d, NO takeover in 15s\n%!"
+          trial p);
+    pr.watch_kill <- -1;
+    cluster.revive p;
+    Udp.run_for u 2.0
+  done;
+  let lats = List.rev !lats in
+  let tr = Transport.stats (Gcs.transport gcs) in
+  let c = sub.Sub.counters client_proc in
+  cluster.shutdown ();
+  Udp.close u;
+  (* E17 table: wall clock vs. the simulated twin vs. the closed form. *)
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E17: client-observed takeover latency, %d-server cluster (%s)" n
+           mode)
+      ~columns:
+        [
+          ("source", Table.Left);
+          ("n", Table.Right);
+          ("p50", Table.Right);
+          ("p95", Table.Right);
+          ("p99", Table.Right);
+        ]
+      ()
+  in
+  let add name xs =
+    if xs <> [] then
+      Table.add_row table
+        [
+          name;
+          Table.fint (List.length xs);
+          Printf.sprintf "%.3fs" (Summary.percentile xs 50.);
+          Printf.sprintf "%.3fs" (Summary.percentile xs 95.);
+          Printf.sprintf "%.3fs" (Summary.percentile xs 99.);
+        ]
+  in
+  (* The two rows measure different endpoints on purpose: the wall-clock
+     number is crash -> first successor response at the client (what a
+     user sees), the sim row is crash -> successor assuming the role
+     (what E5 reports).  The gap between them is the response pipeline:
+     up to one stream tick plus delivery. *)
+  add "UDP wall clock (client-observed)" lats;
+  if not no_sim then
+    add "simulated twin (crash->role assumed)" (simulated_takeovers ~n ~trials);
+  let gcs_cfg = Haf_gcs.Config.default in
+  let model =
+    Haf_analysis.Model.takeover_latency
+      ~suspect_timeout:gcs_cfg.Haf_gcs.Config.suspect_timeout ~rtt:1e-4
+      ~with_exchange:false
+  in
+  Table.add_row table
+    [ "model (detect + flush)"; "-"; Printf.sprintf "%.3fs" model; "-"; "-" ];
+  Table.print Format.std_formatter table;
+  write_bench_json ~path:json_path ~mode ~n ~trials ~req_rate ~resp_rate ~lats
+    ~tr ~c;
+  Printf.printf "wrote %s\n%!" json_path;
+  if List.length lats < Int.max 1 (trials / 2) then begin
+    Printf.printf "haf_cluster: too few successful takeovers (%d/%d)\n%!"
+      (List.length lats) trials;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* CLI *)
+
+open Cmdliner
+
+let server_id =
+  let doc =
+    "Internal: run as the server process with this node id (spawned by the \
+     parent harness)."
+  in
+  Arg.(value & opt (some int) None & info [ "server" ] ~docv:"ID" ~doc)
+
+let servers =
+  let doc = "Number of servers in the group." in
+  Arg.(value & opt int 3 & info [ "servers" ] ~docv:"N" ~doc)
+
+let base_port =
+  let doc = "First UDP port; node $(i,id) binds port + id on 127.0.0.1." in
+  Arg.(value & opt int 7801 & info [ "base-port" ] ~docv:"PORT" ~doc)
+
+let seed =
+  let doc = "Engine seed (each spawned server derives its own)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let trials =
+  let doc = "Primary-kill takeover trials." in
+  Arg.(value & opt int 5 & info [ "trials" ] ~doc)
+
+let measure =
+  let doc = "Steady-state throughput window, seconds." in
+  Arg.(value & opt float 4.0 & info [ "measure" ] ~docv:"SECONDS" ~doc)
+
+let single =
+  let doc =
+    "Host every server in this process (kills become deaf-mute sockets \
+     instead of SIGKILL; at most servers-1 trials)."
+  in
+  Arg.(value & flag & info [ "single" ] ~doc)
+
+let json_path =
+  let doc = "Where to write the benchmark JSON." in
+  Arg.(value & opt string "BENCH_net.json" & info [ "json" ] ~docv:"PATH" ~doc)
+
+let run_for =
+  let doc = "Internal: server process lifetime, seconds." in
+  Arg.(value & opt float 3600. & info [ "run-for" ] ~docv:"SECONDS" ~doc)
+
+let no_sim =
+  let doc = "Skip the simulated-twin comparison rows in the E17 table." in
+  Arg.(value & flag & info [ "no-sim" ] ~doc)
+
+let main server_id n base_port seed trials measure single json_path run_for
+    no_sim =
+  match server_id with
+  | Some id -> run_server ~id ~n ~base_port ~seed ~run_for
+  | None ->
+      run_parent ~single ~n ~base_port ~seed ~trials ~measure ~json_path ~no_sim
+
+let cmd =
+  let info_ =
+    Cmd.info "haf_cluster"
+      ~doc:
+        "Run the highly-available service framework over real UDP sockets \
+         and measure wall-clock takeover latency"
+  in
+  Cmd.v info_
+    Term.(
+      const main $ server_id $ servers $ base_port $ seed $ trials $ measure
+      $ single $ json_path $ run_for $ no_sim)
+
+let () = exit (Cmd.eval cmd)

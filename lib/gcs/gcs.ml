@@ -1,6 +1,7 @@
 module Engine = Haf_sim.Engine
 module Trace = Haf_sim.Trace
 module Network = Haf_net.Network
+module Sub = Haf_net.Substrate
 module Transport = Haf_net.Transport
 
 type proc = int
@@ -21,7 +22,8 @@ type slot = {
 
 type t = {
   engine : Engine.t;
-  net : Network.t;
+  net : Network.t option;  (* [Some] only on the simulated substrate *)
+  sub : Sub.t;
   transport : Transport.t;
   gcs_config : Config.t;
   trace : Trace.t;
@@ -34,7 +36,17 @@ let engine t = t.engine
 
 let trace t = t.trace
 
-let network t = t.net
+let sim_net t =
+  match t.net with
+  | Some n -> n
+  | None ->
+      invalid_arg
+        "Gcs: this operation needs the simulated network substrate \
+         (fabric was built with create_on)"
+
+let network t = sim_net t
+
+let substrate t = t.sub
 
 let transport t = t.transport
 
@@ -59,7 +71,7 @@ let spawn_daemon ?incarnation t proc role =
   d
 
 let add_process t role =
-  let proc = Network.add_node t.net in
+  let proc = t.sub.Sub.add_node () in
   if role = Server then t.server_list <- proc :: t.server_list;
   let daemon = spawn_daemon t proc role in
   Hashtbl.replace t.slots proc
@@ -78,7 +90,8 @@ let create ?(net_config = Network.default_config) ?(gcs_config = Config.default)
   | Ok _ -> ()
   | Error msg -> invalid_arg ("Gcs.create: " ^ msg));
   let net = Network.create ~trace engine net_config in
-  let transport = Transport.create ~trace net in
+  let sub = Network.substrate net in
+  let transport = Transport.create ~trace sub in
   let client_hb =
     Option.value client_heartbeat_interval
       ~default:(3. *. gcs_config.Config.heartbeat_interval)
@@ -86,7 +99,8 @@ let create ?(net_config = Network.default_config) ?(gcs_config = Config.default)
   let t =
     {
       engine;
-      net;
+      net = Some net;
+      sub;
       transport;
       gcs_config;
       trace;
@@ -98,6 +112,57 @@ let create ?(net_config = Network.default_config) ?(gcs_config = Config.default)
   for _ = 1 to num_servers do
     ignore (add_process t Server)
   done;
+  t
+
+let create_on ?(gcs_config = Config.default) ?(trace = Trace.disabled)
+    ?client_heartbeat_interval ~servers ~local sub =
+  (match Config.validate gcs_config with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Gcs.create_on: " ^ msg));
+  let transport = Transport.create ~trace sub in
+  let client_hb =
+    Option.value client_heartbeat_interval
+      ~default:(3. *. gcs_config.Config.heartbeat_interval)
+  in
+  let t =
+    {
+      engine = sub.Sub.engine;
+      net = None;
+      sub;
+      transport;
+      gcs_config;
+      trace;
+      client_hb;
+      slots = Hashtbl.create 32;
+      server_list = [];
+    }
+  in
+  (* Register every server first (so each local daemon bootstraps with
+     the full contact list), then start only the daemons this process
+     hosts; the rest run in other OS processes over the same wire. *)
+  List.iter
+    (fun p ->
+      let id = t.sub.Sub.add_node () in
+      if id <> p then
+        invalid_arg "Gcs.create_on: servers must be consecutive ids from 0";
+      t.server_list <- p :: t.server_list;
+      Hashtbl.replace t.slots p
+        {
+          role = Server;
+          daemon = None;
+          callbacks = Daemon.no_callbacks;
+          retired_view_changes = 0;
+          last_incarnation = None;
+        })
+    servers;
+  List.iter
+    (fun p ->
+      match Hashtbl.find_opt t.slots p with
+      | Some ({ role = Server; daemon = None; _ } as s) ->
+          s.daemon <- Some (spawn_daemon t p Server)
+      | Some _ -> invalid_arg "Gcs.create_on: duplicate local server"
+      | None -> invalid_arg "Gcs.create_on: local id is not a listed server")
+    local;
   t
 
 let add_server t = add_process t Server
@@ -148,13 +213,13 @@ let crash t p =
       Daemon.stop d;
       s.daemon <- None
   | None -> ());
-  Network.crash t.net p;
+  Network.crash (sim_net t) p;
   Transport.reset_node t.transport p
 
 let restart t p =
   let s = slot t p in
   if s.daemon = None then begin
-    Network.recover t.net p;
+    Network.recover (sim_net t) p;
     Transport.reset_node t.transport p;
     let incarnation = Option.map (fun i -> i + 1) s.last_incarnation in
     let d = spawn_daemon ?incarnation t p s.role in
@@ -162,11 +227,11 @@ let restart t p =
     s.daemon <- Some d
   end
 
-let partition t components = Network.partition t.net components
+let partition t components = Network.partition (sim_net t) components
 
-let heal t = Network.heal_links t.net
+let heal t = Network.heal_links (sim_net t)
 
-let set_link t a b up = Network.set_link t.net a b up
+let set_link t a b up = Network.set_link (sim_net t) a b up
 
 let total_view_changes t =
   Haf_sim.Det_tbl.fold_sorted ~compare:Int.compare

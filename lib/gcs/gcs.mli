@@ -1,10 +1,15 @@
-(** The GCS fabric: a simulated deployment of one GCS daemon per process
-    over one simulated network.
+(** The GCS fabric: a deployment of one GCS daemon per process over one
+    datagram substrate.
 
-    This is the composition root for the substrate: it owns the network,
-    the reliable transport and the daemons, and exposes the paper-facing
-    API (join, totally ordered multicast, open-group sends, p2p) plus
-    fault injection (crash, restart, partitions, asymmetric links).
+    This is the composition root: it owns the reliable transport and the
+    daemons, and exposes the paper-facing API (join, totally ordered
+    multicast, open-group sends, p2p).  {!create} builds the default
+    deployment — every process simulated, over {!Haf_net.Network} — and
+    additionally offers fault injection (crash, restart, partitions,
+    asymmetric links).  {!create_on} deploys the {e same unmodified
+    daemons} over any {!Haf_net.Substrate.t}, e.g. real UDP sockets via
+    [Haf_net_unix], where each OS process hosts a subset of the group
+    and faults are real (kill the process).
 
     Processes are created either as {e servers} (full members of the
     fabric, listed in everyone's bootstrap contacts) or {e clients}
@@ -25,6 +30,26 @@ val create :
 (** Creates [num_servers] server processes with ids [0 .. num_servers-1],
     already started.  Clients are added afterwards with {!add_client}. *)
 
+val create_on :
+  ?gcs_config:Config.t ->
+  ?trace:Haf_sim.Trace.t ->
+  ?client_heartbeat_interval:float ->
+  servers:proc list ->
+  local:proc list ->
+  Haf_net.Substrate.t ->
+  t
+(** Deploy over an arbitrary substrate.  [servers] is the full bootstrap
+    contact list (must be consecutive ids from 0, matching the
+    substrate's address table); [local] is the subset whose daemons run
+    in {e this} OS process — the others are expected to be hosted
+    elsewhere over the same wire.  Daemons for [local] are started
+    immediately with the full contact list.  Clients are still added
+    with {!add_client} (the substrate's next node id must belong to
+    this process).  Simulation-only operations ({!network}, {!crash},
+    {!restart}, {!partition}, {!heal}, {!set_link}) raise
+    [Invalid_argument] on such a fabric: faults are injected for real,
+    at the OS level. *)
+
 val engine : t -> Haf_sim.Engine.t
 
 val trace : t -> Haf_sim.Trace.t
@@ -32,6 +57,11 @@ val trace : t -> Haf_sim.Trace.t
     [Trace.disabled] unless one was passed to {!create}. *)
 
 val network : t -> Haf_net.Network.t
+(** The simulated network under a {!create} fabric.
+    @raise Invalid_argument on a {!create_on} fabric. *)
+
+val substrate : t -> Haf_net.Substrate.t
+(** The datagram substrate this fabric runs over (works on both). *)
 
 val transport : t -> Haf_net.Transport.t
 (** The reliable-channel layer under this GCS; exposed so a fault

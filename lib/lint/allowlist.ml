@@ -39,6 +39,9 @@ let table =
     ( "R1",
       base_is "rng.ml",
       "lib/sim/rng.ml is the one sanctioned randomness source" );
+    ( "R1",
+      under "lib/net_unix",
+      "the real-time substrate is the sanctioned syscall and wall-clock        surface; R8 keeps protocol code from reaching it" );
     ( "R8",
       base_is "rng.ml",
       "protocol code reaching Sim.Rng is the sanctioned path to \

@@ -513,6 +513,21 @@ let r8 ~allow graph =
          (* banned names *inside* protocol dirs are the lexical tier's
             R1/R2 findings already; R8 polices the helpers they reach *)
          if Rules.protocol_dirs node.Callgraph.n_file then []
+         else if Allowlist.under "lib/net_unix" node.Callgraph.n_file then begin
+           (* substrate blindness: protocol layers must work identically
+              over the sim and the real-time substrate, so no call chain
+              may land in lib/net_unix — that choice belongs to the
+              composition roots (bin/) alone *)
+           let line = node.Callgraph.n_loc.Location.loc_start.Lexing.pos_lnum in
+           if allow ~file:node.Callgraph.n_file ~line ~rules:[ "R8" ] then []
+           else
+             [
+               diag ~file:node.Callgraph.n_file node.Callgraph.n_loc ~rule:"R8"
+                 (Printf.sprintf
+                    "real-time substrate code (%s) is reachable from protocol                      code: %s; protocol layers are substrate-blind — only                      bin/ composition roots may pick lib/net_unix"
+                    node.Callgraph.n_name (chain_names chain));
+             ]
+         end
          else
            List.filter_map
              (fun (name, loc) ->

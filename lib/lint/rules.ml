@@ -35,6 +35,19 @@ let bans =
             id);
     };
     {
+      b_rule = "R1";
+      b_scope = lib;
+      b_exact = [];
+      b_prefixes = [ "Unix."; "Stdlib.Unix."; "UnixLabels." ];
+      b_message =
+        (fun id ->
+          Printf.sprintf
+            "real-world syscall surface: %s; only the lib/net_unix substrate may \
+             touch sockets, processes or the wall clock — everything above \
+             it goes through Haf_net.Substrate and stays substrate-blind"
+            id);
+    };
+    {
       b_rule = "R2";
       b_scope = protocol_dirs;
       b_exact = with_stdlib [ "compare"; "Hashtbl.hash" ];
@@ -123,7 +136,9 @@ let missing_mli_message path =
 
 let descriptions =
   [
-    ("R1", "no ambient randomness/time outside lib/sim/rng.ml");
+    ("R1",
+     "no ambient randomness/time outside lib/sim/rng.ml, and no Unix.* \
+      syscalls in lib/ outside the lib/net_unix substrate");
     ("R2",
      "no polymorphic compare/hash/Marshal in lib/gcs, lib/core, lib/store, \
       lib/chaos, lib/monitor, lib/explore");
@@ -138,7 +153,8 @@ let descriptions =
       by a Store.sync/Store.append (or the explicit no-store arm)");
     ("R8",
      "(deep) transitive determinism: protocol code cannot reach ambient \
-      time/randomness/polymorphic compare through helpers in other dirs");
+      time/randomness/polymorphic compare through helpers in other dirs, \
+      nor any lib/net_unix substrate module");
     ("R9",
      "(deep) hot-path allocation: no closures, @-appends or polymorphic \
       comparisons inside [@hot] functions");

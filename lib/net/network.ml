@@ -10,9 +10,10 @@ let default_config = { latency = Latency.lan; drop_probability = 0.; bandwidth =
 
 let lossy_lan p = { default_config with drop_probability = p }
 
-type counters = {
+type counters = Substrate.counters = {
   mutable datagrams_sent : int;
   mutable datagrams_received : int;
+  mutable datagrams_dropped : int;
   mutable bytes_sent : int;
   mutable bytes_received : int;
 }
@@ -34,8 +35,7 @@ type t = {
   delay_overrides : (node_id * node_id, float) Hashtbl.t;
 }
 
-let fresh_counters () =
-  { datagrams_sent = 0; datagrams_received = 0; bytes_sent = 0; bytes_received = 0 }
+let fresh_counters = Substrate.fresh_counters
 
 let create ?(trace = Trace.disabled) engine config =
   {
@@ -140,7 +140,9 @@ let send t ?(label = Engine.Internal) ~src ~dst payload =
       (src = dst || link_up t src dst)
       && not (Rng.chance t.rng t.config.drop_probability)
     in
-    if deliverable then begin
+    if not deliverable then
+      source.stats.datagrams_dropped <- source.stats.datagrams_dropped + 1
+    else begin
       let transmission =
         match t.config.bandwidth with
         | Some bw when bw > 0. -> float_of_int (String.length payload) /. bw
@@ -158,7 +160,10 @@ let send t ?(label = Engine.Internal) ~src ~dst payload =
                sink.stats.bytes_received <-
                  sink.stats.bytes_received + String.length payload;
                sink.receiver ~src payload
-             end))
+             end
+             else
+               source.stats.datagrams_dropped <-
+                 source.stats.datagrams_dropped + 1))
     end
   end
 
@@ -166,11 +171,7 @@ let counters t id = (node t id).stats
 
 let reset_counters t =
   for i = 0 to t.n - 1 do
-    let s = t.nodes.(i).stats in
-    s.datagrams_sent <- 0;
-    s.datagrams_received <- 0;
-    s.bytes_sent <- 0;
-    s.bytes_received <- 0
+    Substrate.zero_counters t.nodes.(i).stats
   done
 
 let total_sent t =
@@ -179,6 +180,18 @@ let total_sent t =
     total := !total + t.nodes.(i).stats.datagrams_sent
   done;
   !total
+
+let substrate t =
+  {
+    Substrate.name = "sim";
+    engine = t.engine;
+    send = (fun ?label ~src ~dst payload -> send t ?label ~src ~dst payload);
+    set_receiver = (fun id f -> set_receiver t id f);
+    add_node = (fun () -> add_node t);
+    node_count = (fun () -> node_count t);
+    counters = (fun id -> counters t id);
+    reset_counters = (fun () -> reset_counters t);
+  }
 
 let reachable t ?among a b =
   let allowed id =

@@ -107,9 +107,13 @@ val reachable : t -> ?among:node_id list -> node_id -> node_id -> bool
 
 (** {2 Accounting (per-node, for the load experiments)} *)
 
-type counters = {
+type counters = Substrate.counters = {
   mutable datagrams_sent : int;
   mutable datagrams_received : int;
+  mutable datagrams_dropped : int;
+      (** Counted on the {e sending} node: datagrams the fabric decided
+          not to deliver (loss model, down link, or destination crashed
+          at delivery time). *)
   mutable bytes_sent : int;
   mutable bytes_received : int;
 }
@@ -119,3 +123,11 @@ val counters : t -> node_id -> counters
 val reset_counters : t -> unit
 
 val total_sent : t -> int
+
+(** {2 Substrate} *)
+
+val substrate : t -> Substrate.t
+(** This network as a {!Substrate.t} — the deterministic default
+    backend.  All closures delegate to the functions above, so driving
+    the substrate and driving the network directly are
+    indistinguishable (and byte-identical under a fixed seed). *)

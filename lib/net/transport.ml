@@ -1,5 +1,6 @@
 module Engine = Haf_sim.Engine
 module Trace = Haf_sim.Trace
+module Sub = Substrate
 
 (* Each Data carries [lo], the sender's lowest unacknowledged sequence
    number: a receiver with no state for the connection (fresh process, or
@@ -11,9 +12,10 @@ type wire =
   | Ack of { conn : int; cum : int }
   | Raw of string
 
-(* haf-lint: allow R8 — in-memory simulated wire format, reached from
-   protocol senders; bytes never cross a process boundary or feed a
-   comparison, so Marshal is safe here. *)
+(* haf-lint: allow R8 — wire format, reached from protocol senders; the
+   bytes only ever travel between runs of the same binary (one process
+   on the sim substrate, identical executables on the UDP one) and never
+   feed a comparison, so Marshal is safe here. *)
 let encode (w : wire) = Marshal.to_string w []
 
 (* haf-lint: allow R8 — see [encode]. *)
@@ -38,14 +40,29 @@ type receiver_channel = {
   pending : (int, string) Hashtbl.t;
 }
 
+type stats = {
+  payloads_sent : int;
+  payloads_delivered : int;
+  retransmissions : int;
+  duplicates : int;
+  acks_sent : int;
+  give_ups : int;
+  unacked : int;
+}
+
 type t = {
-  net : Network.t;
+  sub : Sub.t;
   engine : Engine.t;
   rto : float;
   max_backoff : float;
   trace : Trace.t;
   mutable give_up_after : float option;
   mutable give_ups : int;
+  mutable payloads_sent : int;
+  mutable payloads_delivered : int;
+  mutable retransmissions : int;
+  mutable duplicates : int;
+  mutable acks_sent : int;
   mutable on_channel_dead : (src:int -> dst:int -> unit) option;
   mutable next_conn : int;
   senders : (int * int, sender_channel) Hashtbl.t;  (* (src, dst) *)
@@ -55,17 +72,28 @@ type t = {
 }
 
 let create ?(retransmit_interval = 0.05) ?(max_backoff = 2.0) ?give_up_after
-    ?(trace = Trace.disabled) net =
+    ?(trace = Trace.disabled) sub =
   {
-    net;
-    engine = Network.engine net;
+    sub;
+    engine = sub.Sub.engine;
     rto = retransmit_interval;
     max_backoff;
     trace;
     give_up_after;
     give_ups = 0;
+    payloads_sent = 0;
+    payloads_delivered = 0;
+    retransmissions = 0;
+    duplicates = 0;
+    acks_sent = 0;
     on_channel_dead = None;
-    next_conn = 1;
+    (* Base connection ids on the clock: on the sim substrate time is 0
+       at creation so ids start at 1 exactly as before, while on the
+       real substrate CLOCK_MONOTONIC is system-wide — a restarted OS
+       process (fresh Transport) allocates strictly larger ids than its
+       previous life, so peers' receivers treat its frames as the new
+       incarnation rather than stale duplicates of the old one. *)
+    next_conn = 1 + int_of_float (1000. *. Engine.now sub.Sub.engine);
     senders = Hashtbl.create 64;
     receivers = Hashtbl.create 64;
     handlers = Hashtbl.create 16;
@@ -107,13 +135,14 @@ let sender_channel t ~src ~dst =
    leaving them out of the choice-point set keeps the explored branching
    factor tractable. *)
 let[@hot] transmit t ~src ~dst ch seq payload =
-  Network.send t.net
+  t.sub.Sub.send
     ~label:(Engine.Deliver { src; dst })
     ~src ~dst
     (encode (Data { conn = ch.conn; seq; lo = ch.lowest_unacked; payload }))
 
 let retransmit_all t ~src ~dst ch =
   let seqs = Hashtbl.fold (fun seq _ acc -> seq :: acc) ch.unsent [] in
+  t.retransmissions <- t.retransmissions + List.length seqs;
   List.iter
     (fun seq -> transmit t ~src ~dst ch seq (Hashtbl.find ch.unsent seq))
     (List.sort Int.compare seqs)
@@ -157,6 +186,7 @@ let rec arm_timer t ~src ~dst ch =
 
 let[@hot] send t ~src ~dst payload =
   let ch = sender_channel t ~src ~dst in
+  t.payloads_sent <- t.payloads_sent + 1;
   let seq = ch.next_seq in
   ch.next_seq <- seq + 1;
   Hashtbl.replace ch.unsent seq payload;
@@ -202,9 +232,10 @@ let[@hot] handle_data t ~me ~src conn seq lo payload =
         Some rc
   in
   match rc with
-  | None -> ()
+  | None -> t.duplicates <- t.duplicates + 1  (* stale incarnation *)
   | Some rc ->
-      if seq >= rc.next_expected then Hashtbl.replace rc.pending seq payload;
+      if seq >= rc.next_expected then Hashtbl.replace rc.pending seq payload
+      else t.duplicates <- t.duplicates + 1;
       let handler = Hashtbl.find_opt t.handlers me in
       let continue = ref true in
       while !continue do
@@ -212,10 +243,12 @@ let[@hot] handle_data t ~me ~src conn seq lo payload =
         | Some p ->
             Hashtbl.remove rc.pending rc.next_expected;
             rc.next_expected <- rc.next_expected + 1;
+            t.payloads_delivered <- t.payloads_delivered + 1;
             (match handler with Some h -> h ~src p | None -> ())
         | None -> continue := false
       done;
-      Network.send t.net ~src:me ~dst:src
+      t.acks_sent <- t.acks_sent + 1;
+      t.sub.Sub.send ~src:me ~dst:src
         (encode (Ack { conn; cum = rc.next_expected - 1 }))
 
 let[@hot] dispatch t me ~src raw =
@@ -232,10 +265,10 @@ let attach t node ?on_raw handler =
   (match on_raw with
   | Some h -> Hashtbl.replace t.raw_handlers node h
   | None -> Hashtbl.remove t.raw_handlers node);
-  Network.set_receiver t.net node (fun ~src raw -> dispatch t node ~src raw)
+  t.sub.Sub.set_receiver node (fun ~src raw -> dispatch t node ~src raw)
 
 let send_unreliable t ~src ~dst payload =
-  Network.send t.net ~src ~dst (encode (Raw payload))
+  t.sub.Sub.send ~src ~dst (encode (Raw payload))
 
 let reset_node t node =
   let sender_keys =
@@ -259,3 +292,14 @@ let reset_node t node =
 
 let unacked t =
   Hashtbl.fold (fun _ ch acc -> acc + Hashtbl.length ch.unsent) t.senders 0
+
+let stats t =
+  {
+    payloads_sent = t.payloads_sent;
+    payloads_delivered = t.payloads_delivered;
+    retransmissions = t.retransmissions;
+    duplicates = t.duplicates;
+    acks_sent = t.acks_sent;
+    give_ups = t.give_ups;
+    unacked = unacked t;
+  }

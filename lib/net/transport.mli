@@ -1,4 +1,6 @@
-(** Reliable FIFO point-to-point channels over the lossy {!Network}.
+(** Reliable FIFO point-to-point channels over an unreliable datagram
+    {!Substrate} (the simulated {!Network} by default, real UDP via
+    [Haf_net_unix]).
 
     The GCS assumes reliable FIFO links while two processes stay
     connected; this module provides them with per-channel sequence
@@ -14,12 +16,26 @@
 
 type t
 
+type stats = {
+  payloads_sent : int;  (** Payloads accepted by {!send}. *)
+  payloads_delivered : int;  (** In-order payloads handed to handlers. *)
+  retransmissions : int;
+      (** Data frames re-sent by the backoff timer (first transmissions
+          excluded). *)
+  duplicates : int;
+      (** Received data frames discarded as already-delivered or
+          stale-incarnation. *)
+  acks_sent : int;
+  give_ups : int;  (** Channels declared dead (see [give_up_after]). *)
+  unacked : int;  (** Currently outstanding payloads, as {!unacked}. *)
+}
+
 val create :
   ?retransmit_interval:float ->
   ?max_backoff:float ->
   ?give_up_after:float ->
   ?trace:Haf_sim.Trace.t ->
-  Network.t ->
+  Substrate.t ->
   t
 (** [retransmit_interval] is the initial retransmission timeout (default
     50 ms); it doubles per silent round up to [max_backoff] (default
@@ -37,7 +53,7 @@ val set_give_up_after : t -> float option -> unit
 val give_ups : t -> int
 (** Channels declared dead so far. *)
 
-val set_on_channel_dead : t -> (src:Network.node_id -> dst:Network.node_id -> unit) option -> unit
+val set_on_channel_dead : t -> (src:Substrate.node_id -> dst:Substrate.node_id -> unit) option -> unit
 (** Install the dead-channel notification.  Fires once per given-up
     channel, after its queue has been dropped; a later {!send} to the
     same destination transparently opens a fresh connection
@@ -45,9 +61,9 @@ val set_on_channel_dead : t -> (src:Network.node_id -> dst:Network.node_id -> un
 
 val attach :
   t ->
-  Network.node_id ->
-  ?on_raw:(src:Network.node_id -> string -> unit) ->
-  (src:Network.node_id -> string -> unit) ->
+  Substrate.node_id ->
+  ?on_raw:(src:Substrate.node_id -> string -> unit) ->
+  (src:Substrate.node_id -> string -> unit) ->
   unit
 (** Take over the node's network receiver and deliver reliable in-order
     payloads to the given handler.  Must be called once per node before
@@ -55,19 +71,24 @@ val attach :
     {!send_unreliable} (heartbeats etc.) that bypass the reliable
     machinery. *)
 
-val send_unreliable : t -> src:Network.node_id -> dst:Network.node_id -> string -> unit
+val send_unreliable : t -> src:Substrate.node_id -> dst:Substrate.node_id -> string -> unit
 (** One-shot datagram sharing the node's network receiver: no
     retransmission, no ordering.  Used for failure-detector heartbeats so
     that dead peers do not accumulate retransmission queues. *)
 
-val send : t -> src:Network.node_id -> dst:Network.node_id -> string -> unit
+val send : t -> src:Substrate.node_id -> dst:Substrate.node_id -> string -> unit
 (** Queue a payload on the [src -> dst] channel.  Delivered exactly once
     and in order to [dst]'s handler, provided the two nodes are eventually
     connected long enough and neither side is reset in between. *)
 
-val reset_node : t -> Network.node_id -> unit
+val reset_node : t -> Substrate.node_id -> unit
 (** Drop all channel state from and to this node.  Call when the process
     on the node crashes or restarts. *)
 
 val unacked : t -> int
 (** Total payloads queued awaiting acknowledgement (diagnostics). *)
+
+val stats : t -> stats
+(** Snapshot of the transport-level counters, identical in meaning on
+    every substrate — the sim/UDP comparison surface for
+    [Haf_stats.Netstats] and the cluster harness. *)

@@ -1,0 +1,3 @@
+external monotonic_now : unit -> float = "haf_unix_monotonic_now"
+
+let now () = monotonic_now ()

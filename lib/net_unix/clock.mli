@@ -1,0 +1,7 @@
+(** Monotonic time source for the real-time substrate. *)
+
+val now : unit -> float
+(** Seconds since an arbitrary fixed origin, from
+    [clock_gettime(CLOCK_MONOTONIC)]: never rewinds, immune to NTP and
+    administrative wall-clock changes.  Only differences are
+    meaningful. *)

@@ -1,0 +1,19 @@
+/* Monotonic wall clock for the real-time substrate.
+ *
+ * Unix.gettimeofday is wall time: NTP slews and admin clock changes can
+ * make it jump backwards, which would fire retransmission timers early
+ * or never.  CLOCK_MONOTONIC never rewinds, so transport timeouts and
+ * takeover-latency measurements stay meaningful on a live host.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value haf_unix_monotonic_now(value unit)
+{
+  struct timespec ts;
+  (void) unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double) ts.tv_sec + (double) ts.tv_nsec * 1e-9);
+}

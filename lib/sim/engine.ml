@@ -8,6 +8,13 @@ type candidate = { src : int; dst : int; k : int; at : float }
 
 type t = {
   mutable clock : float;
+  ext_now : (unit -> float) option;
+      (* [None]: the virtual clock — time is whatever the event queue
+         says it is.  [Some f]: an external (real, monotonic) clock; the
+         queue holds real-time deadlines and an outside event loop
+         drives them with {!run_due}/{!next_deadline}.  [clock] then
+         caches the latest sample so time never goes backwards even if
+         the source jitters. *)
   queue : entry Heap.t;
   root_rng : Rng.t;
   mutable next_seq : int;
@@ -42,9 +49,10 @@ and entry = {
 let entry_leq a b =
   a.fire_at < b.fire_at || (a.fire_at = b.fire_at && a.seq <= b.seq)
 
-let create ?(seed = 1) () =
+let make ?(seed = 1) ext_now =
   {
-    clock = 0.;
+    clock = (match ext_now with None -> 0. | Some f -> f ());
+    ext_now;
     queue = Heap.create ~leq:entry_leq;
     root_rng = Rng.create seed;
     next_seq = 0;
@@ -56,7 +64,19 @@ let create ?(seed = 1) () =
     choice_occ = Hashtbl.create 16;
   }
 
-let now t = t.clock
+let create ?seed () = make ?seed None
+
+let create_external ?seed ~now () = make ?seed (Some now)
+
+let external_clock t = t.ext_now <> None
+
+let now t =
+  match t.ext_now with
+  | None -> t.clock
+  | Some f ->
+      let n = f () in
+      if n > t.clock then t.clock <- n;
+      t.clock
 
 let rng t = t.root_rng
 
@@ -97,7 +117,7 @@ let schedule_at t ?(label = Internal) ~time f =
   timer
 
 let schedule t ?label ~delay f =
-  schedule_at t ?label ~time:(t.clock +. Float.max delay 0.) f
+  schedule_at t ?label ~time:(now t +. Float.max delay 0.) f
 
 let every t ?first ~period f =
   if period <= 0. then invalid_arg "Engine.every: period must be positive";
@@ -110,7 +130,7 @@ let every t ?first ~period f =
         if not timer.cancelled then arm (at +. period));
     push_entry t ~at ~label:Internal timer
   in
-  arm (t.clock +. Float.max first 0.);
+  arm (now t +. Float.max first 0.);
   timer
 
 let cancel timer =
@@ -150,6 +170,35 @@ let[@hot] step t =
         else fire t e
       end;
       true
+
+(* External-loop interface: an outside (real-time) event loop asks for
+   the earliest live deadline to size its poll timeout, then fires
+   whatever has come due.  Dead heap heads are popped on the way — the
+   same bookkeeping [step] applies lazily. *)
+let rec next_deadline t =
+  match Heap.peek t.queue with
+  | None -> None
+  | Some e ->
+      if e.consumed then begin
+        ignore (Heap.pop t.queue);
+        t.dead_in_heap <- t.dead_in_heap - 1;
+        next_deadline t
+      end
+      else if e.timer.cancelled then begin
+        ignore (Heap.pop t.queue);
+        e.timer.in_heap <- e.timer.in_heap - 1;
+        t.dead_in_heap <- t.dead_in_heap - 1;
+        next_deadline t
+      end
+      else Some e.fire_at
+
+let run_due t =
+  let continue = ref true in
+  while !continue do
+    match next_deadline t with
+    | Some d when d <= now t -> ignore (step t)
+    | Some _ | None -> continue := false
+  done
 
 (* Driven policy: internal events keep firing in time order, but among
    message deliveries that are due no later than the next internal event

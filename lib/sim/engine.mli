@@ -39,8 +39,22 @@ val create : ?seed:int -> unit -> t
 (** [create ~seed ()] makes an engine whose clock starts at [0.0].
     [seed] (default 1) seeds the root {!Rng.t}. *)
 
+val create_external : ?seed:int -> now:(unit -> float) -> unit -> t
+(** An engine driven by an {e external monotonic clock} instead of the
+    virtual one: [now] is sampled on every read (never rewinding — the
+    engine keeps the max seen), timers carry real-time deadlines, and
+    the queue is drained by an outside event loop via {!next_deadline}
+    and {!run_due} rather than {!run}.  This is how {!Haf_net_unix}
+    reuses the exact timer machinery protocol code schedules against,
+    so the same GCS/framework code runs on both substrates.  Determinism
+    guarantees obviously do not apply. *)
+
+val external_clock : t -> bool
+(** True for engines made with {!create_external}. *)
+
 val now : t -> float
-(** Current virtual time in seconds. *)
+(** Current time in seconds: virtual for {!create}, the (monotonically
+    clamped) external clock for {!create_external}. *)
 
 val rng : t -> Rng.t
 (** The engine's root random stream.  Components should normally call
@@ -72,6 +86,18 @@ val run : ?until:float -> t -> unit
 val step : t -> bool
 (** Execute the single next event under the seeded (time-ordered)
     policy.  [false] if the queue held no live entry to pop. *)
+
+val next_deadline : t -> float option
+(** Earliest live timer deadline, or [None] if the queue is empty.
+    Purges dead heap heads on the way.  An external event loop uses
+    this to size its poll timeout. *)
+
+val run_due : t -> unit
+(** Fire, in (time, insertion) order, every timer whose deadline is at
+    or before [now t] — re-sampling the clock between events, so timers
+    armed by fired actions run in the same call once due.  The
+    external-loop counterpart of {!run}; on a virtual-clock engine it
+    only fires events already due at the frozen clock. *)
 
 (** {2 Scheduler interface}
 

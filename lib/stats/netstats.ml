@@ -1,0 +1,69 @@
+module Sub = Haf_net.Substrate
+module Transport = Haf_net.Transport
+
+let substrate_table ?title sub =
+  let title =
+    match title with
+    | Some t -> t
+    | None -> Fmt.str "per-node traffic (%s substrate)" sub.Sub.name
+  in
+  let t =
+    Table.create ~title
+      ~columns:
+        (("node", Table.Left)
+        :: List.map (fun c -> (c, Table.Right)) Sub.counter_columns)
+      ()
+  in
+  List.iter
+    (fun (id, cells) -> Table.add_row t (string_of_int id :: cells))
+    (Sub.counter_rows sub);
+  let total = Sub.fresh_counters () in
+  for id = 0 to sub.Sub.node_count () - 1 do
+    let c = sub.Sub.counters id in
+    total.Sub.datagrams_sent <- total.Sub.datagrams_sent + c.Sub.datagrams_sent;
+    total.Sub.datagrams_received <-
+      total.Sub.datagrams_received + c.Sub.datagrams_received;
+    total.Sub.datagrams_dropped <-
+      total.Sub.datagrams_dropped + c.Sub.datagrams_dropped;
+    total.Sub.bytes_sent <- total.Sub.bytes_sent + c.Sub.bytes_sent;
+    total.Sub.bytes_received <- total.Sub.bytes_received + c.Sub.bytes_received
+  done;
+  Table.add_row t
+    [
+      "total";
+      Table.fint total.Sub.datagrams_sent;
+      Table.fint total.Sub.datagrams_received;
+      Table.fint total.Sub.datagrams_dropped;
+      Table.fint total.Sub.bytes_sent;
+      Table.fint total.Sub.bytes_received;
+    ];
+  t
+
+let transport_table ?(title = "transport (reliable FIFO layer)") st =
+  let t =
+    Table.create ~title
+      ~columns:
+        (List.map
+           (fun c -> (c, Table.Right))
+           [
+             "payloads sent";
+             "delivered";
+             "retransmits";
+             "duplicates";
+             "acks";
+             "give-ups";
+             "unacked";
+           ])
+      ()
+  in
+  Table.add_row t
+    [
+      Table.fint st.Transport.payloads_sent;
+      Table.fint st.Transport.payloads_delivered;
+      Table.fint st.Transport.retransmissions;
+      Table.fint st.Transport.duplicates;
+      Table.fint st.Transport.acks_sent;
+      Table.fint st.Transport.give_ups;
+      Table.fint st.Transport.unacked;
+    ];
+  t

@@ -1,0 +1,16 @@
+(** Network traffic rendered as {!Table}s — one uniform surface for
+    both substrates.
+
+    The cells come from the backend-neutral {!Haf_net.Substrate}
+    counters and {!Haf_net.Transport.stats}, so the same call renders
+    the simulated network of an experiment and the UDP loopback cluster
+    of [bin/haf_cluster] identically. *)
+
+val substrate_table : ?title:string -> Haf_net.Substrate.t -> Table.t
+(** One row per node (datagrams sent/received/dropped, bytes in/out)
+    plus a [total] row.  The default title names the backend. *)
+
+val transport_table : ?title:string -> Haf_net.Transport.stats -> Table.t
+(** The reliable-FIFO layer's counters as a single row: payloads
+    sent/delivered, retransmissions, duplicates, acks, give-ups and the
+    currently unacked backlog. *)

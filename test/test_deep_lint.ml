@@ -268,6 +268,32 @@ let test_r8_unreached () =
   check_rules "an uncalled helper is out of R8 reach" []
     (analyze [ helper ])
 
+let test_r8_net_unix_reach () =
+  (* The helper is perfectly deterministic — its sin is its address:
+     protocol code must not reach into the real-time substrate at all. *)
+  let helper, sg =
+    Typecheck.unit_ ~file:"lib/net_unix/reactor.ml" ~modname:"Reactor"
+      "let poke (x : int) = x + 1"
+  in
+  let user =
+    unit_ ~file:"lib/gcs/use2.ml" ~modname:"Use2"
+      ~opens:[ ("Reactor", sg) ]
+      "let go x = Reactor.poke x"
+  in
+  let ds = analyze [ helper; user ] in
+  check_rules "net_unix module reached from protocol code" [ "R8" ] ds;
+  (match ds with
+  | [ d ] ->
+      check Alcotest.string "reported in the substrate file"
+        "lib/net_unix/reactor.ml" d.Diag.file;
+      check Alcotest.bool "message names the witness chain" true
+        (contains d.Diag.message "Use2.go"
+        && contains d.Diag.message "substrate-blind")
+  | _ -> Alcotest.fail "expected exactly one diagnostic");
+  (* Unreached, it is fine: bin/ picks the substrate, and test code may
+     drive it directly. *)
+  check_rules "an unreached net_unix module is clean" [] (analyze [ helper ])
+
 let test_r8_comment_pragma () =
   (* Re-check the helper with the pragma comment actually in its
      source, so line numbers in the typedtree and in the scanned text
@@ -376,6 +402,7 @@ let suite =
         Alcotest.test_case "R9 clean" `Quick test_r9_clean;
         Alcotest.test_case "R9 binding pragma" `Quick test_r9_binding_pragma;
         Alcotest.test_case "R8 violation" `Quick test_r8_violation;
+        Alcotest.test_case "R8 net_unix reach" `Quick test_r8_net_unix_reach;
         Alcotest.test_case "R8 unreached" `Quick test_r8_unreached;
         Alcotest.test_case "R8 comment pragma" `Quick test_r8_comment_pragma;
       ] );

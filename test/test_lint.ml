@@ -29,13 +29,24 @@ let test_r1_violation () =
   check_rules "Random flagged in lib/explore" [ "R1" ]
     (lint "lib/explore/explore.ml" {|let pick xs = List.nth xs (Random.int 2)|})
 
+let test_r1_unix_scope () =
+  check_rules "any Unix syscall flagged in lib" [ "R1" ]
+    (lint "lib/gcs/foo.ml" {|let boom fd = Unix.close fd|});
+  check_rules "Unix.select flagged in lib/net" [ "R1" ]
+    (lint "lib/net/foo.ml" {|let wait fds = Unix.select fds [] [] 1.0|});
+  check_rules "bin composition roots may use Unix" []
+    (lint "bin/foo.ml" {|let boom fd = Unix.close fd|})
+
 let test_r1_clean () =
   check_rules "Sim.Rng is the sanctioned source" []
     (lint "lib/net/latency.ml" {|let jitter rng = Haf_sim.Rng.int rng 10|})
 
 let test_r1_allowlist () =
   check_rules "rng.ml itself may use Random" []
-    (lint "lib/sim/rng.ml" {|let seed () = Random.bits ()|})
+    (lint "lib/sim/rng.ml" {|let seed () = Random.bits ()|});
+  check_rules "lib/net_unix is the sanctioned syscall surface" []
+    (lint "lib/net_unix/udp.ml"
+       {|let sock () = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0|})
 
 let test_r1_pragma () =
   check_rules "trailing pragma suppresses" []

@@ -131,8 +131,15 @@ let test_counters () =
   check Alcotest.int "sent" 1 c0.Network.datagrams_sent;
   check Alcotest.int "received" 1 c1.Network.datagrams_received;
   check Alcotest.int "bytes" 4 c1.Network.bytes_received;
+  check Alcotest.int "nothing dropped yet" 0 c0.Network.datagrams_dropped;
+  (* Loss to a crashed destination is charged to the sender. *)
+  Network.crash net 1;
+  Network.send net ~src:0 ~dst:1 "xy";
+  Engine.run engine;
+  check Alcotest.int "drop counted on sender" 1 c0.Network.datagrams_dropped;
   Network.reset_counters net;
-  check Alcotest.int "reset" 0 (Network.counters net 0).Network.datagrams_sent
+  check Alcotest.int "reset" 0 (Network.counters net 0).Network.datagrams_sent;
+  check Alcotest.int "reset dropped" 0 (Network.counters net 0).Network.datagrams_dropped
 
 let test_self_send () =
   let engine, net, _ = make_net () in
@@ -223,7 +230,7 @@ let test_link_delay_override () =
 let make_transport ?(drop = 0.) ?(n = 3) () =
   let config = Network.lossy_lan drop in
   let engine, net, nodes = make_net ~config ~n () in
-  let tr = Transport.create net in
+  let tr = Transport.create (Network.substrate net) in
   (engine, net, tr, nodes)
 
 let collect tr node =
@@ -255,7 +262,15 @@ let test_transport_reliable_over_loss () =
   let payloads = List.rev_map snd !got in
   check (Alcotest.list Alcotest.string) "exactly once, in order, despite 30% loss"
     (List.init 50 (fun i -> string_of_int (i + 1)))
-    payloads
+    payloads;
+  let st = Transport.stats tr in
+  check Alcotest.int "stats: payloads sent" 50 st.Transport.payloads_sent;
+  check Alcotest.int "stats: payloads delivered" 50 st.Transport.payloads_delivered;
+  check Alcotest.bool "stats: loss forced retransmissions" true
+    (st.Transport.retransmissions > 0);
+  check Alcotest.bool "stats: retransmitted frames arrived as duplicates" true
+    (st.Transport.duplicates > 0);
+  check Alcotest.int "stats: nothing outstanding" 0 st.Transport.unacked
 
 let test_transport_across_partition_heal () =
   let engine, net, tr, _ = make_transport () in
@@ -346,7 +361,7 @@ let prop_transport_partition_churn =
       let engine = Engine.create ~seed:(seed + 3) () in
       let net = Network.create engine (Network.lossy_lan drop) in
       let _ = Network.add_node net and _ = Network.add_node net in
-      let tr = Transport.create net in
+      let tr = Transport.create (Network.substrate net) in
       let got = ref [] in
       Transport.attach tr 1 (fun ~src:_ payload -> got := payload :: !got);
       Transport.attach tr 0 (fun ~src:_ _ -> ());
@@ -383,7 +398,7 @@ let prop_transport_any_loss_rate =
       let engine = Engine.create ~seed:(seed + 1) () in
       let net = Network.create engine (Network.lossy_lan drop) in
       let _ = Network.add_node net and _ = Network.add_node net in
-      let tr = Transport.create net in
+      let tr = Transport.create (Network.substrate net) in
       let got = ref [] in
       Transport.attach tr 1 (fun ~src:_ payload -> got := payload :: !got);
       Transport.attach tr 0 (fun ~src:_ _ -> ());
