@@ -457,6 +457,19 @@ let write_chaos_json ~path chaos_ests =
   close_out oc
 
 (* ------------------------------------------------------------------ *)
+(* BENCH_stabilize.json: the self-stabilization claim in numbers — one
+   hardened E18 corruption sweep (quick seeds, intensity 1.0) under the
+   convergence oracle, reporting time-to-reconvergence percentiles and
+   the audit/reset work the recovery took. *)
+
+let write_stabilize_json ~path =
+  let module E18 = Haf_experiments.E18_stabilize in
+  let st = E18.bench_stats ~intensity:1.0 ~quick:true () in
+  let oc = open_out path in
+  output_string oc (E18.json_of_stats ~mode:"quick" ~intensity:1.0 st);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
 (* Part 5: the real-time substrate.  Not a bechamel subject — sockets
    and the select reactor do not fit a closed staged thunk — so this is
    a direct wall-clock measurement of the same Transport the sim
@@ -537,7 +550,7 @@ let udp_loopback_bench () =
   Udp.close u
 
 let () =
-  print_endline "=== Part 1: evaluation tables (experiments E1..E15, quick mode) ===";
+  print_endline "=== Part 1: evaluation tables (experiments E1..E18, quick mode) ===";
   print_newline ();
   Haf_experiments.Registry.run_all ~quick:true Format.std_formatter;
   print_endline "=== Part 2: microbenchmarks ===";
@@ -555,6 +568,8 @@ let () =
   print_estimates "chaos/monitor microbenchmarks (monotonic clock)" chaos_ests;
   write_chaos_json ~path:"BENCH_chaos.json" chaos_ests;
   print_endline "wrote BENCH_chaos.json";
+  write_stabilize_json ~path:"BENCH_stabilize.json";
+  print_endline "wrote BENCH_stabilize.json";
   print_endline "=== Part 5: real UDP loopback substrate (lib/net_unix) ===";
   print_newline ();
   udp_loopback_bench ()

@@ -1,5 +1,12 @@
 module Rng = Haf_sim.Rng
 
+type target =
+  | View_id
+  | Epoch
+  | Clock
+  | Record
+  | Conn
+
 type op =
   | Partition of int list list
   | Heal
@@ -9,6 +16,24 @@ type op =
   | Restart of int
   | Wipe_unit of int
   | Disk_faults of { server : int; on : bool }
+  | Corrupt of { server : int; target : target }
+
+let target_to_string = function
+  | View_id -> "view"
+  | Epoch -> "epoch"
+  | Clock -> "clock"
+  | Record -> "record"
+  | Conn -> "conn"
+
+let target_of_string = function
+  | "view" -> Some View_id
+  | "epoch" -> Some Epoch
+  | "clock" -> Some Clock
+  | "record" -> Some Record
+  | "conn" -> Some Conn
+  | _ -> None
+
+let all_targets = [ View_id; Epoch; Clock; Record; Conn ]
 
 type schedule = (float * op) list
 
@@ -31,6 +56,8 @@ let op_to_string = function
   | Wipe_unit u -> Printf.sprintf "wipe %d" u
   | Disk_faults { server; on } ->
       Printf.sprintf "disk %d %s" server (if on then "on" else "off")
+  | Corrupt { server; target } ->
+      Printf.sprintf "corrupt-%s %d" (target_to_string target) server
 
 let to_string (s : schedule) =
   String.concat "\n"
@@ -68,6 +95,10 @@ let parse_op = function
   | [ "wipe"; u ] -> Some (Wipe_unit (int_of_string u))
   | [ "disk"; s; onoff ] ->
       Some (Disk_faults { server = int_of_string s; on = String.equal onoff "on" })
+  | [ word; s ] when String.length word > 8 && String.sub word 0 8 = "corrupt-" -> (
+      match target_of_string (String.sub word 8 (String.length word - 8)) with
+      | Some target -> Some (Corrupt { server = int_of_string s; target })
+      | None -> None)
   | _ -> None
 
 let of_string text =
@@ -105,7 +136,8 @@ let pp ppf s =
 let sort_schedule s =
   List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) s
 
-let generate ?(max_delay = 0.2) ~seed ~intensity ~horizon ~n_servers ~n_units () =
+let generate ?(max_delay = 0.2) ?(corruption = 0) ~seed ~intensity ~horizon
+    ~n_servers ~n_units () =
   let rng = Rng.create seed in
   let n_incidents =
     Int.max 1 (int_of_float (intensity *. horizon /. 8.))
@@ -130,6 +162,10 @@ let generate ?(max_delay = 0.2) ~seed ~intensity ~horizon ~n_servers ~n_units ()
         (2, `Disk);
       ]
       @ (if n_units > 0 then [ (1, `Wipe) ] else [])
+      (* Appended last only when enabled: the pick fallback below returns
+         the final entry on an out-of-range roll, so a weight-0 entry
+         here would change existing seeded schedules. *)
+      @ (if corruption > 0 then [ (corruption, `Corrupt) ] else [])
     in
     let total = List.fold_left (fun a (w, _) -> a + w) 0 weighted in
     let roll = Rng.int rng total in
@@ -193,6 +229,15 @@ let generate ?(max_delay = 0.2) ~seed ~intensity ~horizon ~n_servers ~n_units ()
           (t0, Disk_faults { server = s; on = true });
           (t0 +. dur, Disk_faults { server = s; on = false });
         ]
+    | `Corrupt ->
+        (* No paired repair: undoing the damage is the hardened
+           protocol's job, and measuring how long that takes is the
+           whole point of injecting it. *)
+        let s = Rng.int rng n_servers in
+        let target =
+          List.nth all_targets (Rng.int rng (List.length all_targets))
+        in
+        [ (t0, Corrupt { server = s; target }) ]
   in
   List.concat (List.init n_incidents (fun _ -> incident rng)) |> sort_schedule
 

@@ -15,6 +15,24 @@
     crashed one, or healing a healthy fabric are no-ops): the shrinker
     removes arbitrary subsets, which breaks fault/repair pairing. *)
 
+type target =
+  | View_id
+      (** Damage the daemon's installed view for one of its groups:
+          drop the server from its own membership (or, alone, skew the
+          view id's epoch). *)
+  | Epoch
+      (** Desync the daemon's per-group epoch high-water mark below the
+          installed view's epoch (bounded-counter violation). *)
+  | Clock
+      (** Corrupt the delivery clock: jump [delivered_up_to] past the
+          log's horizon, stalling contiguous total-order delivery. *)
+  | Record
+      (** Bit-flip a unit-database record on one server (assignment or
+          tombstone flag), bypassing the framework's checksum cache. *)
+  | Conn
+      (** Roll a transport sender-connection id back to a stale
+          incarnation, so the receiver discards everything as duplicate. *)
+
 type op =
   | Partition of int list list
       (** Symmetric partition of the {e server} indices into the given
@@ -33,12 +51,22 @@ type op =
   | Disk_faults of { server : int; on : bool }
       (** Toggle the store fault model (torn writes, corruption, fsync
           failures) on one server's devices. *)
+  | Corrupt of { server : int; target : target }
+      (** Transient in-memory state corruption on one server: the
+          process stays up, but one piece of its protocol state is
+          silently damaged.  Delivered deterministically through the
+          engine's corruption hook ({!Haf_sim.Engine.corruption}) at
+          the next instrumented point for [target] on [server]; the
+          text form is ["corrupt-<target> <server>"].  There is no
+          paired repair op — recovery is the hardened protocol's
+          responsibility (audit, reset, rejoin). *)
 
 type schedule = (float * op) list
 (** Time-sorted, times in seconds of virtual time. *)
 
 val generate :
   ?max_delay:float ->
+  ?corruption:int ->
   seed:int ->
   intensity:float ->
   horizon:float ->
@@ -52,7 +80,17 @@ val generate :
     [max_delay] caps {!Delay} extras (default 0.2 s — below the default
     suspicion timeout, so delay spikes degrade without forging
     failures; raise it to attack a mis-configured failure detector).
+    [corruption] (default 0) is the relative weight of {!Corrupt}
+    incidents in the mix; 0 disables them entirely, keeping schedules
+    generated before the corruption fault model existed byte-identical.
     Equal arguments give byte-identical schedules. *)
+
+val target_to_string : target -> string
+
+val target_of_string : string -> target option
+
+val all_targets : target list
+(** Every corruption target, in a fixed order (generation and tests). *)
 
 val to_string : schedule -> string
 (** One op per line: ["<time> <op> <args>"]. *)

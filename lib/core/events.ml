@@ -43,6 +43,8 @@ type t =
       crc_mismatch : bool;
       snapshot_lost : bool;
     }
+  | Audit_failed of { server : int; subsystem : string; detail : string }
+  | Server_reset of { server : int; subsystem : string }
 [@@haf.protocol]
 (* Deep-lint R6: dispatches over the event timeline in protocol code
    (monitor, explore oracle) must enumerate every constructor, so a new
@@ -118,3 +120,7 @@ let pp ppf = function
       Format.fprintf ppf
         "store_recovered s%d sessions=%d wal=%d torn=%b crc=%b snap_lost=%b" server
         sessions wal_records torn_tail crc_mismatch snapshot_lost
+  | Audit_failed { server; subsystem; detail } ->
+      Format.fprintf ppf "audit_failed s%d %s: %s" server subsystem detail
+  | Server_reset { server; subsystem } ->
+      Format.fprintf ppf "server_reset s%d %s" server subsystem

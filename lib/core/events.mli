@@ -61,6 +61,14 @@ type t =
       snapshot_lost : bool;
     }
       (** A restarted server replayed its stable store before rejoining. *)
+  | Audit_failed of { server : int; subsystem : string; detail : string }
+      (** A local self-check convicted in-memory state corruption —
+          [subsystem] names the damaged component ("gcs:<group>" or
+          "unit-db:<unit>"). *)
+  | Server_reset of { server : int; subsystem : string }
+      (** The convicted component took the reset-and-rejoin path: state
+          falls back to a safe default and the ordinary merge /
+          state-exchange machinery reconciles it with the group. *)
 
 type sink
 

@@ -144,7 +144,14 @@ module Make (S : Service_intf.SERVICE) = struct
 
     type ustate = {
       u_id : string;
-      u_db : S.context Unit_db.t;
+      mutable u_db : S.context Unit_db.t;
+          (* Replaced wholesale only by the audit reset-and-rejoin path;
+             all protocol mutations go through Unit_db's operations. *)
+      mutable u_checksum : int;
+          (* {!Unit_db.checksum} as of the last sanctioned mutation.  The
+             periodic audit recomputes and compares: a mismatch means the
+             database was damaged out-of-band (bit flip, stray write) and
+             convicts this replica without consulting any peer. *)
       mutable u_view : View.t option;
       mutable u_exchange : exchange option;
       mutable u_recovering : bool;
@@ -165,6 +172,7 @@ module Make (S : Service_intf.SERVICE) = struct
       sessions : (string, slocal) Hashtbl.t;
       store : Haf_store.Store.t option;
       mutable store_timers : Engine.timer list;
+      mutable audit_timer : Engine.timer option;
       mutable svc_view : View.t option;
       mutable running : bool;
     }
@@ -184,6 +192,11 @@ module Make (S : Service_intf.SERVICE) = struct
       match t.store with
       | Some st -> Haf_store.Store.log st (encode_persisted p)
       | None -> ()
+
+    (* Called at the tail of every sanctioned unit-db mutation path, so
+       the cached checksum tracks legitimate changes and the periodic
+       audit only ever fires on out-of-band damage. *)
+    let refresh_checksum us = us.u_checksum <- Unit_db.checksum us.u_db
 
     (* -------------------------------------------------------------- *)
     (* Session-local state                                             *)
@@ -431,6 +444,7 @@ module Make (S : Service_intf.SERVICE) = struct
           in
           Unit_db.set_assignment us.u_db a.Selection.a_session_id
             ~primary:a.Selection.a_primary ~backups:a.Selection.a_backups;
+          refresh_checksum us;
           if changed then
             store_log t
               (P_assign
@@ -479,6 +493,95 @@ module Make (S : Service_intf.SERVICE) = struct
           List.iter (apply_assignment t us) assignments
 
     (* -------------------------------------------------------------- *)
+    (* Self-stabilization: unit-db audit and reset-and-rejoin          *)
+
+    (* Pure per-unit self-check: structural invariants plus the cached
+       checksum.  Consulted by the convergence oracle on hardened and
+       unhardened builds alike, so it must not depend on
+       [Audit.enabled]. *)
+    let unit_verdict us =
+      match Unit_db.sound us.u_db with
+      | Error detail -> Some detail
+      | Ok () ->
+          if Unit_db.checksum us.u_db <> us.u_checksum then
+            Some "unit-db checksum diverged from last sanctioned mutation"
+          else None
+
+    let units_sound t =
+      Det_tbl.fold_sorted ~compare:String.compare
+        (fun _ us acc -> acc && unit_verdict us = None)
+        t.units true
+
+    (* Reset-and-rejoin for a convicted unit database: relinquish every
+       local role, fall back to an empty replica, and leave+rejoin the
+       content group — the resulting view change triggers the ordinary
+       digest/delta state exchange, which restores our copy from the
+       surviving members exactly like a store-less restart would.
+       [u_recovering] suppresses self-assignment meanwhile, with the
+       same alone-after-a-grace fallback as store recovery. *)
+    let reset_unit t us =
+      emit t (Events.Server_reset { server = t.proc; subsystem = "unit-db:" ^ us.u_id });
+      let locals =
+        Det_tbl.fold_sorted ~compare:String.compare
+          (fun _ sl acc -> if sl.sl_unit = us.u_id then sl :: acc else acc)
+          t.sessions []
+      in
+      List.iter (fun sl -> relinquish t sl ~new_primary:None) locals;
+      us.u_db <- Unit_db.create ~unit_id:us.u_id;
+      us.u_view <- None;
+      us.u_exchange <- None;
+      us.u_recovering <- true;
+      refresh_checksum us;
+      Gcs.leave t.gcs t.proc (Naming.content_group us.u_id);
+      Gcs.join t.gcs t.proc (Naming.content_group us.u_id);
+      let grace = 2. *. (Gcs.config t.gcs).Haf_gcs.Config.suspect_timeout in
+      ignore
+        (Engine.schedule t.engine ~delay:grace (fun () ->
+             if t.running && us.u_recovering && us.u_exchange = None then begin
+               us.u_recovering <- false;
+               reassign t us ~rebalance:false
+             end))
+
+    let audit_units t =
+      if !Haf_gcs.Audit.enabled then
+        Det_tbl.iter_sorted ~compare:String.compare
+          (fun _ us ->
+            match unit_verdict us with
+            | None -> ()
+            | Some detail ->
+                emit t
+                  (Events.Audit_failed
+                     { server = t.proc; subsystem = "unit-db:" ^ us.u_id; detail });
+                reset_unit t us)
+          t.units
+
+    (* Instrumented corruption point for the unit database (chaos target
+       [Record]): resurrect the first tombstone, or strip the first live
+       session's assignment — either way an out-of-band flip no
+       sanctioned path produces.  Consulted after the audit in the same
+       tick, so detection lands one period later, never instantly. *)
+    let corrupt_record_tick t =
+      if Engine.corruption t.engine ~site:"corrupt.record" ~proc:t.proc then
+        match Det_tbl.sorted_keys ~compare:String.compare t.units with
+        | [] -> ()
+        | u :: _ -> (
+            let us = Hashtbl.find t.units u in
+            match Unit_db.sessions us.u_db with
+            | [] -> ()
+            | s :: _ ->
+                if s.Unit_db.ended then s.Unit_db.ended <- false
+                else begin
+                  s.Unit_db.primary <- None;
+                  s.Unit_db.backups <- []
+                end)
+
+    let audit_tick t =
+      if t.running then begin
+        audit_units t;
+        corrupt_record_tick t
+      end
+
+    (* -------------------------------------------------------------- *)
     (* Content-group message processing                                *)
 
     let grant_if_primary t us session_id =
@@ -508,6 +611,7 @@ module Make (S : Service_intf.SERVICE) = struct
           let existed = Unit_db.mem us.u_db session_id in
           let started_at = now t in
           ignore (Unit_db.add_session us.u_db ~session_id ~client ~started_at);
+          refresh_checksum us;
           if not existed then begin
             store_log t (P_session { unit_id = us.u_id; session_id; client; started_at });
             reassign t us ~rebalance:false
@@ -515,6 +619,7 @@ module Make (S : Service_intf.SERVICE) = struct
           grant_if_primary t us session_id
       | Propagate { session_id; snap } -> (
           Unit_db.set_propagated us.u_db session_id snap;
+          refresh_checksum us;
           if Unit_db.live us.u_db session_id then
             store_log t (P_ctx { unit_id = us.u_id; session_id; snap });
           (* A backup folds the propagation into its live context: take
@@ -548,7 +653,8 @@ module Make (S : Service_intf.SERVICE) = struct
             store_log t (P_end { unit_id = us.u_id; session_id });
           if !test_end_session_deletes then
             Unit_db.remove_session us.u_db session_id
-          else Unit_db.end_session us.u_db session_id
+          else Unit_db.end_session us.u_db session_id;
+          refresh_checksum us
       | State_digest _ | State_delta _ -> ()  (* handled by the exchange machinery *)
       | List_units _ | Request _ -> ()
 
@@ -611,6 +717,7 @@ module Make (S : Service_intf.SERVICE) = struct
       in
       Unit_db.merge_records us.u_db deltas;
       reconcile_assignments us ex;
+      refresh_checksum us;
       if deltas <> [] then
         store_log t (P_merge { unit_id = us.u_id; records = deltas });
       us.u_exchange <- None;
@@ -938,7 +1045,10 @@ module Make (S : Service_intf.SERVICE) = struct
                   Unit_db.set_propagated us.u_db session_id snap)
           | P_merge { unit_id; records } ->
               with_unit unit_id (fun us -> Unit_db.merge_records us.u_db records))
-        r.Haf_store.Store.rec_wal
+        r.Haf_store.Store.rec_wal;
+      Det_tbl.iter_sorted ~compare:String.compare
+        (fun _ us -> refresh_checksum us)
+        t.units
 
     let start_store_timers t st =
       let cfg = Haf_store.Store.config st in
@@ -980,16 +1090,19 @@ module Make (S : Service_intf.SERVICE) = struct
           sessions = Hashtbl.create 16;
           store;
           store_timers = [];
+          audit_timer = None;
           svc_view = None;
           running = true;
         }
       in
       List.iter
         (fun u ->
+          let db = Unit_db.create ~unit_id:u in
           Hashtbl.replace t.units u
             {
               u_id = u;
-              u_db = Unit_db.create ~unit_id:u;
+              u_db = db;
+              u_checksum = Unit_db.checksum db;
               u_view = None;
               u_exchange = None;
               u_recovering = false;
@@ -1050,6 +1163,31 @@ module Make (S : Service_intf.SERVICE) = struct
           on_message = (fun ~group ~sender payload -> on_message t ~group ~sender payload);
           on_p2p = (fun ~sender payload -> on_p2p t ~sender payload);
         };
+      (* Surface the daemon's own audit failures as events: the hook
+         fires just before the GCS-level reset-and-rejoin, so the
+         monitor and the explore spec see the conviction/reset pair. *)
+      Gcs.set_audit_hook gcs proc
+        (Some
+           (fun ~group v ->
+             if t.running then begin
+               emit t
+                 (Events.Audit_failed
+                    {
+                      server = proc;
+                      subsystem = "gcs:" ^ group;
+                      detail = Haf_gcs.Audit.describe v;
+                    });
+               emit t (Events.Server_reset { server = proc; subsystem = "gcs:" ^ group })
+             end));
+      (* Periodic unit-db self-audit, scaled to the fabric's heartbeat so
+         hair-trigger experiment configs audit proportionally faster.
+         The corruption point is consulted after the audit, in the same
+         tick — so injected damage is always detected one period later. *)
+      let audit_period = 2. *. (Gcs.config gcs).Haf_gcs.Config.heartbeat_interval in
+      t.audit_timer <-
+        Some
+          (Engine.every t.engine ~first:audit_period ~period:audit_period (fun () ->
+               audit_tick t));
       Gcs.join gcs proc Naming.service_group;
       List.iter (fun u -> Gcs.join gcs proc (Naming.content_group u)) units;
       t
@@ -1058,6 +1196,8 @@ module Make (S : Service_intf.SERVICE) = struct
       t.running <- false;
       List.iter Engine.cancel t.store_timers;
       t.store_timers <- [];
+      (match t.audit_timer with Some tm -> Engine.cancel tm | None -> ());
+      t.audit_timer <- None;
       Det_tbl.iter_sorted ~compare:String.compare
         (fun _ sl -> stop_timers sl)
         t.sessions

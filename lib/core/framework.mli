@@ -173,6 +173,16 @@ module Make (S : Service_intf.SERVICE) : sig
         flight and not withholding self-assignment after a store
         recovery.  Probes comparing replicas must skip unsettled ones —
         divergence during reconciliation is expected, not a violation. *)
+
+    val units_sound : t -> bool
+    (** Pure self-check over every unit database: structural invariants
+        ({!Unit_db.sound}) and the cached {!Unit_db.checksum} both hold.
+        Independent of [Haf_gcs.Audit.enabled] — the convergence oracle
+        evaluates it on hardened and unhardened builds alike.  The
+        server itself audits this periodically (every two fabric
+        heartbeats) and, when hardening is on, answers a failure with
+        reset-and-rejoin: roles relinquished, an empty replica re-joins
+        the content group, and the state exchange restores the copy. *)
   end
 
   module Client : sig

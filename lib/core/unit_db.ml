@@ -224,6 +224,41 @@ let replace_with_merge t snapshots =
   Hashtbl.reset t.table;
   List.iter (merge_records t) snapshots
 
+(* Order-sensitive chained hash over the per-session digests (export is
+   sorted, so equal databases hash equal).  Each digest is hashed on its
+   own with generous node limits — the default [Hashtbl.hash] stops
+   after 10 meaningful nodes, which would let a flip deep in a long
+   session list slip through unchanged. *)
+let checksum t =
+  let h acc d = Hashtbl.hash (acc, Hashtbl.hash_param 64 256 d) in (* haf-lint: allow R2 — local integrity checksum, never compared across processes *)
+  List.fold_left h 0x9e3779b9 (List.map digest_of_record (export t))
+
+(* Structural soundness, independent of any cached checksum: the
+   invariants every sanctioned mutation preserves, so a violation means
+   the in-memory state was damaged out-of-band. *)
+let sound t =
+  let bad fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let rec check = function
+    | [] -> Ok ()
+    | s :: rest ->
+        if s.unit_id <> t.uid then
+          bad "session %s carries unit %s in db %s" s.session_id s.unit_id t.uid
+        else if s.client < 0 then bad "session %s: negative client" s.session_id
+        else if
+          s.ended && (s.primary <> None || s.backups <> [] || s.propagated <> None)
+        then bad "tombstone %s still carries assignment or content" s.session_id
+        else if
+          match s.primary with Some p -> p < 0 || List.mem p s.backups | None -> false
+        then bad "session %s: primary invalid or listed as backup" s.session_id
+        else if List.exists (fun b -> b < 0) s.backups then
+          bad "session %s: negative backup id" s.session_id
+        else if
+          match s.propagated with Some sn -> sn.snap_req_seq < 0 | None -> false
+        then bad "session %s: negative propagated req_seq" s.session_id
+        else check rest
+  in
+  check (sessions t)
+
 let equal_assignments a b =
   let summary t =
     sessions t

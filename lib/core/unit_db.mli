@@ -132,6 +132,21 @@ val replace_with_merge : 'ctx t -> 'ctx record list list -> unit
 (** Rebuild the database as the merge of several exported snapshots (the
     post-view-change state exchange). *)
 
+(** {2 Self-checking} *)
+
+val checksum : 'ctx t -> int
+(** Order-sensitive hash over the per-session digests (identity,
+    assignment, snapshot metadata, tombstone flag — not the service
+    context).  Equal databases hash equal; the framework caches it after
+    every sanctioned mutation and a later mismatch convicts out-of-band
+    state corruption. *)
+
+val sound : 'ctx t -> (unit, string) result
+(** Structural invariants every sanctioned mutation preserves: sessions
+    belong to this unit, tombstones carry no assignment or content, a
+    primary is never its own backup, ids and seqs are non-negative.
+    [Error detail] means the in-memory state was damaged. *)
+
 val equal_shape : 'ctx t -> 'ctx t -> bool
 (** Same sessions with the same assignments and snapshot metadata
     (contexts compared structurally is up to the service; we compare

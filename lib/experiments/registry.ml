@@ -22,6 +22,7 @@ let all =
     { id = E14_recovery.id; title = E14_recovery.title; run = E14_recovery.run };
     { id = E15_chaos.id; title = E15_chaos.title; run = E15_chaos.run };
     { id = E16_explore.id; title = E16_explore.title; run = E16_explore.run };
+    { id = E18_stabilize.id; title = E18_stabilize.title; run = E18_stabilize.run };
   ]
 
 let find id = List.find_opt (fun e -> String.equal e.id id) all

@@ -9,6 +9,7 @@ module Network = Haf_net.Network
 module Events = Haf_core.Events
 module Policy = Haf_core.Policy
 module Monitor = Haf_monitor.Monitor
+module Stabilize = Haf_monitor.Stabilize
 module Chaos = Haf_chaos.Chaos
 
 (* Cross-run violation ledger: every [run] (any functor instantiation)
@@ -38,6 +39,14 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
            crash_server power-fails it, restart_server hands the same
            store back so recovery reads what the dead life wrote. *)
     rng : Rng.t;
+    corrupt_armed : (string * int, int) Hashtbl.t;
+        (* (corruption site, proc) -> pending injections.  apply_schedule
+           arms entries here; the engine's corruptor hook consumes one
+           per [true] answer, so the corruption lands at the victim's
+           next instrumented tick and nowhere else. *)
+    mutable stabilizer : Stabilize.t option;
+        (* Convergence oracle, when an experiment attached one; probed
+           from the monitor loop, told of injections by apply_schedule. *)
   }
 
   let units_of_server sc p =
@@ -88,9 +97,40 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
           let proc = Gcs.add_client gcs in
           Fw.Client.create gcs ~proc ~policy:sc.policy ~events)
     in
+    let corrupt_armed = Hashtbl.create 8 in
     let w =
-      { scenario = sc; engine; gcs; events; monitor; servers; clients; stores; rng }
+      {
+        scenario = sc;
+        engine;
+        gcs;
+        events;
+        monitor;
+        servers;
+        clients;
+        stores;
+        rng;
+        corrupt_armed;
+        stabilizer = None;
+      }
     in
+    (* The corruptor hook answers [true] once per armed (site, proc)
+       pair, and tells the convergence oracle at that exact instant —
+       the moment the damage actually lands, not the moment the
+       schedule op armed it.  An earlier version noted the injection at
+       arming time; a monitor probe falling between arming and the
+       victim's next tick then saw a still-legal configuration and
+       closed the episode before the damage existed. *)
+    Engine.set_corruptor engine
+      (Some
+         (fun ~site ~proc ~occ:_ ->
+           match Hashtbl.find_opt corrupt_armed (site, proc) with
+           | Some n when n > 0 ->
+               Hashtbl.replace corrupt_armed (site, proc) (n - 1);
+               (match w.stabilizer with
+               | Some st -> Stabilize.note_corruption st ~now:(Engine.now engine)
+               | None -> ());
+               true
+           | Some _ | None -> false));
     (* Client workload: staggered session starts, units chosen
        round-robin so load spreads across content groups. *)
     List.iteri
@@ -330,6 +370,18 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
               ignore
                 (Engine.schedule w.engine ~delay:5. (fun () -> restart_server w p)))
             victims
+      | Chaos.Corrupt { server; target } ->
+          (* Arm one injection at the victim's instrumented corruption
+             site; the damage itself is applied by the component at its
+             next tick, so it hits a real protocol step
+             deterministically.  The corruptor hook (see [setup]) starts
+             the convergence oracle's clock at that landing instant. *)
+          let site = "corrupt." ^ Chaos.target_to_string target in
+          let key = (site, proc server) in
+          let pending =
+            Option.value (Hashtbl.find_opt w.corrupt_armed key) ~default:0
+          in
+          Hashtbl.replace w.corrupt_armed key (pending + 1)
       | Chaos.Disk_faults { server; on } -> (
           match store_of w (proc server) with
           | Some st ->
@@ -350,6 +402,90 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
   (* Monitoring loop                                                   *)
 
   let monitor_interval = 0.25
+
+  (* A "legal configuration" in the self-stabilization sense: every live
+     process passes its local audits (GCS per-group checks and the
+     framework's unit-db checksums), no two mutually reachable servers
+     both claim primary for one session, and settled sharers of a unit
+     view agree on the assignment.  Deliberately evaluated through the
+     {e pure} audit predicates ([Daemon.audit_ok], [Server.units_sound]),
+     which ignore [Audit.enabled] — so the oracle tells a hardened build
+     (converges) from an unhardened one (stays illegal) without the
+     build under test grading its own homework. *)
+  let legal_configuration w =
+    let net = Gcs.network w.gcs in
+    let servers = Gcs.servers w.gcs in
+    let live = live_servers w in
+    let audits_ok =
+      List.for_all
+        (fun (p, srv) ->
+          Haf_gcs.Daemon.audit_ok (Gcs.daemon w.gcs p)
+          && Fw.Server.units_sound srv)
+        live
+    in
+    let unique_primaries =
+      List.for_all
+        (fun sid ->
+          let ps =
+            List.filter_map
+              (fun (p, srv) ->
+                if Fw.Server.is_primary_of srv sid then Some p else None)
+              live
+          in
+          (* Two believed primaries are legal only while partitioned
+             apart — same component rule as the monitor's. *)
+          List.for_all
+            (fun p ->
+              List.for_all
+                (fun q ->
+                  p >= q || not (Network.reachable net ~among:servers p q))
+                ps)
+            ps)
+        (all_session_ids w)
+    in
+    let assignments_agree =
+      List.for_all
+        (fun k ->
+          let u = Scenario.unit_name k in
+          let holders =
+            List.filter_map
+              (fun (p, srv) ->
+                if Fw.Server.unit_settled srv u then
+                  match (Fw.Server.unit_view srv u, Fw.Server.db srv u) with
+                  | Some vid, Some db -> Some (p, vid, db)
+                  | _ -> None
+                else None)
+              live
+          in
+          List.for_all
+            (fun (p, vid, db) ->
+              List.for_all
+                (fun (q, vid', db') ->
+                  p >= q
+                  || (not (Haf_gcs.View.Id.equal vid vid'))
+                  || (not (Network.reachable net ~among:servers p q))
+                  || Haf_core.Unit_db.equal_assignments db db')
+                holders)
+            holders)
+        (List.init w.scenario.Scenario.n_units (fun k -> k))
+    in
+    audits_ok && unique_primaries && assignments_agree
+
+  let track_stabilization w ~window =
+    let st =
+      Stabilize.create ~window ~report:(fun ~now ~detail ->
+          Monitor.report w.monitor ~now ~invariant:Haf_stats.Metrics.Convergence
+            ~detail ())
+    in
+    w.stabilizer <- Some st;
+    st
+
+  let probe_stabilizer w =
+    match w.stabilizer with
+    | Some st ->
+        Stabilize.probe st ~now:(Engine.now w.engine)
+          ~legal:(legal_configuration w)
+    | None -> ()
 
   (* Invariant (d): settled members of the same content-group view that
      can reach each other must agree on the session assignments.  The
@@ -414,6 +550,7 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
           (Engine.schedule_at w.engine ~time:t (fun () ->
                Monitor.pump w.monitor ~now:(Engine.now w.engine);
                probe_assignments w pending;
+               probe_stabilizer w;
                loop (t +. monitor_interval)))
     in
     loop monitor_interval
@@ -426,6 +563,7 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
     start_monitor w;
     Engine.run ~until:w.scenario.Scenario.duration w.engine;
     Monitor.pump w.monitor ~now:(Engine.now w.engine);
+    probe_stabilizer w;
     observed := !observed @ violations w;
     Events.events w.events
 

@@ -29,6 +29,12 @@ module Make (S : Haf_core.Service_intf.SERVICE) : sig
         (** Per-server stable storage when the scenario enables it; each
             store outlives its server's crashes. *)
     rng : Haf_sim.Rng.t;
+    corrupt_armed : (string * int, int) Hashtbl.t;
+        (** Pending corruption injections per (site, proc); armed by
+            {!apply_schedule}'s [Corrupt] ops, consumed one per [true]
+            answer by the engine's corruptor hook. *)
+    mutable stabilizer : Haf_monitor.Stabilize.t option;
+        (** Convergence oracle, once {!track_stabilization} attached one. *)
   }
 
   val setup : Scenario.t -> world
@@ -113,6 +119,24 @@ module Make (S : Haf_core.Service_intf.SERVICE) : sig
   val violations : world -> Haf_stats.Metrics.violation list
   (** What the monitor (plus the runner's assignment-agreement probe)
       recorded, oldest first.  Meaningful after {!run}. *)
+
+  (** {2 Self-stabilization oracle} *)
+
+  val legal_configuration : world -> bool
+  (** The deployment is in a legal configuration right now: every live
+      process passes its {e pure} local audits ([Daemon.audit_ok] and
+      the framework's unit-db soundness — both independent of
+      [Audit.enabled]), no two mutually reachable servers claim primary
+      for one session, and settled sharers of a unit view agree on the
+      assignment. *)
+
+  val track_stabilization : world -> window:float -> Haf_monitor.Stabilize.t
+  (** Attach a convergence oracle before {!run}: the monitor loop then
+      probes {!legal_configuration} every pump, the corruptor hook
+      restarts its quiescence deadline at the instant each armed
+      [Corrupt] op's damage actually lands, and window overruns are
+      reported as [Metrics.Convergence] violations through the world's
+      monitor. *)
 
   (** {2 Introspection} *)
 

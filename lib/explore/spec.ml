@@ -14,10 +14,21 @@ type phase = Requested | Active | Ended
 
 type t = {
   sessions : (string, phase) Hashtbl.t;
+  convicted : (int * string, int) Hashtbl.t;
+      (* (server, subsystem) -> audit convictions not yet answered by a
+         reset.  The reset-and-rejoin lifecycle: a component may only
+         reset after its own audit convicted it, one reset per
+         conviction — an unprovoked reset would silently discard state
+         the group believes it holds. *)
   mutable violations_rev : (float * string) list;
 }
 
-let create () = { sessions = Hashtbl.create 16; violations_rev = [] }
+let create () =
+  {
+    sessions = Hashtbl.create 16;
+    convicted = Hashtbl.create 8;
+    violations_rev = [];
+  }
 
 let flag t ~now fmt =
   Printf.ksprintf
@@ -73,12 +84,33 @@ let on_event t ~now (ev : Events.t) =
             "spec: s%d propagated context for session %s after its End (zombie)"
             server session_id
       | Some _ | None -> ())
+  | Events.Audit_failed { server; subsystem; _ } ->
+      let key = (server, subsystem) in
+      Hashtbl.replace t.convicted key
+        (1 + Option.value (Hashtbl.find_opt t.convicted key) ~default:0)
+  | Events.Server_reset { server; subsystem } -> (
+      match Hashtbl.find_opt t.convicted (server, subsystem) with
+      | Some n when n > 0 -> Hashtbl.replace t.convicted (server, subsystem) (n - 1)
+      | Some _ | None ->
+          flag t ~now
+            "spec: s%d reset %s without a preceding audit conviction" server
+            subsystem)
+  | Events.Server_crashed { server } ->
+      (* A crash wipes the component's in-memory state, pending audit
+         convictions included; its next life starts unconvicted. *)
+      let compare_conviction (s1, g1) (s2, g2) =
+        match Int.compare s1 s2 with 0 -> String.compare g1 g2 | c -> c
+      in
+      List.iter
+        (fun ((s, _) as key) ->
+          if s = server then Hashtbl.replace t.convicted key 0)
+        (Haf_sim.Det_tbl.sorted_keys ~compare:compare_conviction t.convicted)
   | Events.Request_sent _ | Events.Request_applied _ | Events.Response_sent _
   | Events.Response_received _
   | Events.Role_assumed _ (* Backup roles carry no post-End obligation:
                              a backup context may linger until the
                              tombstone's view change cleans it up. *)
-  | Events.Role_dropped _ | Events.View_noted _ | Events.Server_crashed _
+  | Events.Role_dropped _ | Events.View_noted _
   | Events.Server_restarted _ | Events.Exchange_sent _
   | Events.Store_recovered _ ->
       ()

@@ -29,8 +29,18 @@ let deliverable t m =
 
 let duplicate t m = m.vc.(m.origin) <= t.clock.(m.origin)
 
+(* Structural validation of an inbound stamp.  A corrupted sender can
+   emit a vector of the wrong dimension (which would otherwise raise
+   mid-delivery) or negative entries (which would wedge deliverability
+   forever); both are rejected at the boundary. *)
+let valid_stamp t m =
+  m.origin >= 0
+  && m.origin < Array.length t.clock
+  && Array.length m.vc = Array.length t.clock
+  && Array.for_all (fun v -> v >= 0) m.vc
+
 let receive t m =
-  if m.origin = t.who || duplicate t m then []
+  if (not (valid_stamp t m)) || m.origin = t.who || duplicate t m then []
   else begin
     t.buffer <- t.buffer @ [ m ];
     let delivered = ref [] in
@@ -56,3 +66,15 @@ let receive t m =
 let pending t = List.length t.buffer
 
 let clock t = Array.copy t.clock
+
+(* Self-audit: the local clock only ever increments, so any negative
+   entry is corruption; buffered stamps were validated on receive, but
+   re-check against the clock's dimension in case the clock itself was
+   resized or a buffered vector was damaged in place. *)
+let audit t =
+  Array.for_all (fun v -> v >= 0) t.clock
+  && List.for_all (fun m -> valid_stamp t m) t.buffer
+
+let reset t =
+  Array.fill t.clock 0 (Array.length t.clock) 0;
+  t.buffer <- []

@@ -28,10 +28,24 @@ val stamp : 'a t -> 'a -> 'a stamped
 val receive : 'a t -> 'a stamped -> 'a stamped list
 (** Accept a (possibly out-of-order) incoming message; returns the
     messages that became deliverable, in causal order.  Duplicates (same
-    origin and send number) are ignored. *)
+    origin and send number) are ignored, as are structurally invalid
+    stamps (origin out of range, vector dimension different from the
+    population's, negative entries) — a corrupted sender cannot crash
+    or wedge a healthy receiver. *)
 
 val pending : 'a t -> int
 (** Messages buffered awaiting causal predecessors. *)
 
 val clock : 'a t -> int array
 (** Copy of the local vector clock (deliveries counted per origin). *)
+
+val audit : 'a t -> bool
+(** Self-check: the local clock has no negative entries and every
+    buffered stamp is structurally valid against it.  [false] means the
+    endpoint's own state was corrupted and it should {!reset}. *)
+
+val reset : 'a t -> unit
+(** Local reset-and-rejoin for a corrupted endpoint: zero the clock and
+    drop the buffer.  Peers' duplicate detection absorbs the resulting
+    re-deliveries; messages sent strictly before the reset may be
+    redelivered but never misordered. *)

@@ -77,6 +77,11 @@ type t = {
   mutable next_serial : int;
   mutable timers : Engine.timer list;
   mutable view_changes : int;
+  mutable audit_hook : (group:string -> Audit.verdict -> unit) option;
+      (* Observer for audit failures (the framework emits events from
+         it); called just before the group resets. *)
+  mutable audits_failed : int;
+  mutable resets : int;
 }
 
 let proc t = t.me
@@ -118,6 +123,9 @@ let create ~engine ~transport ~config ~trace ?heartbeat_interval ?incarnation
     next_serial = 0;
     timers = [];
     view_changes = 0;
+    audit_hook = None;
+    audits_failed = 0;
+    resets = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -179,6 +187,12 @@ let view_of t group =
 let stats_view_changes t = t.view_changes
 
 let incarnation t = t.incarnation
+
+let set_audit_hook t h = t.audit_hook <- h
+
+let stats_audits_failed t = t.audits_failed
+
+let stats_resets t = t.resets
 
 (* ------------------------------------------------------------------ *)
 (* Delivery                                                            *)
@@ -435,6 +449,115 @@ let sweep_group t gs =
       end
 
 (* ------------------------------------------------------------------ *)
+(* Self-stabilization: audit, reset, corruption injection              *)
+
+(* One group's verdict: first failing check wins.  Pure — shared by the
+   periodic audit, the on-receive audit and the external oracle. *)
+let group_verdict t gs =
+  let checks =
+    [
+      Audit.check_view ~me:t.me gs.view;
+      Audit.check_counters ~view:gs.view ~max_epoch:gs.max_epoch
+        ~next_seq:gs.next_seq;
+      Audit.check_clock ~group:gs.group ~delivered_up_to:gs.delivered_up_to
+        ~log_holds_horizon:
+          (gs.delivered_up_to = 0 || Hashtbl.mem gs.log gs.delivered_up_to);
+    ]
+  in
+  match List.find_opt (fun v -> not (Audit.is_sound v)) checks with
+  | Some v -> v
+  | None -> Audit.Sound
+
+let audit_ok t =
+  Det_tbl.fold_sorted ~compare:String.compare
+    (fun _ gs acc -> acc && Audit.is_sound (group_verdict t gs))
+    t.gstates true
+
+(* Local reset-and-rejoin: throw away the group's poisoned view state
+   and fall back to a fresh singleton, exactly as a joining process
+   does.  Peers see the advert's view id diverge, the vid-mismatch
+   machinery forces a merge, and the install path resubmits our
+   outstanding multicasts — so recovery rides the ordinary membership
+   protocol rather than a parallel one.  The epoch high-water mark is
+   kept (clamped non-negative) so the merge's proposal outbids both
+   lives. *)
+let reset_group t gs =
+  gs.view <- View.singleton ~group:gs.group t.me;
+  Hashtbl.reset gs.log;
+  gs.delivered_up_to <- 0;
+  gs.next_seq <- 1;
+  gs.mstate <- Stable;
+  gs.max_epoch <- Int.max 0 gs.max_epoch;
+  gs.left <- [];
+  let stale_keys =
+    Det_tbl.fold_sorted ~compare:compare_gp
+      (fun ((g, _) as k) _ acc -> if String.equal g gs.group then k :: acc else acc)
+      t.vid_mismatch []
+  in
+  List.iter (Hashtbl.remove t.vid_mismatch) stale_keys;
+  t.view_changes <- t.view_changes + 1;
+  t.resets <- t.resets + 1
+  (* No [on_view] callback: the transient singleton is not a membership
+     fact the application should act on (it would look like a
+     partition); the app hears about the merged view that follows. *)
+
+let audit_group t gs =
+  if not !Audit.enabled then true
+  else
+    match group_verdict t gs with
+    | Audit.Sound -> true
+    | (Audit.Bad_view _ | Audit.Bad_counter _ | Audit.Bad_clock _
+      | Audit.Bad_record _) as v ->
+        t.audits_failed <- t.audits_failed + 1;
+        tr t "audit failed: %s — reset and rejoin" (Audit.describe v);
+        (match t.audit_hook with
+        | Some hook -> hook ~group:gs.group v
+        | None -> ());
+        reset_group t gs;
+        false
+
+let audit_all t =
+  Det_tbl.iter_sorted ~compare:String.compare
+    (fun _ gs -> ignore (audit_group t gs))
+    t.gstates
+
+(* Chaos delivery point: each heartbeat tick asks the engine's corruptor
+   whether an armed corruption should land here.  Always consulted in
+   the same order, so a replayed schedule corrupts the same state at the
+   same tick.  The damage deliberately bypasses the smart constructors
+   and mutates records directly — that is what "arbitrary transient
+   state corruption" means. *)
+let corruption_tick t =
+  let first_gstate () =
+    match Det_tbl.sorted_keys ~compare:String.compare t.gstates with
+    | g :: _ -> Hashtbl.find_opt t.gstates g
+    | [] -> None
+  in
+  if Engine.corruption t.engine ~site:"corrupt.view" ~proc:t.me then
+    (match first_gstate () with
+    | Some gs ->
+        let v = gs.view in
+        let others = List.filter (fun p -> p <> t.me) v.View.members in
+        if others <> [] then gs.view <- { v with View.members = others }
+        else
+          gs.view <-
+            {
+              v with
+              View.id = { v.View.id with View.Id.epoch = v.View.id.View.Id.epoch + 3 };
+            }
+    | None -> ());
+  if Engine.corruption t.engine ~site:"corrupt.epoch" ~proc:t.me then
+    (match first_gstate () with
+    | Some gs -> gs.max_epoch <- -1
+    | None -> ());
+  if Engine.corruption t.engine ~site:"corrupt.clock" ~proc:t.me then
+    (match first_gstate () with
+    | Some gs -> gs.delivered_up_to <- gs.delivered_up_to + 7
+    | None -> ());
+  if Engine.corruption t.engine ~site:"corrupt.conn" ~proc:t.me then
+    ignore (Transport.corrupt_conn t.transport t.me)
+
+(* ------------------------------------------------------------------ *)
 (* Heartbeats                                                          *)
 
 let record_adverts t sender advs =
@@ -464,6 +587,11 @@ let record_adverts t sender advs =
 
 let heartbeat_tick t =
   if t.is_alive then begin
+    (* Audit before consulting the corruptor: damage injected this tick
+       is detected no earlier than the next one, so reconvergence time
+       is bounded below by a heartbeat period — never zero. *)
+    audit_all t;
+    corruption_tick t;
     let adverts = my_adverts t in
     List.iter (fun p -> send_raw t p (Wire.Ping { adverts })) (Fd.monitored t.fd);
     ignore (Fd.sweep t.fd ~now:(now t));
@@ -544,7 +672,11 @@ let handle_data t ~group ~vid ~seq ~entry =
   match Hashtbl.find_opt t.gstates group with
   | None -> ()
   | Some gs ->
-      if View.Id.equal vid gs.view.View.id then begin
+      (* On-receive audit: catch a corrupted delivery clock before it
+         can stall or skip this view's total order.  [audit_group]
+         resets the group on failure, after which [vid] no longer
+         matches and the data is ignored like any other stale frame. *)
+      if audit_group t gs && View.Id.equal vid gs.view.View.id then begin
         if not (Hashtbl.mem gs.log seq) then Hashtbl.replace gs.log seq entry;
         note_logged t gs entry;
         match gs.mstate with Stable -> deliver_contiguous t gs | _ -> ()
@@ -590,37 +722,61 @@ let handle_leave t ~group ~who =
       | None -> ());
       sweep_group t gs
 
+(* Decode + validate an inbound payload.  A payload that does not decode
+   (corrupted bytes) or decodes to a structurally invalid message (a
+   corrupted peer marshalled its poisoned state) is dropped and counted
+   — it must never reach a handler. *)
+let checked_decode t payload =
+  let decoded = try Some (Wire.decode payload) with _ -> None in
+  match decoded with
+  | None ->
+      Transport.note_rejected t.transport;
+      None
+  | Some msg -> (
+      match Wire.validate msg with
+      | Ok () -> Some msg
+      | Error reason ->
+          Transport.note_rejected t.transport;
+          tr t "rejected inbound %s: %s" (Wire.describe msg) reason;
+          None)
+
 let on_reliable t ~src payload =
   if t.is_alive then begin
     Fd.heard_from t.fd src ~now:(now t);
-    match Wire.decode payload with
-    | Wire.Propose { group; epoch; candidates } ->
+    match checked_decode t payload with
+    | None -> ()
+    | Some (Wire.Propose { group; epoch; candidates }) ->
         handle_propose t ~src ~group ~epoch ~candidates
-    | Wire.Flush_reply { group; epoch; info } -> handle_flush_reply t ~group ~epoch ~info
-    | Wire.Nack { group; epoch_hint } -> handle_nack t ~group ~epoch_hint
-    | Wire.Install { group; epoch; view_id; members; sync } ->
+    | Some (Wire.Flush_reply { group; epoch; info }) ->
+        handle_flush_reply t ~group ~epoch ~info
+    | Some (Wire.Nack { group; epoch_hint }) -> handle_nack t ~group ~epoch_hint
+    | Some (Wire.Install { group; epoch; view_id; members; sync }) ->
         handle_install t ~group ~epoch ~view_id ~members ~sync
-    | Wire.Data { group; vid; seq; entry } -> handle_data t ~group ~vid ~seq ~entry
-    | Wire.Data_req { group; entry } -> handle_data_req t ~group ~entry
-    | Wire.Open_send { group; entry; ttl } -> handle_open_send t ~group ~entry ~ttl
-    | Wire.Leave { group; who } -> handle_leave t ~group ~who
-    | Wire.P2p { payload } -> t.callbacks.on_p2p ~sender:src payload
-    | Wire.Ping _ | Wire.Pong _ -> ()
+    | Some (Wire.Data { group; vid; seq; entry }) ->
+        handle_data t ~group ~vid ~seq ~entry
+    | Some (Wire.Data_req { group; entry }) -> handle_data_req t ~group ~entry
+    | Some (Wire.Open_send { group; entry; ttl }) ->
+        handle_open_send t ~group ~entry ~ttl
+    | Some (Wire.Leave { group; who }) -> handle_leave t ~group ~who
+    | Some (Wire.P2p { payload }) -> t.callbacks.on_p2p ~sender:src payload
+    | Some (Wire.Ping _ | Wire.Pong _) -> ()
   end
 
 let on_raw t ~src payload =
   if t.is_alive then
-    match Wire.decode payload with
-    | Wire.Ping { adverts } ->
+    match checked_decode t payload with
+    | None -> ()
+    | Some (Wire.Ping { adverts }) ->
         record_adverts t src adverts;
         send_raw t src (Wire.Pong { adverts = my_adverts t })
-    | Wire.Pong { adverts } -> record_adverts t src adverts
+    | Some (Wire.Pong { adverts }) -> record_adverts t src adverts
     (* Reliable-only traffic never legitimately arrives on the raw
        datagram path; name every constructor (deep-lint R6) so a new
        message kind must decide its transport explicitly. *)
-    | Wire.Propose _ | Wire.Flush_reply _ | Wire.Nack _ | Wire.Install _
-    | Wire.Data _ | Wire.Data_req _ | Wire.Open_send _ | Wire.Leave _
-    | Wire.P2p _ -> ()
+    | Some
+        (Wire.Propose _ | Wire.Flush_reply _ | Wire.Nack _ | Wire.Install _
+        | Wire.Data _ | Wire.Data_req _ | Wire.Open_send _ | Wire.Leave _
+        | Wire.P2p _) -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Public operations                                                   *)

@@ -112,3 +112,28 @@ val membership_stable : t -> string -> bool
 val stats_view_changes : t -> int
 
 val incarnation : t -> int
+
+(** {2 Self-stabilization}
+
+    Each heartbeat tick (and each totally ordered data receive) the
+    daemon audits its own per-group state — view structure, counter
+    monotonicity, delivery-clock/log agreement (see {!Audit}).  On a
+    failing verdict it {e resets and rejoins}: the group's state falls
+    back to a fresh singleton view and the ordinary vid-mismatch merge
+    machinery reconciles it with the surviving members, resubmitting
+    outstanding multicasts.  Gated by {!Audit.enabled}. *)
+
+val set_audit_hook : t -> (group:string -> Audit.verdict -> unit) option -> unit
+(** Observer called once per audit failure, just before the group's
+    reset.  The framework uses it to emit [Audit_failed]/[Server_reset]
+    events; survives via {!Gcs.set_audit_hook} across restarts. *)
+
+val audit_ok : t -> bool
+(** Pure: every joined group currently passes its audit checks.
+    Independent of {!Audit.enabled} — the convergence oracle evaluates
+    it on hardened and unhardened builds alike. *)
+
+val stats_audits_failed : t -> int
+
+val stats_resets : t -> int
+(** Group resets taken by the audit-failure path. *)

@@ -12,6 +12,10 @@ type slot = {
   role : role;
   mutable daemon : Daemon.t option;  (* None while crashed *)
   mutable callbacks : Daemon.callbacks;
+  mutable audit_hook : (group:string -> Audit.verdict -> unit) option;
+      (* Like callbacks: re-applied to the successor daemon on restart. *)
+  mutable retired_audits_failed : int;
+  mutable retired_resets : int;
   mutable retired_view_changes : int;  (* from previous incarnations *)
   mutable last_incarnation : int option;
       (* The crashed daemon's incarnation — the one piece of GCS-level
@@ -79,6 +83,9 @@ let add_process t role =
       role;
       daemon = Some daemon;
       callbacks = Daemon.no_callbacks;
+      audit_hook = None;
+      retired_audits_failed = 0;
+      retired_resets = 0;
       retired_view_changes = 0;
       last_incarnation = None;
     };
@@ -151,6 +158,9 @@ let create_on ?(gcs_config = Config.default) ?(trace = Trace.disabled)
           role = Server;
           daemon = None;
           callbacks = Daemon.no_callbacks;
+          audit_hook = None;
+          retired_audits_failed = 0;
+          retired_resets = 0;
           retired_view_changes = 0;
           last_incarnation = None;
         })
@@ -184,6 +194,13 @@ let set_app t p callbacks =
   | Some d -> Daemon.set_callbacks d callbacks
   | None -> ()
 
+let set_audit_hook t p hook =
+  let s = slot t p in
+  s.audit_hook <- hook;
+  match s.daemon with
+  | Some d -> Daemon.set_audit_hook d hook
+  | None -> ()
+
 let join t p g = Daemon.join (daemon t p) g
 
 let leave t p g = Daemon.leave (daemon t p) g
@@ -209,6 +226,9 @@ let crash t p =
   (match s.daemon with
   | Some d ->
       s.retired_view_changes <- s.retired_view_changes + Daemon.stats_view_changes d;
+      s.retired_audits_failed <-
+        s.retired_audits_failed + Daemon.stats_audits_failed d;
+      s.retired_resets <- s.retired_resets + Daemon.stats_resets d;
       s.last_incarnation <- Some (Daemon.incarnation d);
       Daemon.stop d;
       s.daemon <- None
@@ -224,6 +244,7 @@ let restart t p =
     let incarnation = Option.map (fun i -> i + 1) s.last_incarnation in
     let d = spawn_daemon ?incarnation t p s.role in
     Daemon.set_callbacks d s.callbacks;
+    Daemon.set_audit_hook d s.audit_hook;
     s.daemon <- Some d
   end
 
@@ -238,4 +259,18 @@ let total_view_changes t =
     (fun _ s acc ->
       acc + s.retired_view_changes
       + (match s.daemon with Some d -> Daemon.stats_view_changes d | None -> 0))
+    t.slots 0
+
+let total_audits_failed t =
+  Haf_sim.Det_tbl.fold_sorted ~compare:Int.compare
+    (fun _ s acc ->
+      acc + s.retired_audits_failed
+      + (match s.daemon with Some d -> Daemon.stats_audits_failed d | None -> 0))
+    t.slots 0
+
+let total_resets t =
+  Haf_sim.Det_tbl.fold_sorted ~compare:Int.compare
+    (fun _ s acc ->
+      acc + s.retired_resets
+      + (match s.daemon with Some d -> Daemon.stats_resets d | None -> 0))
     t.slots 0

@@ -84,6 +84,13 @@ val is_server : t -> proc -> bool
 
 val set_app : t -> proc -> Daemon.callbacks -> unit
 
+val set_audit_hook :
+  t -> proc -> (group:string -> Audit.verdict -> unit) option -> unit
+(** Install the audit-failure observer for a process's daemon (see
+    {!Daemon.set_audit_hook}).  Like app callbacks, the hook is stored
+    in the fabric and re-applied to the successor daemon after
+    {!restart}. *)
+
 val join : t -> proc -> string -> unit
 
 val leave : t -> proc -> string -> unit
@@ -128,3 +135,9 @@ val daemon : t -> proc -> Daemon.t
 (** The live daemon for a process.  @raise Not_found if crashed. *)
 
 val total_view_changes : t -> int
+
+val total_audits_failed : t -> int
+(** Audit failures detected across all processes, past lives included. *)
+
+val total_resets : t -> int
+(** Reset-and-rejoin recoveries taken across all processes. *)

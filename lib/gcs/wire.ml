@@ -51,6 +51,68 @@ let encode (m : msg) = Marshal.to_string m []
 (* haf-lint: allow R2 — see [encode]. *)
 let decode (s : string) : msg = Marshal.from_string s 0
 
+(* Structural validation of inbound messages: one corrupted replica must
+   not be able to push garbage (negative counters, empty groups, ghost
+   members) into a healthy peer's state.  Checks mirror the invariants
+   the senders establish; anything a well-formed sender cannot produce
+   is rejected at the decode boundary and counted by the transport. *)
+
+let valid_uid (u : uid) = u.origin >= 0 && u.incarnation >= 0 && u.serial >= 0
+
+let valid_entry (e : entry) = valid_uid e.uid && e.orig >= 0
+
+let valid_vid (v : View.Id.t) = v.View.Id.epoch >= 0 && v.View.Id.coord >= 0
+
+let valid_advert (a : advert) =
+  String.length a.adv_group > 0 && valid_vid a.adv_vid
+
+let valid_log log =
+  List.for_all (fun (seq, e) -> seq >= 1 && valid_entry e) log
+
+let check cond msg = if cond then Ok () else Error msg
+
+let validate = function
+  | Ping { adverts } | Pong { adverts } ->
+      check (List.for_all valid_advert adverts) "malformed advert"
+  | Propose { group; epoch; candidates } ->
+      check
+        (String.length group > 0 && epoch >= 1
+        && candidates <> []
+        && List.for_all (fun p -> p >= 0) candidates)
+        "malformed propose"
+  | Flush_reply { group; epoch; info } ->
+      check
+        (String.length group > 0 && epoch >= 1 && info.fi_sender >= 0
+        && valid_vid info.fi_prev_vid && valid_log info.fi_log)
+        "malformed flush_reply"
+  | Nack { group; epoch_hint } ->
+      check (String.length group > 0 && epoch_hint >= 0) "malformed nack"
+  | Install { group; epoch; view_id; members; sync } ->
+      check
+        (String.length group > 0 && epoch >= 1 && valid_vid view_id
+        && members <> []
+        && List.for_all (fun p -> p >= 0) members
+        && List.for_all
+             (fun (vid, log) -> valid_vid vid && valid_log log)
+             sync)
+        "malformed install"
+  | Data_req { group; entry } ->
+      check
+        (String.length group > 0 && valid_entry entry)
+        "malformed data_req"
+  | Data { group; vid; seq; entry } ->
+      check
+        (String.length group > 0 && valid_vid vid && seq >= 1
+       && valid_entry entry)
+        "malformed data"
+  | Open_send { group; entry; ttl } ->
+      check
+        (String.length group > 0 && valid_entry entry && ttl >= 0)
+        "malformed open_send"
+  | Leave { group; who } ->
+      check (String.length group > 0 && who >= 0) "malformed leave"
+  | P2p _ -> Ok ()
+
 let describe = function
   | Ping _ -> "ping"
   | Pong _ -> "pong"

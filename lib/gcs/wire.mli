@@ -58,5 +58,14 @@ val encode : msg -> string
 
 val decode : string -> msg
 
+val validate : msg -> (unit, string) result
+(** Structural validation of an inbound message: every invariant a
+    well-formed sender establishes (non-empty group names, epochs and
+    sequence numbers in range, non-empty memberships, well-formed uids)
+    is re-checked at the decode boundary, so one corrupted replica
+    cannot propagate garbage into healthy peers.  Receivers drop — and
+    count, via {!Haf_net.Transport.note_rejected} — anything that
+    fails. *)
+
 val describe : msg -> string
 (** Short human-readable tag for traces. *)

@@ -245,7 +245,7 @@ let on_event t ~now (ev : Events.t) =
       if not ss.ss_ended then check_acked_loss t ss ~now ~emitter:server ~applied
   | Role_assumed _ | Role_dropped _ | Server_restarted _ | Request_sent _
   | Request_applied _ | Response_sent _ | Response_received _ | Exchange_sent _
-  | Store_recovered _ ->
+  | Store_recovered _ | Audit_failed _ | Server_reset _ ->
       ()
 
 let create ?config ~network ~servers ~policy ~gcs ~events () =

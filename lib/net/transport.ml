@@ -22,7 +22,9 @@ let encode (w : wire) = Marshal.to_string w []
 let decode (s : string) : wire = Marshal.from_string s 0
 
 type sender_channel = {
-  conn : int;
+  mutable conn : int;
+      (* Mutable only so chaos can roll it back to a stale incarnation
+         ([corrupt_conn]); the protocol itself never reassigns it. *)
   mutable next_seq : int;
   unsent : (int, string) Hashtbl.t;  (* seq -> payload, awaiting ack *)
   mutable lowest_unacked : int;
@@ -47,6 +49,7 @@ type stats = {
   duplicates : int;
   acks_sent : int;
   give_ups : int;
+  rejected : int;
   unacked : int;
 }
 
@@ -63,6 +66,7 @@ type t = {
   mutable retransmissions : int;
   mutable duplicates : int;
   mutable acks_sent : int;
+  mutable rejected : int;
   mutable on_channel_dead : (src:int -> dst:int -> unit) option;
   mutable next_conn : int;
   senders : (int * int, sender_channel) Hashtbl.t;  (* (src, dst) *)
@@ -86,6 +90,7 @@ let create ?(retransmit_interval = 0.05) ?(max_backoff = 2.0) ?give_up_after
     retransmissions = 0;
     duplicates = 0;
     acks_sent = 0;
+    rejected = 0;
     on_channel_dead = None;
     (* Base connection ids on the clock: on the sim substrate time is 0
        at creation so ids start at 1 exactly as before, while on the
@@ -251,8 +256,16 @@ let[@hot] handle_data t ~me ~src conn seq lo payload =
       t.sub.Sub.send ~src:me ~dst:src
         (encode (Ack { conn; cum = rc.next_expected - 1 }))
 
+let note_rejected t = t.rejected <- t.rejected + 1
+
+let rejected t = t.rejected
+
 let[@hot] dispatch t me ~src raw =
+  (* A datagram that does not decode to a frame (a corrupted replica, a
+     stray sender on the UDP port, bit rot on the wire) must not crash
+     the receiver: drop it and count it, like any other invalid input. *)
   match decode raw with
+  | exception _ -> note_rejected t
   | Data { conn; seq; lo; payload } -> handle_data t ~me ~src conn seq lo payload
   | Ack { conn; cum } -> handle_ack t ~src ~me conn cum
   | Raw payload -> (
@@ -290,6 +303,25 @@ let reset_node t node =
   in
   List.iter (Hashtbl.remove t.receivers) receiver_keys
 
+(* Chaos hook: roll every sender-channel connection id of [node] back
+   to a stale incarnation.  Peers' receivers then discard its frames as
+   duplicates of the old life, and no ack ever arrives — a silent stall
+   only the give-up threshold can break, whereupon a fresh send opens a
+   clean (strictly newer) incarnation. *)
+let corrupt_conn t node =
+  let rollback = 1_000_000 in
+  let keys =
+    Hashtbl.fold
+      (fun ((src, _) as k) _ acc -> if src = node then k :: acc else acc)
+      t.senders []
+  in
+  List.iter
+    (fun k ->
+      let ch = Hashtbl.find t.senders k in
+      ch.conn <- ch.conn - rollback)
+    keys;
+  keys <> []
+
 let unacked t =
   Hashtbl.fold (fun _ ch acc -> acc + Hashtbl.length ch.unsent) t.senders 0
 
@@ -301,5 +333,6 @@ let stats t =
     duplicates = t.duplicates;
     acks_sent = t.acks_sent;
     give_ups = t.give_ups;
+    rejected = t.rejected;
     unacked = unacked t;
   }

@@ -27,6 +27,10 @@ type stats = {
           stale-incarnation. *)
   acks_sent : int;
   give_ups : int;  (** Channels declared dead (see [give_up_after]). *)
+  rejected : int;
+      (** Inbound datagrams dropped as invalid: undecodable frames, plus
+          wire-validation failures counted by receivers via
+          {!note_rejected}. *)
   unacked : int;  (** Currently outstanding payloads, as {!unacked}. *)
 }
 
@@ -84,6 +88,22 @@ val send : t -> src:Substrate.node_id -> dst:Substrate.node_id -> string -> unit
 val reset_node : t -> Substrate.node_id -> unit
 (** Drop all channel state from and to this node.  Call when the process
     on the node crashes or restarts. *)
+
+val note_rejected : t -> unit
+(** Count one invalid inbound message.  Undecodable datagrams are
+    counted automatically; layers above (GCS wire validation) call this
+    when a frame decodes but fails structural validation. *)
+
+val rejected : t -> int
+(** Invalid inbound messages dropped so far. *)
+
+val corrupt_conn : t -> Substrate.node_id -> bool
+(** Chaos hook: roll every sender-channel connection id of [node] back
+    to a stale incarnation, so peers silently discard its traffic as
+    duplicates of a previous life.  Returns whether any channel existed
+    to corrupt.  Recovery is the give-up threshold: once the stalled
+    channels are declared dead, the next send opens a fresh (strictly
+    newer) incarnation and delivery resumes. *)
 
 val unacked : t -> int
 (** Total payloads queued awaiting acknowledgement (diagnostics). *)

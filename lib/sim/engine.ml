@@ -29,6 +29,8 @@ type t = {
   mutable picker : (candidate list -> candidate) option;
   mutable chooser : (site:string -> proc:int -> occ:int -> bool) option;
   choice_occ : (string * int, int) Hashtbl.t;
+  mutable corruptor : (site:string -> proc:int -> occ:int -> bool) option;
+  corrupt_occ : (string * int, int) Hashtbl.t;
 }
 
 and timer = {
@@ -62,6 +64,8 @@ let make ?(seed = 1) ext_now =
     picker = None;
     chooser = None;
     choice_occ = Hashtbl.create 16;
+    corruptor = None;
+    corrupt_occ = Hashtbl.create 16;
   }
 
 let create ?seed () = make ?seed None
@@ -324,6 +328,17 @@ let choice t ~site ~proc =
       let key = (site, proc) in
       let occ = Option.value (Hashtbl.find_opt t.choice_occ key) ~default:0 in
       Hashtbl.replace t.choice_occ key (occ + 1);
+      f ~site ~proc ~occ
+
+let set_corruptor t c = t.corruptor <- c
+
+let corruption t ~site ~proc =
+  match t.corruptor with
+  | None -> false
+  | Some f ->
+      let key = (site, proc) in
+      let occ = Option.value (Hashtbl.find_opt t.corrupt_occ key) ~default:0 in
+      Hashtbl.replace t.corrupt_occ key (occ + 1);
       f ~site ~proc ~occ
 
 (* ---------------------------------------------------------------- *)

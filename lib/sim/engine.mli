@@ -128,6 +128,22 @@ val choice : t -> site:string -> proc:int -> bool
     [true] has arranged a fault (e.g. scheduled an immediate crash of
     [proc]); the caller must abandon the rest of its step. *)
 
+val set_corruptor :
+  t -> (site:string -> proc:int -> occ:int -> bool) option -> unit
+(** Install the state-corruption choice-point handler consulted by
+    {!corruption}.  Like {!set_chooser}, the [occ]urrence counter numbers
+    calls per [(site, proc)], so a corruption scheduled against
+    occurrence [k] lands at the same protocol step on every replay. *)
+
+val corruption : t -> site:string -> proc:int -> bool
+(** Hardened components call [corruption t ~site ~proc] at instrumented
+    corruption points ("should my state be corrupted here?").  Returns
+    [false] when no corruptor is installed — the production fast path.
+    When it returns [true] the caller applies the site's corruption to
+    its own in-memory state and carries on: unlike {!choice}, the
+    process stays up — detecting and recovering from the damage is the
+    self-stabilization machinery's job. *)
+
 (** {2 Introspection} *)
 
 val pending : t -> int

@@ -295,6 +295,7 @@ type invariant =
   | No_acked_loss
   | Staleness_bound
   | Assignment_agreement
+  | Convergence
 
 type violation = {
   v_time : float;
@@ -308,6 +309,7 @@ let invariant_to_string = function
   | No_acked_loss -> "no-acked-loss"
   | Staleness_bound -> "staleness-bound"
   | Assignment_agreement -> "assignment-agreement"
+  | Convergence -> "convergence"
 
 let pp_violation ppf v =
   Format.fprintf ppf "[%8.3f] %s%s: %s" v.v_time

@@ -92,6 +92,11 @@ type invariant =
   | Assignment_agreement
       (** Two settled members of the same unit view disagreed on the
           session-to-server assignment. *)
+  | Convergence
+      (** After the last injected state corruption the group failed to
+          return to a legal configuration (audits clean, unique primary,
+          agreed assignment) within the stabilization oracle's quiescence
+          window. *)
 
 type violation = {
   v_time : float;

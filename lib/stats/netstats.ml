@@ -52,6 +52,7 @@ let transport_table ?(title = "transport (reliable FIFO layer)") st =
              "duplicates";
              "acks";
              "give-ups";
+             "rejected";
              "unacked";
            ])
       ()
@@ -64,6 +65,7 @@ let transport_table ?(title = "transport (reliable FIFO layer)") st =
       Table.fint st.Transport.duplicates;
       Table.fint st.Transport.acks_sent;
       Table.fint st.Transport.give_ups;
+      Table.fint st.Transport.rejected;
       Table.fint st.Transport.unacked;
     ];
   t

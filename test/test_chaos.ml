@@ -77,6 +77,47 @@ let test_all_op_kinds_roundtrip () =
       check Alcotest.bool "identical text" true
         (Chaos.to_string s = Chaos.to_string s')
 
+let test_corruption_roundtrip () =
+  (* Every corruption target serializes and parses back, both as a bare
+     target name and as a schedule entry. *)
+  List.iter
+    (fun tgt ->
+      let name = Chaos.target_to_string tgt in
+      (match Chaos.target_of_string name with
+      | Some tgt' -> check Alcotest.bool ("target " ^ name) true (tgt = tgt')
+      | None -> Alcotest.failf "target %s does not parse back" name);
+      let s = [ (12.5, Chaos.Corrupt { server = 3; target = tgt }) ] in
+      match Chaos.of_string (Chaos.to_string s) with
+      | Error e -> Alcotest.failf "corrupt-%s entry: %s" name e
+      | Ok s' ->
+          check Alcotest.bool ("corrupt-" ^ name ^ " roundtrip") true
+            (Chaos.to_string s = Chaos.to_string s'))
+    Chaos.all_targets;
+  check Alcotest.bool "bogus target rejected" true
+    (Chaos.target_of_string "frobnicate" = None);
+  match Chaos.of_string "3.0 corrupt-frobnicate 1" with
+  | Ok _ -> Alcotest.fail "bogus corruption target accepted"
+  | Error _ -> ()
+
+let test_generate_corruption_weight () =
+  let has_corrupt s =
+    List.exists (function _, Chaos.Corrupt _ -> true | _ -> false) s
+  in
+  let plain = gen () in
+  let weighted =
+    Chaos.generate ~seed:42 ~intensity:2.0 ~corruption:10 ~horizon:100.
+      ~n_servers:5 ~n_units:2 ()
+  in
+  check Alcotest.bool "weight 10 injects corruptions" true (has_corrupt weighted);
+  (* Weight 0 must leave pre-corruption-era seeded schedules
+     byte-identical — replayability across the feature boundary. *)
+  let zero =
+    Chaos.generate ~seed:42 ~intensity:2.0 ~corruption:0 ~horizon:100.
+      ~n_servers:5 ~n_units:2 ()
+  in
+  check Alcotest.bool "weight 0 is byte-identical to the legacy mix" true
+    (Chaos.to_string plain = Chaos.to_string zero)
+
 (* ------------------------------------------------------------------ *)
 (* Shrinking                                                           *)
 
@@ -185,6 +226,90 @@ let test_monitor_catches_dual_primary () =
   in
   check Alcotest.bool "dual primary flagged" true (dual <> [])
 
+(* ------------------------------------------------------------------ *)
+(* Self-stabilization: corruption faults under the convergence oracle  *)
+
+let stabilize_scenario ~seed =
+  {
+    Scenario.default with
+    seed;
+    n_servers = 3;
+    n_units = 1;
+    replication = 2;
+    n_clients = 1;
+    sessions_per_client = 1;
+    session_duration = 50.;
+    duration = 60.;
+  }
+
+let convergence_violations ~window sched =
+  let sc = stabilize_scenario ~seed:7 in
+  let _tl, w =
+    R.run_scenario sc ~prepare:(fun w ->
+        ignore (R.track_stabilization w ~window);
+        R.apply_schedule w sched)
+  in
+  ( List.filter
+      (fun v -> v.Metrics.v_invariant = Metrics.Convergence)
+      (R.violations w),
+    w )
+
+let test_hardened_corruption_converges () =
+  (* Hardened build: a corruption-heavy seeded schedule, the oracle
+     tracks every injection, and no episode overruns the window. *)
+  let sc = stabilize_scenario ~seed:7 in
+  let sched =
+    Chaos.generate ~seed:91 ~intensity:0.8 ~corruption:12
+      ~horizon:sc.Scenario.duration ~n_servers:sc.Scenario.n_servers
+      ~n_units:sc.Scenario.n_units ()
+  in
+  let conv, w = convergence_violations ~window:20. sched in
+  check Alcotest.int "no convergence violations" 0 (List.length conv);
+  match w.R.stabilizer with
+  | Some st ->
+      check Alcotest.bool "oracle saw the injections" true
+        (Haf_monitor.Stabilize.injected st
+        >= List.length
+             (List.filter (function _, Chaos.Corrupt _ -> true | _ -> false) sched))
+  | None -> Alcotest.fail "no stabilizer attached"
+
+(* A mixed crash+corruption schedule against an {e unhardened} build:
+   only the epoch corruption is irreparable (nothing moves the epoch
+   high-water mark in a steady group), so the oracle flags it and ddmin
+   must strip the crash/restart/flap padding down to that single pinned
+   corruption entry — which then replays byte-identically. *)
+let test_shrink_isolates_corruption () =
+  let sched : Chaos.schedule =
+    [
+      (4.0, Chaos.Link { src = 0; dst = 2; up = false });
+      (5.0, Chaos.Link { src = 0; dst = 2; up = true });
+      (8.0, Chaos.Crash 2);
+      (12.0, Chaos.Restart 2);
+      (25.0, Chaos.Corrupt { server = 1; target = Chaos.Epoch });
+    ]
+  in
+  let failing cand =
+    let was = !Haf_gcs.Audit.enabled in
+    Haf_gcs.Audit.enabled := false;
+    Fun.protect
+      ~finally:(fun () -> Haf_gcs.Audit.enabled := was)
+      (fun () -> fst (convergence_violations ~window:12. cand) <> [])
+  in
+  check Alcotest.bool "full schedule caught" true (failing sched);
+  let minimal, _iters = Chaos.shrink ~failing sched in
+  check Alcotest.int "shrinks to one op" 1 (List.length minimal);
+  (match minimal with
+  | [ (t, Chaos.Corrupt { server = 1; target = Chaos.Epoch }) ] ->
+      check (Alcotest.float 1e-9) "the pinned corruption" 25.0 t
+  | _ -> Alcotest.fail "minimal schedule is not the corruption entry");
+  let text = Chaos.to_string minimal in
+  match Chaos.of_string text with
+  | Ok parsed ->
+      check Alcotest.bool "byte-identical replay text" true
+        (Chaos.to_string parsed = text);
+      check Alcotest.bool "parsed replay still caught" true (failing parsed)
+  | Error e -> Alcotest.failf "minimal schedule does not parse: %s" e
+
 let suite =
   [
     ( "chaos.schedule",
@@ -198,6 +323,10 @@ let suite =
           test_of_string_comments_and_errors;
         Alcotest.test_case "all op kinds roundtrip" `Quick
           test_all_op_kinds_roundtrip;
+        Alcotest.test_case "corruption targets roundtrip" `Quick
+          test_corruption_roundtrip;
+        Alcotest.test_case "corruption weight in generate" `Quick
+          test_generate_corruption_weight;
       ] );
     ( "chaos.shrink",
       [
@@ -214,5 +343,12 @@ let suite =
           test_chaos_trace_deterministic;
         Alcotest.test_case "monitor catches dual primary" `Slow
           test_monitor_catches_dual_primary;
+      ] );
+    ( "chaos.stabilize",
+      [
+        Alcotest.test_case "hardened corruption run converges" `Slow
+          test_hardened_corruption_converges;
+        Alcotest.test_case "ddmin isolates the corruption" `Slow
+          test_shrink_isolates_corruption;
       ] );
   ]

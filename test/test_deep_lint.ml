@@ -97,6 +97,48 @@ let test_r6_attr_pragma () =
           ^ "let f m = match m with Ping -> 1 | _ -> 2");
        ])
 
+(* The audit verdict type carries [@@haf.protocol] in lib/gcs/audit.ml
+   precisely so R6 polices its dispatches: mirror its shape here and
+   check both directions — a recovery dispatch that wildcards over the
+   corruption verdicts is flagged, and the real total-match idiom (one
+   arm per audit dimension) passes. *)
+let verdict_decl =
+  "type verdict =\n\
+  \  | Sound\n\
+  \  | Bad_view of string\n\
+  \  | Bad_counter of string\n\
+  \  | Bad_clock of string\n\
+  \  | Bad_record of string\n\
+   [@@haf.protocol]\n"
+
+let test_r6_audit_verdict () =
+  check_rules "recovery dispatch wildcarding corruption verdicts" [ "R6" ]
+    (analyze
+       [
+         unit_ ~file:"lib/gcs/audit_fix.ml"
+           (verdict_decl
+          ^ "let react v = match v with Sound -> () | _ -> print_string \"reset\"");
+       ]);
+  check_rules "binder arm hides new audit dimensions too" [ "R6" ]
+    (analyze
+       [
+         unit_ ~file:"lib/gcs/audit_fix.ml"
+           (verdict_decl
+          ^ "let react v = match v with Sound -> 0 | bad -> ignore bad; 1");
+       ]);
+  check_rules "one arm per audit dimension passes" []
+    (analyze
+       [
+         unit_ ~file:"lib/gcs/audit_fix.ml"
+           (verdict_decl
+          ^ "let react v = match v with\n\
+            \  | Sound -> 0\n\
+            \  | Bad_view _ -> 1\n\
+            \  | Bad_counter _ -> 2\n\
+            \  | Bad_clock _ -> 3\n\
+            \  | Bad_record _ -> 4");
+       ])
+
 let test_unused_attr_pragma () =
   check_rules "pragma that suppresses nothing is flagged" [ "pragma" ]
     (analyze
@@ -395,6 +437,7 @@ let suite =
         Alcotest.test_case "R6 clean" `Quick test_r6_clean;
         Alcotest.test_case "R6 scope" `Quick test_r6_outside_protocol_dirs;
         Alcotest.test_case "R6 attr pragma" `Quick test_r6_attr_pragma;
+        Alcotest.test_case "R6 audit verdict" `Quick test_r6_audit_verdict;
         Alcotest.test_case "unused attr pragma" `Quick test_unused_attr_pragma;
         Alcotest.test_case "R7 violation" `Quick test_r7_violation;
         Alcotest.test_case "R7 clean" `Quick test_r7_clean;

@@ -241,6 +241,89 @@ let test_no_bug_no_violation () =
     out.Explore.violation
 
 (* ------------------------------------------------------------------ *)
+(* Spec oracle: the reset-and-rejoin lifecycle.  A component may reset
+   only after its own audit convicted it, one reset per conviction, and
+   a crash wipes pending convictions with the rest of the component's
+   memory.                                                             *)
+
+module Spec = Haf_explore.Spec
+module Events = Haf_core.Events
+
+let spec_run emits =
+  let sink = Events.make_sink () in
+  let spec = Spec.create_attached sink in
+  List.iter (fun (now, ev) -> Events.emit sink ~now ev) emits;
+  spec
+
+let conviction ?(server = 1) ?(subsystem = "gcs:content:u00") () =
+  Events.Audit_failed { server; subsystem; detail = "fixture" }
+
+let reset ?(server = 1) ?(subsystem = "gcs:content:u00") () =
+  Events.Server_reset { server; subsystem }
+
+let test_spec_reset_after_conviction () =
+  let spec =
+    spec_run
+      [
+        (1.0, conviction ());
+        (1.1, reset ());
+        (* A second round on the same component is fine too: convictions
+           are consumed one reset at a time, not latched forever. *)
+        (2.0, conviction ());
+        (2.0, conviction ~subsystem:"unit-db:u00" ());
+        (2.1, reset ());
+        (2.2, reset ~subsystem:"unit-db:u00" ());
+      ]
+  in
+  check Alcotest.int "convicted resets are legal" 0 (Spec.violation_count spec)
+
+let test_spec_unprovoked_reset () =
+  let spec = spec_run [ (1.0, reset ~server:2 ()) ] in
+  check
+    (Alcotest.option (Alcotest.pair (Alcotest.float 1e-9) Alcotest.string))
+    "reset without conviction flagged"
+    (Some (1.0, "spec: s2 reset gcs:content:u00 without a preceding audit conviction"))
+    (Spec.first_violation spec);
+  (* Convictions are per (server, subsystem): a neighbour's conviction,
+     or the same server's other component, authorizes nothing here. *)
+  let cross =
+    spec_run
+      [
+        (1.0, conviction ~server:3 ());
+        (1.0, conviction ~server:2 ~subsystem:"unit-db:u01" ());
+        (1.1, reset ~server:2 ());
+      ]
+  in
+  check Alcotest.int "conviction does not transfer across components" 1
+    (Spec.violation_count cross);
+  let double = spec_run [ (1.0, conviction ()); (1.1, reset ()); (1.2, reset ()) ] in
+  check Alcotest.int "one conviction buys exactly one reset" 1
+    (Spec.violation_count double)
+
+let test_spec_crash_wipes_convictions () =
+  let spec =
+    spec_run
+      [
+        (1.0, conviction ());
+        (1.5, Events.Server_crashed { server = 1 });
+        (* The next life starts unconvicted: this reset is unprovoked. *)
+        (2.0, reset ());
+      ]
+  in
+  check Alcotest.int "crash wiped the pending conviction" 1
+    (Spec.violation_count spec);
+  let other =
+    spec_run
+      [
+        (1.0, conviction ~server:2 ());
+        (1.5, Events.Server_crashed { server = 1 });
+        (2.0, reset ~server:2 ());
+      ]
+  in
+  check Alcotest.int "a neighbour's crash wipes nothing" 0
+    (Spec.violation_count other)
+
+(* ------------------------------------------------------------------ *)
 
 let suite =
   [
@@ -265,6 +348,15 @@ let suite =
           test_toy_replay_deterministic;
         Alcotest.test_case "schedule text round-trip" `Quick
           test_schedule_round_trip;
+      ] );
+    ( "explore.spec",
+      [
+        Alcotest.test_case "reset after conviction" `Quick
+          test_spec_reset_after_conviction;
+        Alcotest.test_case "unprovoked reset flagged" `Quick
+          test_spec_unprovoked_reset;
+        Alcotest.test_case "crash wipes convictions" `Quick
+          test_spec_crash_wipes_convictions;
       ] );
     ( "explore.oracle",
       [

@@ -451,6 +451,134 @@ let prop_virtual_synchrony_direct =
         procs;
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* Unit-db self-checking: corruption detection and reconciliation      *)
+
+module Unit_db = Haf_core.Unit_db
+
+(* A random healthy database: sanctioned mutations only, so [sound]
+   holds and the checksum matches its own recomputation. *)
+let build_db rng =
+  let db = Unit_db.create ~unit_id:"u00" in
+  let n = 1 + Haf_sim.Rng.int rng 6 in
+  for i = 0 to n - 1 do
+    let sid = Printf.sprintf "s%02d" i in
+    ignore
+      (Unit_db.add_session db ~session_id:sid
+         ~client:(Haf_sim.Rng.int rng 4)
+         ~started_at:(Haf_sim.Rng.float rng 50.));
+    if Haf_sim.Rng.int rng 3 > 0 then begin
+      let primary = Haf_sim.Rng.int rng 4 in
+      let backups =
+        List.filter (fun b -> b <> primary) [ (primary + 1) mod 4 ]
+      in
+      Unit_db.set_assignment db sid ~primary ~backups
+    end;
+    if Haf_sim.Rng.int rng 3 > 0 then
+      Unit_db.set_propagated db sid
+        {
+          Unit_db.snap_ctx = i;
+          snap_req_seq = Haf_sim.Rng.int rng 20;
+          snap_applied = [];
+          snap_at = Haf_sim.Rng.float rng 50.;
+        };
+    if Haf_sim.Rng.int rng 4 = 0 then Unit_db.end_session db sid
+  done;
+  db
+
+(* Damage one record out-of-band, bypassing the sanctioned mutators —
+   exactly what the chaos [corrupt-record] fault does. *)
+let corrupt_record rng db =
+  match Unit_db.sessions db with
+  | [] -> false
+  | sessions ->
+      let s = List.nth sessions (Haf_sim.Rng.int rng (List.length sessions)) in
+      (match Haf_sim.Rng.int rng 4 with
+      | 0 ->
+          (* Tombstone-flag flip: resurrect or fake-end. *)
+          s.Unit_db.ended <- not s.Unit_db.ended
+      | 1 ->
+          s.Unit_db.primary <- None;
+          s.Unit_db.backups <- []
+      | 2 -> s.Unit_db.primary <- Some (-3)
+      | _ ->
+          s.Unit_db.backups <-
+            (match s.Unit_db.primary with Some p -> [ p ] | None -> [ -1 ]));
+      true
+
+let prop_corruption_detected_and_reconciled =
+  (* The self-stabilization contract at the unit-db level: (a) any
+     out-of-band record damage is caught by the checksum cache or the
+     structural audit; (b) the reset-and-rejoin path — fresh database,
+     digest/delta merge from a healthy peer — converges back to the
+     peer's shape, whatever the damage was. *)
+  QCheck.Test.make ~name:"unit_db: corruption detected, reset+merge reconverges"
+    ~count:200
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Haf_sim.Rng.create (seed + 11) in
+      let healthy = build_db rng in
+      let replica = Unit_db.create ~unit_id:"u00" in
+      Unit_db.merge_records replica (Unit_db.export healthy);
+      let before = Unit_db.checksum replica in
+      if not (Unit_db.equal_shape healthy replica) then false
+      else if not (corrupt_record rng replica) then true (* empty db: no-op *)
+      else if Unit_db.checksum replica = before then
+        (* The drawn mutation happened to be a no-op (e.g. stripping the
+           assignment of a session that had none): nothing changed, so
+           there is nothing to detect. *)
+        Unit_db.equal_shape healthy replica
+      else
+        let detected =
+          Unit_db.checksum replica <> before
+          || Result.is_error (Unit_db.sound replica)
+        in
+        (* Reset-and-rejoin: throw the damaged copy away and merge the
+           healthy peer's delta into an empty database. *)
+        let fresh = Unit_db.create ~unit_id:"u00" in
+        Unit_db.merge_records fresh (Unit_db.export healthy);
+        detected && Unit_db.equal_shape healthy fresh)
+
+let prop_tombstone_survives_flag_corruption =
+  (* A peer whose copy of an {e ended} session was corrupted back to
+     live (flag flipped, content re-attached) must not resurrect it
+     through the state exchange: the tombstone outranks any snapshot in
+     [digest_snap_compare], so merging the corrupted record is a no-op. *)
+  QCheck.Test.make ~name:"unit_db: tombstone wins over a flag-corrupted record"
+    ~count:200
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Haf_sim.Rng.create (seed + 13) in
+      let db = Unit_db.create ~unit_id:"u00" in
+      ignore (Unit_db.add_session db ~session_id:"s00" ~client:1 ~started_at:1.);
+      Unit_db.end_session db "s00";
+      let zombie =
+        {
+          Unit_db.r_session_id = "s00";
+          r_client = 1;
+          r_unit_id = "u00";
+          r_started_at = 1.;
+          r_propagated =
+            Some
+              {
+                Unit_db.snap_ctx = 99;
+                snap_req_seq = Haf_sim.Rng.int rng 1000;
+                snap_applied = [];
+                snap_at = Haf_sim.Rng.float rng 100.;
+              };
+          r_primary = Some (Haf_sim.Rng.int rng 4);
+          r_backups = [];
+          r_ended = false;
+        }
+      in
+      Unit_db.merge_records db [ zombie ];
+      (not (Unit_db.live db "s00"))
+      && Result.is_ok (Unit_db.sound db)
+      &&
+      match Unit_db.find db "s00" with
+      | Some s -> s.Unit_db.ended && s.Unit_db.propagated = None
+      | None -> false)
+
 let suite =
   [
     ( "gcs.units",
@@ -476,4 +604,10 @@ let suite =
       ]
       @ List.map QCheck_alcotest.to_alcotest
           [ prop_random_partition_schedule; prop_virtual_synchrony_direct ] );
+    ( "gcs.unit_db.self_check",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_corruption_detected_and_reconciled;
+          prop_tombstone_survives_flag_corruption;
+        ] );
   ]

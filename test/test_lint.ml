@@ -118,6 +118,36 @@ let test_r3_pragma () =
        {|let each f t = Hashtbl.iter f t (* haf-lint: allow R3 — fixture *)|})
 
 (* ------------------------------------------------------------------ *)
+(* The self-stabilization modules (gcs audit, wire validation, the
+   convergence oracle) are protocol code: R1-R3 must police them at
+   their real paths, and the idioms they actually use must pass. *)
+
+let test_audit_modules_policed () =
+  check_rules "ambient time flagged in the gcs audit" [ "R1" ]
+    (lint "lib/gcs/audit.ml" {|let due () = Unix.gettimeofday () > 3.|});
+  check_rules "ambient randomness flagged in the oracle" [ "R1" ]
+    (lint "lib/monitor/stabilize.ml" {|let jitter () = Random.float 0.1|});
+  check_rules "bare compare flagged in wire validation" [ "R2" ]
+    (lint "lib/gcs/wire.ml" {|let sorted xs = List.sort compare xs|});
+  check_rules "Marshal flagged in the gcs audit" [ "R2" ]
+    (lint "lib/gcs/audit.ml" {|let enc v = Marshal.to_string v []|});
+  check_rules "Hashtbl.iter flagged in the oracle" [ "R3" ]
+    (lint "lib/monitor/stabilize.ml" {|let each f t = Hashtbl.iter f t|});
+  check_rules "Hashtbl.fold flagged in the gcs audit" [ "R3" ]
+    (lint "lib/gcs/audit.ml"
+       {|let ids t = Hashtbl.fold (fun k _ a -> k :: a) t []|})
+
+let test_audit_modules_clean_idioms () =
+  check_rules "engine-clock deadline arithmetic passes" []
+    (lint "lib/monitor/stabilize.ml"
+       {|let overdue ~now deadline = now -. deadline > 0.|});
+  check_rules "explicit comparator in validation passes" []
+    (lint "lib/gcs/wire.ml" {|let sorted xs = List.sort String.compare xs|});
+  check_rules "deterministic table iteration passes" []
+    (lint "lib/gcs/audit.ml"
+       {|let ids t = Haf_sim.Det_tbl.sorted_keys ~compare:String.compare t|})
+
+(* ------------------------------------------------------------------ *)
 (* R4: direct console output in lib/                                   *)
 
 let test_r4_violation () =
@@ -266,6 +296,10 @@ let suite =
         Alcotest.test_case "R3 violation" `Quick test_r3_violation;
         Alcotest.test_case "R3 clean" `Quick test_r3_clean;
         Alcotest.test_case "R3 pragma" `Quick test_r3_pragma;
+        Alcotest.test_case "audit modules policed" `Quick
+          test_audit_modules_policed;
+        Alcotest.test_case "audit modules clean idioms" `Quick
+          test_audit_modules_clean_idioms;
         Alcotest.test_case "R4 violation" `Quick test_r4_violation;
         Alcotest.test_case "R4 out of scope" `Quick test_r4_out_of_scope;
         Alcotest.test_case "R4 multiline pragma" `Quick test_r4_multiline_pragma;

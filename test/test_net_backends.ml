@@ -186,6 +186,41 @@ module Conformance (B : BACKEND) = struct
     check Alcotest.bool "fresh incarnation after the give-up" true ok;
     B.teardown ctx
 
+  (* Wire validation: a datagram that is not a transport frame (here,
+     raw garbage injected straight through the substrate, below the
+     transport's own send path) is dropped and counted in
+     [Transport.rejected] — and the counter is visible in the rendered
+     netstats table.  Honest peers are unaffected: a real payload sent
+     after the garbage still arrives. *)
+  let test_rejected_counter () =
+    let contains hay needle =
+      let lh = String.length hay and ln = String.length needle in
+      let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+      go 0
+    in
+    let ctx, tr = make_transport ~n:2 () in
+    let got = collect tr 1 in
+    Transport.attach tr 0 (fun ~src:_ _ -> ());
+    check Alcotest.int "no rejections yet" 0 (Transport.rejected tr);
+    let sub = B.substrate ctx in
+    sub.Substrate.send ~src:0 ~dst:1 "not a transport frame";
+    let rejected = B.run_until ctx (fun () -> Transport.rejected tr >= 1) in
+    check Alcotest.bool "garbage datagram counted as rejected" true rejected;
+    check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+      "garbage never delivered as a payload" [] !got;
+    Transport.send tr ~src:0 ~dst:1 "legit";
+    let ok = B.run_until ctx (fun () -> List.rev_map snd !got = [ "legit" ]) in
+    check Alcotest.bool "honest traffic unaffected" true ok;
+    let st = Transport.stats tr in
+    check Alcotest.bool "stats expose the rejection" true
+      (st.Transport.rejected >= 1);
+    let rendered =
+      Haf_stats.Table.render (Haf_stats.Netstats.transport_table st)
+    in
+    check Alcotest.bool "netstats table renders the rejected counter" true
+      (contains rendered "rejected");
+    B.teardown ctx
+
   (* Netstats: the same Stats.Table surface renders either backend's
      counters — the table names the substrate and totals the nodes. *)
   let test_stats_table () =
@@ -223,6 +258,8 @@ module Conformance (B : BACKEND) = struct
         Alcotest.test_case "reliable fifo over loss" `Quick test_reliable_fifo;
         Alcotest.test_case "incarnation reset" `Quick test_incarnation_reset;
         Alcotest.test_case "give-up threshold" `Quick test_give_up;
+        Alcotest.test_case "rejects invalid datagrams" `Quick
+          test_rejected_counter;
         Alcotest.test_case "netstats table" `Quick test_stats_table;
       ] )
 end
