@@ -14,7 +14,11 @@
    BENCH_chaos.json.  Part 5 exercises the real-time substrate
    (lib/net_unix): reliable-FIFO throughput and ping-pong latency of the
    unmodified Transport over actual UDP loopback sockets, with the
-   per-node traffic table rendered through Netstats. *)
+   per-node traffic table rendered through Netstats.  Part 6 runs the
+   one-process engine scale bench (E12 machinery, every hot-path knob
+   on) and writes BENCH_engine.json — simulated events/sec, client
+   request rates, and the max population holding the takeover-latency
+   ceiling. *)
 
 open Bechamel
 open Toolkit
@@ -40,7 +44,7 @@ let bench_selection =
 let bench_unit_db =
   Test.make ~name:"unit_db add+propagate+export (20 sessions)"
     (Staged.stage (fun () ->
-         let db = Haf_core.Unit_db.create ~unit_id:"u" in
+         let db = Haf_core.Unit_db.create ~unit_id:"u" () in
          for i = 0 to 19 do
            let sid = Printf.sprintf "s%02d" i in
            ignore (Haf_core.Unit_db.add_session db ~session_id:sid ~client:i ~started_at:0.);
@@ -56,7 +60,7 @@ let bench_unit_db =
 
 let bench_db_merge =
   let export =
-    let db = Haf_core.Unit_db.create ~unit_id:"u" in
+    let db = Haf_core.Unit_db.create ~unit_id:"u" () in
     for i = 0 to 49 do
       ignore
         (Haf_core.Unit_db.add_session db
@@ -67,7 +71,7 @@ let bench_db_merge =
   in
   Test.make ~name:"unit_db state-exchange merge (3x50 sessions)"
     (Staged.stage (fun () ->
-         let db = Haf_core.Unit_db.create ~unit_id:"u" in
+         let db = Haf_core.Unit_db.create ~unit_id:"u" () in
          Haf_core.Unit_db.replace_with_merge db [ export; export; export ]))
 
 let bench_marshal =
@@ -572,4 +576,20 @@ let () =
   print_endline "wrote BENCH_stabilize.json";
   print_endline "=== Part 5: real UDP loopback substrate (lib/net_unix) ===";
   print_newline ();
-  udp_loopback_bench ()
+  udp_loopback_bench ();
+  print_endline "=== Part 6: engine scale (sharded hot paths, one process) ===";
+  print_newline ();
+  (* The full 10^5 ladder is the CLI's job (haf_experiments
+     --engine-bench); the tracked artifact uses rungs that keep the
+     whole bench run under a couple of minutes. *)
+  let engine_table, engine_rungs =
+    (* haf-lint: allow R1 — CPU clock injected from the binary for the
+       cpu-s reporting column only; it never feeds the simulation. *)
+    Haf_experiments.E12_scale.run_bench ~clock:Sys.time
+      ~ladder:[ 1_000; 10_000 ] ()
+  in
+  Haf_stats.Table.print Format.std_formatter engine_table;
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc (Haf_experiments.E12_scale.json_of_bench engine_rungs);
+  close_out oc;
+  print_endline "wrote BENCH_engine.json"

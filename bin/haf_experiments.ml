@@ -71,6 +71,27 @@ let stabilize_json =
   Arg.(
     value & opt (some string) None & info [ "stabilize-json" ] ~docv:"PATH" ~doc)
 
+let engine_bench =
+  let doc =
+    "Run the one-process engine scale bench (E12 machinery) up to $(docv) \
+     concurrent sessions instead of the listed experiments: every hot-path \
+     knob on, a ramp to the target population, a mid-run primary crash, the \
+     invariant monitor watching throughout.  Runs a smaller warm-up rung \
+     first, and exits nonzero on any monitor violation — the CI \
+     engine-bench-smoke gate."
+  in
+  Arg.(
+    value & opt (some int) None & info [ "engine-bench" ] ~docv:"SESSIONS" ~doc)
+
+let engine_json =
+  let doc =
+    "With --engine-bench, also write the per-rung results (events/s, \
+     request rates, grant and takeover percentiles, max sessions under the \
+     takeover-latency threshold) as JSON to $(docv) — the BENCH_engine.json \
+     artifact the CI smoke job uploads."
+  in
+  Arg.(value & opt (some string) None & info [ "engine-json" ] ~docv:"PATH" ~doc)
+
 let explore_flag =
   let doc =
     "Run a one-off schedule-space exploration (E16 machinery): enumerate \
@@ -98,12 +119,38 @@ let explore_bug =
   Arg.(value & flag & info [ "explore-bug" ] ~doc)
 
 let run ids full list_flag csv_dir snapshot_period disk_faults chaos_seed
-    chaos_intensity corruption_seed stabilize_json explore_flag explore_depth
-    explore_procs explore_bug =
+    chaos_intensity corruption_seed stabilize_json engine_bench engine_json
+    explore_flag explore_depth explore_procs explore_bug =
   let module Reg = Haf_experiments.Registry in
   if list_flag then begin
     List.iter (fun e -> Printf.printf "%-4s %s\n" e.Reg.id e.Reg.title) Reg.all;
     0
+  end
+  else if engine_bench <> None then begin
+    let module E12 = Haf_experiments.E12_scale in
+    let sessions = Option.get engine_bench in
+    (* A warm-up rung an order of magnitude below the target makes the
+       scaling visible in one artifact. *)
+    let ladder =
+      if sessions <= 1_000 then [ sessions ]
+      else List.sort_uniq compare [ Int.max 1_000 (sessions / 10); sessions ]
+    in
+    let table, rungs =
+      (* haf-lint: allow R1 — CPU clock injected from the binary for the
+         cpu-s reporting column only; it never feeds the simulation. *)
+      E12.run_bench ~clock:Sys.time ~ladder ()
+    in
+    Haf_stats.Table.print Format.std_formatter table;
+    (match engine_json with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (E12.json_of_bench rungs);
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    (* Nonzero on any invariant violation at any rung: the scale claim
+       is "monitored and clean", not just "didn't crash". *)
+    if List.exists (fun r -> r.E12.br_violations > 0) rungs then 1 else 0
   end
   else if explore_flag then begin
     let tables, failed =
@@ -235,7 +282,7 @@ let cmd =
     Term.(
       const run $ ids $ full $ list_flag $ csv_dir $ snapshot_period
       $ disk_faults $ chaos_seed $ chaos_intensity $ corruption_seed
-      $ stabilize_json $ explore_flag $ explore_depth $ explore_procs
-      $ explore_bug)
+      $ stabilize_json $ engine_bench $ engine_json $ explore_flag
+      $ explore_depth $ explore_procs $ explore_bug)
 
 let () = exit (Cmd.eval' cmd)

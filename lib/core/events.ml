@@ -53,15 +53,27 @@ type t =
 type sink = {
   mutable items : (float * t) list;  (* newest first *)
   mutable taps : (now:float -> t -> unit) list;  (* subscription order *)
+  retain : bool;  (* false: taps only, no timeline accumulation *)
+  mutable n_emitted : int;
 }
 
-let make_sink () = { items = []; taps = [] }
+let make_sink ?(retain = true) () = { items = []; taps = []; retain; n_emitted = 0 }
 
 let subscribe sink f = sink.taps <- sink.taps @ [ f ]
 
-let emit sink ~now ev =
-  sink.items <- (now, ev) :: sink.items;
-  List.iter (fun f -> f ~now ev) sink.taps
+let rec run_taps taps ~now ev =
+  match taps with
+  | [] -> ()
+  | f :: rest ->
+      f ~now ev;
+      run_taps rest ~now ev
+
+let[@hot] emit sink ~now ev =
+  sink.n_emitted <- sink.n_emitted + 1;
+  if sink.retain then sink.items <- (now, ev) :: sink.items;
+  run_taps sink.taps ~now ev
+
+let total_emitted sink = sink.n_emitted
 
 let events sink = List.rev sink.items
 

@@ -34,6 +34,7 @@ module Make (S : Service_intf.SERVICE) = struct
     | List_units of { client : int }
     | Start_session of { session_id : string; unit_id : string; client : int }
     | Propagate of { session_id : string; snap : S.context Unit_db.snapshot }
+    | Propagate_batch of { snaps : (string * S.context Unit_db.snapshot) list }
     | End_session of { session_id : string }
     | State_digest of { sender : int; vid : View.Id.t; digest : Unit_db.digest list }
     | State_delta of {
@@ -159,6 +160,12 @@ module Make (S : Service_intf.SERVICE) = struct
              group: suppress self-assignment until the first exchange
              completes (or a grace period proves us alone), else a
              restarted node would duel the live primary. *)
+      mutable u_loads : (int, float) Hashtbl.t option;
+          (* Member load table for incremental placement
+             ([Policy.incremental_assign]): valid only between full
+             selections — any path that runs {!reassign} or replaces the
+             database drops it, and the next incremental start rebuilds
+             it from the live sessions. *)
     }
 
     type t = {
@@ -170,9 +177,18 @@ module Make (S : Service_intf.SERVICE) = struct
       catalog : string list;
       units : (string, ustate) Hashtbl.t;
       sessions : (string, slocal) Hashtbl.t;
+      shard_refs : (string, int) Hashtbl.t;
+          (* Sharded session groups ([Policy.session_shards] > 0): how
+             many local sessions hold a role in each shard group.  The
+             daemon joins a shard group on 0 -> 1 and leaves on 1 -> 0;
+             only [sl_role] None<->Some edges move the count. *)
       store : Haf_store.Store.t option;
       mutable store_timers : Engine.timer list;
       mutable audit_timer : Engine.timer option;
+      mutable prop_timer : Engine.timer option;
+          (* The server-level batched-propagation timer
+             ([Policy.batch_propagation]); per-session [sl_prop] timers
+             are not created in that mode. *)
       mutable svc_view : View.t option;
       mutable running : bool;
     }
@@ -195,8 +211,36 @@ module Make (S : Service_intf.SERVICE) = struct
 
     (* Called at the tail of every sanctioned unit-db mutation path, so
        the cached checksum tracks legitimate changes and the periodic
-       audit only ever fires on out-of-band damage. *)
-    let refresh_checksum us = us.u_checksum <- Unit_db.checksum us.u_db
+       audit only ever fires on out-of-band damage.  O(1): Unit_db
+       maintains the checksum incrementally through its own mutators —
+       the audit still recomputes from scratch when comparing. *)
+    let refresh_checksum us = us.u_checksum <- Unit_db.cached_checksum us.u_db
+
+    (* -------------------------------------------------------------- *)
+    (* Session-group membership                                        *)
+
+    let[@hot] shard_group t session_id =
+      Naming.session_shard_group ~shards:t.policy.Policy.session_shards session_id
+
+    (* Refcounted membership for sharded session groups: one GCS group
+       carries a whole shard of sessions, so the daemon joins when the
+       first local role in the shard appears and leaves when the last
+       one goes.  Callers invoke these only on [sl_role] None<->Some
+       edges — a Backup<->Primary transition keeps the ref it holds. *)
+    let[@hot] acquire_shard t session_id =
+      let g = shard_group t session_id in
+      let n = Option.value (Hashtbl.find_opt t.shard_refs g) ~default:0 in
+      Hashtbl.replace t.shard_refs g (n + 1);
+      if n = 0 then Gcs.join t.gcs t.proc g
+
+    let[@hot] release_shard t session_id =
+      let g = shard_group t session_id in
+      match Hashtbl.find_opt t.shard_refs g with
+      | Some n when n > 1 -> Hashtbl.replace t.shard_refs g (n - 1)
+      | Some _ ->
+          Hashtbl.remove t.shard_refs g;
+          Gcs.leave t.gcs t.proc g
+      | None -> ()
 
     (* -------------------------------------------------------------- *)
     (* Session-local state                                             *)
@@ -276,6 +320,25 @@ module Make (S : Service_intf.SERVICE) = struct
         end
       end
 
+    let snapshot_of t sl =
+      let snap =
+        {
+          Unit_db.snap_ctx = sl.sl_ctx;
+          snap_req_seq = sl.sl_req_seq;
+          snap_applied = List.sort_uniq Int.compare sl.sl_applied;
+          snap_at = now t;
+        }
+      in
+      emit t
+        (Events.Propagated
+           {
+             server = t.proc;
+             session_id = sl.sl_session;
+             req_seq = sl.sl_req_seq;
+             applied = List.sort Int.compare sl.sl_applied;
+           });
+      snap
+
     let do_propagate t sl =
       if
         t.running
@@ -283,31 +346,45 @@ module Make (S : Service_intf.SERVICE) = struct
         (* Risky-pattern choice point (paper §4): the explorer may crash
            the primary at the instant it would propagate session context. *)
         && not (Engine.choice t.engine ~site:"propagate" ~proc:t.proc)
-      then begin
-        let snap =
-          {
-            Unit_db.snap_ctx = sl.sl_ctx;
-            snap_req_seq = sl.sl_req_seq;
-            snap_applied = List.sort_uniq Int.compare sl.sl_applied;
-            snap_at = now t;
-          }
-        in
-        emit t
-          (Events.Propagated
-             {
-               server = t.proc;
-               session_id = sl.sl_session;
-               req_seq = sl.sl_req_seq;
-               applied = List.sort Int.compare sl.sl_applied;
-             });
+      then
+        let snap = snapshot_of t sl in
         multicast_content t sl.sl_unit (Propagate { session_id = sl.sl_session; snap })
+
+    (* Batched propagation ([Policy.batch_propagation]): one server-level
+       timer sweeps every local primary once per period and ships a
+       single [Propagate_batch] multicast per content unit — identical
+       snapshots, receiver semantics and choice point as the per-session
+       path, with the framing cost amortized from O(sessions) to
+       O(units) messages per period.  (Deliberately not [@hot]: this is
+       the once-per-period sweep whose cost is already amortized; the
+       per-snapshot receive path [apply_propagate] is the hot one.) *)
+    let do_propagate_all t =
+      if t.running then begin
+        let by_unit = Hashtbl.create 4 in
+        Det_tbl.iter_sorted ~compare:String.compare
+          (fun _ sl ->
+            if sl.sl_role = Some Primary then
+              Hashtbl.replace by_unit sl.sl_unit
+                (sl :: Option.value (Hashtbl.find_opt by_unit sl.sl_unit) ~default:[]))
+          t.sessions;
+        Det_tbl.iter_sorted ~compare:String.compare
+          (fun u sls ->
+            if not (Engine.choice t.engine ~site:"propagate" ~proc:t.proc) then begin
+              (* [sls] was consed from a sorted sweep, so this restores
+                 session-id order — receivers apply deterministically. *)
+              let snaps =
+                List.map (fun sl -> (sl.sl_session, snapshot_of t sl)) (List.rev sls)
+              in
+              if snaps <> [] then multicast_content t u (Propagate_batch { snaps })
+            end)
+          by_unit
       end
 
     let start_primary_timers t sl =
       if sl.sl_tick = None then
         sl.sl_tick <-
           Some (Engine.every t.engine ~period:S.tick_period (fun () -> do_tick t sl));
-      if sl.sl_prop = None then
+      if (not t.policy.Policy.batch_propagation) && sl.sl_prop = None then
         sl.sl_prop <-
           Some
             (Engine.every t.engine ~period:t.policy.Policy.propagation_period (fun () ->
@@ -381,7 +458,9 @@ module Make (S : Service_intf.SERVICE) = struct
                })
         end;
         sl.sl_role <- Some Primary;
-        Gcs.join t.gcs t.proc (Naming.session_group sl.sl_session);
+        (if t.policy.Policy.session_shards = 0 then
+           Gcs.join t.gcs t.proc (Naming.session_group sl.sl_session)
+         else if not had_live then acquire_shard t sl.sl_session);
         emit t
           (Events.Role_assumed { server = t.proc; session_id = sl.sl_session; role = Primary });
         start_primary_timers t sl
@@ -390,6 +469,7 @@ module Make (S : Service_intf.SERVICE) = struct
     let become_backup t (sess : S.context Unit_db.session) =
       let sl = local_of t sess in
       if sl.sl_role <> Some Backup then begin
+        let had_role = sl.sl_role <> None in
         (match sl.sl_role with
         | Some Primary ->
             stop_timers sl;
@@ -398,12 +478,15 @@ module Make (S : Service_intf.SERVICE) = struct
                  { server = t.proc; session_id = sl.sl_session; role = Primary })
         | Some Backup | None -> ());
         sl.sl_role <- Some Backup;
-        Gcs.join t.gcs t.proc (Naming.session_group sl.sl_session);
+        (if t.policy.Policy.session_shards = 0 then
+           Gcs.join t.gcs t.proc (Naming.session_group sl.sl_session)
+         else if not had_role then acquire_shard t sl.sl_session);
         emit t
           (Events.Role_assumed { server = t.proc; session_id = sl.sl_session; role = Backup })
       end
 
     let relinquish t sl ~new_primary =
+      let held = sl.sl_role <> None in
       (match sl.sl_role with
       | Some Primary ->
           stop_timers sl;
@@ -430,7 +513,9 @@ module Make (S : Service_intf.SERVICE) = struct
                { server = t.proc; session_id = sl.sl_session; role = Backup })
       | None -> ());
       sl.sl_role <- None;
-      Gcs.leave t.gcs t.proc (Naming.session_group sl.sl_session);
+      (if t.policy.Policy.session_shards = 0 then
+         Gcs.leave t.gcs t.proc (Naming.session_group sl.sl_session)
+       else if held then release_shard t sl.sl_session);
       Hashtbl.remove t.sessions sl.sl_session
 
     let apply_assignment t us (a : Selection.assignment) =
@@ -477,6 +562,9 @@ module Make (S : Service_intf.SERVICE) = struct
       | _ when us.u_recovering -> ()
       | None -> ()
       | Some view ->
+          (* Full selection supersedes any incremental load table; the
+             next incremental start rebuilds it from the result. *)
+          us.u_loads <- None;
           let prevs =
             Unit_db.live_sessions us.u_db
             |> List.map (fun (s : S.context Unit_db.session) ->
@@ -491,6 +579,84 @@ module Make (S : Service_intf.SERVICE) = struct
               ~members:view.View.members ~rebalance prevs
           in
           List.iter (apply_assignment t us) assignments
+
+    (* Incremental placement ([Policy.incremental_assign]): a brand-new
+       session is placed without re-running the full selection — the
+       least-loaded member takes the primary role and the next
+       least-loaded the backups, exactly {!Selection.assign}'s phase-2/3
+       rule for a session with no history, against a load table
+       maintained across starts.  The table, the tie-break and the view
+       are identical at every member, so the paper's no-extra-round
+       agreement is preserved; any view change falls back to the full
+       selection, which drops the table.  Admission cost per session:
+       O(members) instead of O(sessions). *)
+    let bump_load loads m w =
+      match Hashtbl.find_opt loads m with
+      | Some l -> Hashtbl.replace loads m (l +. w)
+      | None -> ()
+
+    (* Rebuilds the table from the unit database; runs only when the
+       cache was invalidated (view change, recovery), so it is the rare
+       slow path behind the [@hot] admission below. *)
+    let rebuild_loads us members =
+      let loads = Hashtbl.create 8 in
+      List.iter (fun m -> Hashtbl.replace loads m 0.) members;
+      List.iter
+        (fun (s : S.context Unit_db.session) ->
+          (match s.Unit_db.primary with Some p -> bump_load loads p 1. | None -> ());
+          List.iter (fun b -> bump_load loads b Selection.backup_weight) s.Unit_db.backups)
+        (Unit_db.live_sessions us.u_db);
+      loads
+
+    (* {!Selection.least_loaded}'s deterministic scan as a first-order
+       loop: skips [primary] and [chosen], -1 means "none eligible".
+       Members are process ids, always >= 0. *)
+    let[@hot] rec least_loaded_member (loads : (int, float) Hashtbl.t) ~primary
+        ~chosen ~best members =
+      match members with
+      | [] -> best
+      | c :: rest ->
+          if c = primary || List.memq c chosen then
+            least_loaded_member loads ~primary ~chosen ~best rest
+          else if best < 0 then least_loaded_member loads ~primary ~chosen ~best:c rest
+          else
+            let lb = Hashtbl.find loads best and lc = Hashtbl.find loads c in
+            let best = if lc < lb || (lc = lb && c < best) then c else best in
+            least_loaded_member loads ~primary ~chosen ~best rest
+
+    let[@hot] rec pick_incremental_backups loads members ~primary chosen k =
+      if k = 0 then List.rev chosen
+      else
+        match least_loaded_member loads ~primary ~chosen ~best:(-1) members with
+        | -1 -> List.rev chosen
+        | b ->
+            bump_load loads b Selection.backup_weight;
+            pick_incremental_backups loads members ~primary (b :: chosen) (k - 1)
+
+    let[@hot] assign_new_session t us session_id =
+      match us.u_view with
+      | _ when us.u_recovering -> ()
+      | None -> ()
+      | Some view ->
+          let members = List.sort_uniq Int.compare view.View.members in
+          let loads =
+            match us.u_loads with
+            | Some l -> l
+            | None ->
+                let l = rebuild_loads us members in
+                us.u_loads <- Some l;
+                l
+          in
+          (match least_loaded_member loads ~primary:(-1) ~chosen:[] ~best:(-1) members with
+          | -1 -> ()
+          | primary ->
+              bump_load loads primary 1.;
+              let backups =
+                pick_incremental_backups loads members ~primary []
+                  t.policy.Policy.n_backups
+              in
+              apply_assignment t us
+                { Selection.a_session_id = session_id; a_primary = primary; a_backups = backups })
 
     (* -------------------------------------------------------------- *)
     (* Self-stabilization: unit-db audit and reset-and-rejoin          *)
@@ -527,10 +693,11 @@ module Make (S : Service_intf.SERVICE) = struct
           t.sessions []
       in
       List.iter (fun sl -> relinquish t sl ~new_primary:None) locals;
-      us.u_db <- Unit_db.create ~unit_id:us.u_id;
+      us.u_db <- Unit_db.create ~unit_id:us.u_id ();
       us.u_view <- None;
       us.u_exchange <- None;
       us.u_recovering <- true;
+      us.u_loads <- None;
       refresh_checksum us;
       Gcs.leave t.gcs t.proc (Naming.content_group us.u_id);
       Gcs.join t.gcs t.proc (Naming.content_group us.u_id);
@@ -605,6 +772,29 @@ module Make (S : Service_intf.SERVICE) = struct
           | None -> grant ())
       | Some _ | None -> ()
 
+    (* One propagated snapshot landing in the unit database — shared by
+       the per-session [Propagate] arm and each element of a
+       [Propagate_batch]. *)
+    let merge_applied xs ys = List.sort_uniq Int.compare (List.rev_append xs ys)
+
+    let[@hot] apply_propagate t us ~sender session_id snap =
+      Unit_db.set_propagated us.u_db session_id snap;
+      if Unit_db.live us.u_db session_id then
+        store_log t (P_ctx { unit_id = us.u_id; session_id; snap });
+      (* A backup folds the propagation into its live context: take
+         the primary's context and replay the requests it has seen
+         that the snapshot predates. *)
+      match Hashtbl.find_opt t.sessions session_id with
+      | Some { sl_role = Some Backup; _ } when sender = t.proc -> ()
+      | Some ({ sl_role = Some Backup; _ } as sl) ->
+          sl.sl_ctx <-
+            reapply_requests sl ~above:snap.Unit_db.snap_req_seq
+              snap.Unit_db.snap_ctx;
+          sl.sl_base_at <- snap.Unit_db.snap_at;
+          sl.sl_req_seq <- Int.max sl.sl_req_seq snap.Unit_db.snap_req_seq;
+          sl.sl_applied <- merge_applied snap.Unit_db.snap_applied sl.sl_applied
+      | Some _ | None -> ()
+
     let process_content_msg t us ~sender msg =
       match msg with
       | Start_session { session_id; unit_id = _; client } ->
@@ -614,30 +804,23 @@ module Make (S : Service_intf.SERVICE) = struct
           refresh_checksum us;
           if not existed then begin
             store_log t (P_session { unit_id = us.u_id; session_id; client; started_at });
-            reassign t us ~rebalance:false
+            if t.policy.Policy.incremental_assign then
+              assign_new_session t us session_id
+            else reassign t us ~rebalance:false
           end;
           grant_if_primary t us session_id
-      | Propagate { session_id; snap } -> (
-          Unit_db.set_propagated us.u_db session_id snap;
-          refresh_checksum us;
-          if Unit_db.live us.u_db session_id then
-            store_log t (P_ctx { unit_id = us.u_id; session_id; snap });
-          (* A backup folds the propagation into its live context: take
-             the primary's context and replay the requests it has seen
-             that the snapshot predates. *)
-          match Hashtbl.find_opt t.sessions session_id with
-          | Some sl when sl.sl_role = Some Backup && sender <> t.proc ->
-              sl.sl_ctx <-
-                reapply_requests sl ~above:snap.Unit_db.snap_req_seq
-                  snap.Unit_db.snap_ctx;
-              sl.sl_base_at <- snap.Unit_db.snap_at;
-              sl.sl_req_seq <- Int.max sl.sl_req_seq snap.Unit_db.snap_req_seq;
-              sl.sl_applied <-
-                List.sort_uniq Int.compare (snap.Unit_db.snap_applied @ sl.sl_applied)
-          | Some _ | None -> ())
+      | Propagate { session_id; snap } ->
+          apply_propagate t us ~sender session_id snap;
+          refresh_checksum us
+      | Propagate_batch { snaps } ->
+          List.iter
+            (fun (session_id, snap) -> apply_propagate t us ~sender session_id snap)
+            snaps;
+          refresh_checksum us
       | End_session { session_id } ->
           (match Hashtbl.find_opt t.sessions session_id with
           | Some sl ->
+              let held = sl.sl_role <> None in
               if sl.sl_role = Some Primary then
                 emit t (Events.Session_ended { session_id });
               stop_timers sl;
@@ -647,8 +830,28 @@ module Make (S : Service_intf.SERVICE) = struct
               | None -> ());
               sl.sl_role <- None;
               Hashtbl.remove t.sessions session_id;
-              Gcs.leave t.gcs t.proc (Naming.session_group session_id)
+              if t.policy.Policy.session_shards = 0 then
+                Gcs.leave t.gcs t.proc (Naming.session_group session_id)
+              else if held then release_shard t session_id
           | None -> ());
+          (* Keep the incremental load table truthful: the ended
+             session's roles stop counting before the tombstone strips
+             the assignment. *)
+          (match us.u_loads with
+          | Some loads when Unit_db.live us.u_db session_id -> (
+              match Unit_db.find us.u_db session_id with
+              | Some sess ->
+                  let dec m w =
+                    match Hashtbl.find_opt loads m with
+                    | Some l -> Hashtbl.replace loads m (l -. w)
+                    | None -> ()
+                  in
+                  (match sess.Unit_db.primary with Some p -> dec p 1. | None -> ());
+                  List.iter
+                    (fun b -> dec b Selection.backup_weight)
+                    sess.Unit_db.backups
+              | None -> ())
+          | Some _ | None -> ());
           if Unit_db.live us.u_db session_id then
             store_log t (P_end { unit_id = us.u_id; session_id });
           if !test_end_session_deletes then
@@ -874,7 +1077,7 @@ module Make (S : Service_intf.SERVICE) = struct
              | State_digest { vid; _ }, Some v -> View.Id.equal vid v.View.id
              | State_digest _, None -> false
              | ( ( List_units _ | Start_session _ | Propagate _
-                 | End_session _ | State_delta _ | Request _ ),
+                 | Propagate_batch _ | End_session _ | State_delta _ | Request _ ),
                  _ ) ->
                  false -> (
           (* A member started an exchange for our current view that we
@@ -929,8 +1132,8 @@ module Make (S : Service_intf.SERVICE) = struct
                 us.u_id xsender
                 (Format.asprintf "%a" View.Id.pp vid)
                 (Format.asprintf "%a" View.Id.pp ex.ex_vid)
-          | ( List_units _ | Start_session _ | Propagate _ | End_session _
-            | Request _ ) as other ->
+          | ( List_units _ | Start_session _ | Propagate _ | Propagate_batch _
+            | End_session _ | Request _ ) as other ->
               ex.ex_deferred <- (sender, other) :: ex.ex_deferred)
       | None -> process_content_msg t us ~sender msg
 
@@ -958,8 +1161,8 @@ module Make (S : Service_intf.SERVICE) = struct
           | Some v when View.coordinator v = t.proc ->
               send_p2p t client (Unit_list t.catalog)
           | Some _ | None -> ())
-      | Start_session _ | Propagate _ | End_session _ | State_digest _ | State_delta _
-      | Request _ ->
+      | Start_session _ | Propagate _ | Propagate_batch _ | End_session _
+      | State_digest _ | State_delta _ | Request _ ->
           ()
 
     (* -------------------------------------------------------------- *)
@@ -992,10 +1195,17 @@ module Make (S : Service_intf.SERVICE) = struct
               match (Naming.session_of group, msg) with
               | Some _, Request { session_id; seq; body } ->
                   on_request t ~session_id ~seq ~body
+              | None, Request { session_id; seq; body }
+                when Naming.session_shard_of group <> None ->
+                  (* Sharded session groups: every member of the shard
+                     sees the request; [on_request]'s local-role filter
+                     keeps only the session's primary and backups. *)
+                  on_request t ~session_id ~seq ~body
               | None, Request _ -> ()
               | ( _,
                   ( List_units _ | Start_session _ | Propagate _
-                  | End_session _ | State_digest _ | State_delta _ ) ) ->
+                  | Propagate_batch _ | End_session _ | State_digest _
+                  | State_delta _ ) ) ->
                   ())
 
     let on_p2p t ~sender:_ payload =
@@ -1088,16 +1298,18 @@ module Make (S : Service_intf.SERVICE) = struct
           catalog;
           units = Hashtbl.create 4;
           sessions = Hashtbl.create 16;
+          shard_refs = Hashtbl.create 8;
           store;
           store_timers = [];
           audit_timer = None;
+          prop_timer = None;
           svc_view = None;
           running = true;
         }
       in
       List.iter
         (fun u ->
-          let db = Unit_db.create ~unit_id:u in
+          let db = Unit_db.create ~unit_id:u () in
           Hashtbl.replace t.units u
             {
               u_id = u;
@@ -1106,6 +1318,7 @@ module Make (S : Service_intf.SERVICE) = struct
               u_view = None;
               u_exchange = None;
               u_recovering = false;
+              u_loads = None;
             })
         units;
       (match store with
@@ -1188,6 +1401,11 @@ module Make (S : Service_intf.SERVICE) = struct
         Some
           (Engine.every t.engine ~first:audit_period ~period:audit_period (fun () ->
                audit_tick t));
+      if policy.Policy.batch_propagation then
+        t.prop_timer <-
+          Some
+            (Engine.every t.engine ~period:policy.Policy.propagation_period (fun () ->
+                 do_propagate_all t));
       Gcs.join gcs proc Naming.service_group;
       List.iter (fun u -> Gcs.join gcs proc (Naming.content_group u)) units;
       t
@@ -1198,6 +1416,8 @@ module Make (S : Service_intf.SERVICE) = struct
       t.store_timers <- [];
       (match t.audit_timer with Some tm -> Engine.cancel tm | None -> ());
       t.audit_timer <- None;
+      (match t.prop_timer with Some tm -> Engine.cancel tm | None -> ());
+      t.prop_timer <- None;
       Det_tbl.iter_sorted ~compare:String.compare
         (fun _ sl -> stop_timers sl)
         t.sessions
@@ -1333,8 +1553,17 @@ module Make (S : Service_intf.SERVICE) = struct
         let body = S.gen_request t.rng ~seq in
         Events.emit t.events ~now:(now t)
           (Events.Request_sent { client = t.proc; session_id = cs.c_session; seq });
-        Gcs.open_send t.gcs t.proc
-          (Naming.session_group cs.c_session)
+        (* Sharded session groups: the client computes the same pure
+           session-id -> shard map as the servers, so routing still
+           needs no coordination. *)
+        let group =
+          if t.policy.Policy.session_shards = 0 then
+            Naming.session_group cs.c_session
+          else
+            Naming.session_shard_group ~shards:t.policy.Policy.session_shards
+              cs.c_session
+        in
+        Gcs.open_send t.gcs t.proc group
           (encode_group (Request { session_id = cs.c_session; seq; body }))
       end
 

@@ -36,6 +36,11 @@ module Make (S : Service_intf.SERVICE) : sig
         (** Client -> content group (totally ordered at every replica). *)
     | Propagate of { session_id : string; snap : S.context Unit_db.snapshot }
         (** Primary -> content group, every propagation period. *)
+    | Propagate_batch of { snaps : (string * S.context Unit_db.snapshot) list }
+        (** Every local primary's snapshot for one unit in a single
+            frame ({!Policy.t.batch_propagation}): semantically the same
+            [Propagate] messages back-to-back, O(units) instead of
+            O(sessions) multicasts per propagation period. *)
     | End_session of { session_id : string }
     | State_digest of {
         sender : int;

@@ -4,9 +4,16 @@ let content_prefix = "content:"
 
 let session_prefix = "session:"
 
+let session_shard_prefix = "sshard:"
+
 let content_group unit_id = content_prefix ^ unit_id
 
 let session_group session_id = session_prefix ^ session_id
+
+let shard_group k = session_shard_prefix ^ string_of_int k
+
+let session_shard_group ~shards session_id =
+  shard_group (Unit_db.fnv1a session_id mod shards)
 
 let is_service_group g = String.equal g service_group
 
@@ -19,3 +26,5 @@ let strip prefix g =
 let content_unit_of g = strip content_prefix g
 
 let session_of g = strip session_prefix g
+
+let session_shard_of g = Option.bind (strip session_shard_prefix g) int_of_string_opt

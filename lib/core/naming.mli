@@ -15,6 +15,18 @@ val content_group : string -> string
 val session_group : string -> string
 (** [session_group session_id]: primary + backups of one live session. *)
 
+val shard_group : int -> string
+(** [shard_group k]: the k-th session-shard group — the bounded-count
+    alternative to per-session groups under {!Policy.t.session_shards}. *)
+
+val session_shard_group : shards:int -> string -> string
+(** [session_shard_group ~shards session_id]: the shard group serving
+    [session_id] when sessions map onto [shards] fixed groups.  The map
+    is {!Unit_db.fnv1a} mod [shards]: pure in the session id, so every
+    server and every client computes the same group with no
+    coordination — the same property the paper demands of the
+    per-session names. *)
+
 val is_service_group : string -> bool
 
 val content_unit_of : string -> string option
@@ -22,3 +34,6 @@ val content_unit_of : string -> string option
 
 val session_of : string -> string option
 (** Inverse of {!session_group}. *)
+
+val session_shard_of : string -> int option
+(** Inverse of {!shard_group}. *)

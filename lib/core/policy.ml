@@ -6,6 +6,9 @@ type t = {
   takeover : takeover;
   rebalance_on_join : bool;
   grant_timeout : float;
+  session_shards : int;
+  batch_propagation : bool;
+  incremental_assign : bool;
 }
 
 let default =
@@ -15,6 +18,9 @@ let default =
     takeover = Resume;
     rebalance_on_join = true;
     grant_timeout = 2.0;
+    session_shards = 0;
+    batch_propagation = false;
+    incremental_assign = false;
   }
 
 let vod_paper = { default with n_backups = 0; propagation_period = 0.5 }
@@ -23,6 +29,7 @@ let validate t =
   if t.n_backups < 0 then Error "n_backups must be non-negative"
   else if t.propagation_period <= 0. then Error "propagation_period must be positive"
   else if t.grant_timeout <= 0. then Error "grant_timeout must be positive"
+  else if t.session_shards < 0 then Error "session_shards must be non-negative"
   else Ok t
 
 let takeover_to_string = function
@@ -32,4 +39,7 @@ let takeover_to_string = function
 
 let pp ppf t =
   Format.fprintf ppf "backups=%d prop=%gs takeover=%s rebalance=%b" t.n_backups
-    t.propagation_period (takeover_to_string t.takeover) t.rebalance_on_join
+    t.propagation_period (takeover_to_string t.takeover) t.rebalance_on_join;
+  if t.session_shards > 0 then Format.fprintf ppf " shards=%d" t.session_shards;
+  if t.batch_propagation then Format.fprintf ppf " batch-prop";
+  if t.incremental_assign then Format.fprintf ppf " incr-assign"

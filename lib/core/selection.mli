@@ -37,6 +37,11 @@ val assign :
 
     @raise Invalid_argument if [members] is empty. *)
 
+val backup_weight : float
+(** Load contributed by one backup role (1/2; a primary counts 1).
+    Exposed so the framework's incremental load table uses the same
+    weights as {!assign}. *)
+
 val load_of : assignment list -> int -> float
 (** [load_of assignments server]: primaries count 1, backups 1/2. *)
 

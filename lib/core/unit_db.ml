@@ -16,79 +16,57 @@ type 'ctx session = {
   mutable ended : bool;
 }
 
-type 'ctx t = { uid : string; table : (string, 'ctx session) Hashtbl.t }
+(* The database is sharded by session id: each shard is an independent
+   hashtable with its own deterministic iteration, so a session group
+   (and the state exchange) can touch only its shard.  The shard map is
+   a pure function of the session id (FNV-1a — hand-written, never the
+   polymorphic [Hashtbl.hash], so every member routes identically), and
+   every cross-shard result (sessions, export, checksum) is merged in
+   session-id order, making the observable behavior independent of the
+   shard count — a qcheck suite pins sharded == unsharded. *)
+type 'ctx t = {
+  uid : string;
+  shards : (string, 'ctx session) Hashtbl.t array;
+  mutable cache : int;
+      (* XOR of the per-session digest hashes, maintained incrementally
+         by every sanctioned mutation — O(1) to read where the old
+         implementation recomputed O(n log n).  [checksum] is still a
+         full recompute, so comparing the two convicts out-of-band
+         damage exactly as before. *)
+}
 
-let create ~unit_id = { uid = unit_id; table = Hashtbl.create 16 }
+let fnv_offset = 0x0bf29ce484222325
+
+let fnv_prime = 0x100000001b3
+
+let[@hot] fnv1a s =
+  let h = ref fnv_offset in
+  for i = 0 to String.length s - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * fnv_prime
+  done;
+  !h land max_int
+
+let default_shards = 8
+
+let create ?(shards = default_shards) ~unit_id () =
+  if shards < 1 then invalid_arg "Unit_db.create: shards < 1";
+  {
+    uid = unit_id;
+    shards = Array.init shards (fun _ -> Hashtbl.create 16);
+    cache = 0;
+  }
 
 let unit_id t = t.uid
 
-let find t sid = Hashtbl.find_opt t.table sid
+let shard_count t = Array.length t.shards
 
-let mem t sid = Hashtbl.mem t.table sid
+let[@hot] shard_of t sid = fnv1a sid mod Array.length t.shards
 
-let add_session t ~session_id ~client ~started_at =
-  match find t session_id with
-  | Some s -> s
-  | None ->
-      let s =
-        {
-          session_id;
-          client;
-          unit_id = t.uid;
-          started_at;
-          primary = None;
-          backups = [];
-          propagated = None;
-          ended = false;
-        }
-      in
-      Hashtbl.replace t.table session_id s;
-      s
+let[@hot] shard t sid = t.shards.(fnv1a sid mod Array.length t.shards)
 
-let remove_session t sid = Hashtbl.remove t.table sid
+let[@hot] find t sid = Hashtbl.find_opt (shard t sid) sid
 
-(* Tombstone, not deletion: the entry stays, stripped of assignment and
-   content, and wins every merge (see [digest_snap_compare]) — so a
-   member that missed the End multicast, or recovers from a stable store
-   predating it, cannot resurrect the session through a state exchange. *)
-let end_session t sid =
-  match find t sid with
-  | None -> ()
-  | Some s ->
-      s.ended <- true;
-      s.primary <- None;
-      s.backups <- [];
-      s.propagated <- None
-
-let live t sid = match find t sid with Some s -> not s.ended | None -> false
-
-let sessions t = Haf_sim.Det_tbl.sorted_values ~compare:String.compare t.table
-
-let live_sessions t = List.filter (fun s -> not s.ended) (sessions t)
-
-let size t = Hashtbl.length t.table
-
-let fresher a b =
-  (* Newest request first, then wall-clock as a tiebreak. *)
-  if a.snap_req_seq <> b.snap_req_seq then a.snap_req_seq > b.snap_req_seq
-  else a.snap_at > b.snap_at
-
-let set_propagated t sid snap =
-  match find t sid with
-  | None -> ()
-  | Some { ended = true; _ } -> ()
-  | Some s -> (
-      match s.propagated with
-      | Some old when not (fresher snap old) -> ()
-      | Some _ | None -> s.propagated <- Some snap)
-
-let set_assignment t sid ~primary ~backups =
-  match find t sid with
-  | None -> ()
-  | Some { ended = true; _ } -> ()
-  | Some s ->
-      s.primary <- Some primary;
-      s.backups <- backups
+let[@hot] mem t sid = Hashtbl.mem (shard t sid) sid
 
 type 'ctx record = {
   r_session_id : string;
@@ -101,19 +79,17 @@ type 'ctx record = {
   r_ended : bool;
 }
 
-let export t =
-  sessions t
-  |> List.map (fun s ->
-         {
-           r_session_id = s.session_id;
-           r_client = s.client;
-           r_unit_id = s.unit_id;
-           r_started_at = s.started_at;
-           r_propagated = s.propagated;
-           r_primary = s.primary;
-           r_backups = s.backups;
-           r_ended = s.ended;
-         })
+let record_of_session s =
+  {
+    r_session_id = s.session_id;
+    r_client = s.client;
+    r_unit_id = s.unit_id;
+    r_started_at = s.started_at;
+    r_propagated = s.propagated;
+    r_primary = s.primary;
+    r_backups = s.backups;
+    r_ended = s.ended;
+  }
 
 (* The per-session digest: every coordination-relevant field of a record
    except the service context itself.  Two uses: (a) the total
@@ -149,6 +125,110 @@ let digest_of_record r =
     d_backups = r.r_backups;
     d_ended = r.r_ended;
   }
+
+(* One session's contribution to the checksum.  Hashed with generous
+   node limits — the default [Hashtbl.hash] stops after 10 meaningful
+   nodes, which would let a flip deep in a long field list slip through
+   unchanged — then multiplied to spread structurally similar digests
+   before the XOR combine. *)
+let session_hash s =
+  let d = digest_of_record (record_of_session s) in
+  Hashtbl.hash_param 256 256 d * 0x9e3779b9 land max_int (* haf-lint: allow R2 — local integrity checksum, never compared across processes *)
+
+(* Run a sanctioned in-place mutation, keeping the incremental cache in
+   sync: XOR out the old contribution, XOR in the new. *)
+let touching t s f =
+  let before = session_hash s in
+  f s;
+  t.cache <- t.cache lxor before lxor session_hash s
+
+let add_session t ~session_id ~client ~started_at =
+  let tbl = shard t session_id in
+  match Hashtbl.find_opt tbl session_id with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          session_id;
+          client;
+          unit_id = t.uid;
+          started_at;
+          primary = None;
+          backups = [];
+          propagated = None;
+          ended = false;
+        }
+      in
+      Hashtbl.replace tbl session_id s;
+      t.cache <- t.cache lxor session_hash s;
+      s
+
+let remove_session t sid =
+  let tbl = shard t sid in
+  match Hashtbl.find_opt tbl sid with
+  | None -> ()
+  | Some s ->
+      t.cache <- t.cache lxor session_hash s;
+      Hashtbl.remove tbl sid
+
+(* Tombstone, not deletion: the entry stays, stripped of assignment and
+   content, and wins every merge (see [digest_snap_compare]) — so a
+   member that missed the End multicast, or recovers from a stable store
+   predating it, cannot resurrect the session through a state exchange. *)
+let end_session t sid =
+  match find t sid with
+  | None -> ()
+  | Some s ->
+      touching t s (fun s ->
+          s.ended <- true;
+          s.primary <- None;
+          s.backups <- [];
+          s.propagated <- None)
+
+let live t sid = match find t sid with Some s -> not s.ended | None -> false
+
+let by_sid (a : _ session) b = String.compare a.session_id b.session_id
+
+let sessions t =
+  let acc = ref [] in
+  Array.iter
+    (fun tbl -> Hashtbl.iter (fun _ s -> acc := s :: !acc) tbl) (* haf-lint: allow R3 — order re-established by the sort below *)
+    t.shards;
+  List.sort by_sid !acc
+
+let live_sessions t = List.filter (fun s -> not s.ended) (sessions t)
+
+let sessions_shard t i =
+  Haf_sim.Det_tbl.sorted_values ~compare:String.compare t.shards.(i)
+
+let size t = Array.fold_left (fun n tbl -> n + Hashtbl.length tbl) 0 t.shards
+
+let fresher a b =
+  (* Newest request first, then wall-clock as a tiebreak. *)
+  if a.snap_req_seq <> b.snap_req_seq then a.snap_req_seq > b.snap_req_seq
+  else a.snap_at > b.snap_at
+
+let set_propagated t sid snap =
+  match find t sid with
+  | None -> ()
+  | Some { ended = true; _ } -> ()
+  | Some s -> (
+      match s.propagated with
+      | Some old when not (fresher snap old) -> ()
+      | Some _ | None -> touching t s (fun s -> s.propagated <- Some snap))
+
+let set_assignment t sid ~primary ~backups =
+  match find t sid with
+  | None -> ()
+  | Some { ended = true; _ } -> ()
+  | Some s ->
+      touching t s (fun s ->
+          s.primary <- Some primary;
+          s.backups <- backups)
+
+let export t = List.map record_of_session (sessions t)
+
+let export_shard t i = List.map record_of_session (sessions_shard t i)
 
 (* Compare only the replicated-content part of two digests: which
    propagated snapshot is fresher (the [-1] sentinel means none).
@@ -200,38 +280,32 @@ let merge_records t records =
         add_session t ~session_id:r.r_session_id ~client:r.r_client
           ~started_at:r.r_started_at
       in
-      let cur =
-        {
-          r_session_id = s.session_id;
-          r_client = s.client;
-          r_unit_id = s.unit_id;
-          r_started_at = s.started_at;
-          r_propagated = s.propagated;
-          r_primary = s.primary;
-          r_backups = s.backups;
-          r_ended = s.ended;
-        }
-      in
-      if preference r cur > 0 then begin
-        s.propagated <- r.r_propagated;
-        s.primary <- r.r_primary;
-        s.backups <- r.r_backups;
-        s.ended <- r.r_ended
-      end)
+      if preference r (record_of_session s) > 0 then
+        touching t s (fun s ->
+            s.propagated <- r.r_propagated;
+            s.primary <- r.r_primary;
+            s.backups <- r.r_backups;
+            s.ended <- r.r_ended))
     records
 
 let replace_with_merge t snapshots =
-  Hashtbl.reset t.table;
+  Array.iter Hashtbl.reset t.shards;
+  t.cache <- 0;
   List.iter (merge_records t) snapshots
 
-(* Order-sensitive chained hash over the per-session digests (export is
-   sorted, so equal databases hash equal).  Each digest is hashed on its
-   own with generous node limits — the default [Hashtbl.hash] stops
-   after 10 meaningful nodes, which would let a flip deep in a long
-   session list slip through unchanged. *)
+(* Full recompute, order-independent (XOR combine over the per-session
+   digests — equal databases hash equal regardless of shard layout or
+   iteration order).  [cached_checksum] maintains the same value
+   incrementally through sanctioned mutations; a divergence between the
+   two convicts out-of-band state corruption. *)
 let checksum t =
-  let h acc d = Hashtbl.hash (acc, Hashtbl.hash_param 64 256 d) in (* haf-lint: allow R2 — local integrity checksum, never compared across processes *)
-  List.fold_left h 0x9e3779b9 (List.map digest_of_record (export t))
+  let acc = ref 0 in
+  Array.iter
+    (fun tbl -> Hashtbl.iter (fun _ s -> acc := !acc lxor session_hash s) tbl) (* haf-lint: allow R3 — XOR combine is order-independent *)
+    t.shards;
+  !acc
+
+let cached_checksum t = t.cache
 
 (* Structural soundness, independent of any cached checksum: the
    invariants every sanctioned mutation preserves, so a violation means
@@ -257,7 +331,14 @@ let sound t =
         then bad "session %s: negative propagated req_seq" s.session_id
         else check rest
   in
-  check (sessions t)
+  let rec per_shard i =
+    if i = Array.length t.shards then Ok ()
+    else
+      match check (sessions_shard t i) with
+      | Ok () -> per_shard (i + 1)
+      | Error _ as e -> e
+  in
+  per_shard 0
 
 let equal_assignments a b =
   let summary t =

@@ -35,9 +35,26 @@ type 'ctx session = {
 
 type 'ctx t
 
-val create : unit_id:string -> 'ctx t
+val create : ?shards:int -> unit_id:string -> unit -> 'ctx t
+(** The database is sharded internally by a deterministic hash of the
+    session id ([shards] defaults to 8).  The shard count is invisible
+    to every observable operation — sessions, exports, checksums and
+    merges are identical whatever the layout (qcheck-pinned) — it only
+    bounds how much state any single lookup or per-shard walk touches. *)
 
 val unit_id : _ t -> string
+
+val shard_count : _ t -> int
+
+val shard_of : _ t -> string -> int
+(** Deterministic shard index of a session id (FNV-1a, identical at
+    every member) — also the framework's session-group shard map. *)
+
+val fnv1a : string -> int
+(** The deterministic string hash behind {!shard_of}, exposed so the
+    session-shard group map ({!Naming.session_shard_group}) and the
+    database sharding use one function — a session's shard group and
+    its db shard never disagree across members. *)
 
 val add_session :
   'ctx t -> session_id:string -> client:int -> started_at:float -> 'ctx session
@@ -65,6 +82,9 @@ val sessions : 'ctx t -> 'ctx session list
 val live_sessions : 'ctx t -> 'ctx session list
 (** {!sessions} without the tombstones. *)
 
+val sessions_shard : 'ctx t -> int -> 'ctx session list
+(** One shard's sessions, sorted by session id. *)
+
 val size : _ t -> int
 
 val set_propagated : 'ctx t -> string -> 'ctx snapshot -> unit
@@ -87,6 +107,10 @@ type 'ctx record = {
 }
 
 val export : 'ctx t -> 'ctx record list
+
+val export_shard : 'ctx t -> int -> 'ctx record list
+(** One shard's records, sorted by session id: the per-shard unit of
+    digest/delta reconciliation. *)
 
 type digest = {
   d_session_id : string;
@@ -135,11 +159,17 @@ val replace_with_merge : 'ctx t -> 'ctx record list list -> unit
 (** {2 Self-checking} *)
 
 val checksum : 'ctx t -> int
-(** Order-sensitive hash over the per-session digests (identity,
-    assignment, snapshot metadata, tombstone flag — not the service
-    context).  Equal databases hash equal; the framework caches it after
-    every sanctioned mutation and a later mismatch convicts out-of-band
-    state corruption. *)
+(** Full recompute: XOR-combined hash over the per-session digests
+    (identity, assignment, snapshot metadata, tombstone flag — not the
+    service context).  Equal databases hash equal, independent of shard
+    layout.  {!cached_checksum} maintains the same value incrementally;
+    the periodic audit recomputes with this function and a mismatch
+    convicts out-of-band state corruption. *)
+
+val cached_checksum : 'ctx t -> int
+(** O(1): the incrementally maintained checksum, updated by every
+    sanctioned mutation.  Equals {!checksum} unless the in-memory state
+    was damaged out-of-band (qcheck-pinned). *)
 
 val sound : 'ctx t -> (unit, string) result
 (** Structural invariants every sanctioned mutation preserves: sessions

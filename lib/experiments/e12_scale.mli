@@ -7,3 +7,43 @@ val id : string
 val title : string
 
 val run : quick:bool -> Haf_stats.Table.t list
+
+(** {2 Engine scale bench}
+
+    One-process benchmark behind [haf_experiments --engine-bench]: every
+    hot-path knob on (sharded session groups, batched sequencing and
+    propagation, incremental placement, the timer wheel), a ramp to the
+    target population, a mid-run primary crash, and the invariant
+    monitor watching throughout.  Produces the BENCH_engine.json
+    artifact. *)
+
+type bench_rung = {
+  br_target : int;  (** Sessions the ramp asked for. *)
+  br_peak : int;  (** Concurrently granted when the crash hit. *)
+  br_grant_p50 : float;
+  br_grant_p95 : float;
+  br_takeovers : int;
+  br_takeover_p95 : float option;  (** [None]: no crash takeovers observed. *)
+  br_sim_events : int;
+  br_cpu_s : float;
+  br_requests : int;  (** Client requests: session starts + context updates. *)
+  br_responses : int;
+  br_violations : int;
+}
+
+val takeover_threshold : float
+(** Takeover-latency p95 ceiling (simulated seconds) for the headline
+    "max sessions" figure. *)
+
+val run_bench :
+  clock:(unit -> float) ->
+  ladder:int list ->
+  unit ->
+  Haf_stats.Table.t * bench_rung list
+(** One monitored run per ladder entry.  [clock] supplies CPU/wall
+    seconds (passed in from the CLI so the simulation library itself
+    stays free of ambient time). *)
+
+val json_of_bench : bench_rung list -> string
+(** The BENCH_engine.json payload, rungs plus the headline
+    max-sessions-under-threshold figure. *)

@@ -63,7 +63,7 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
       Gcs.create ~net_config:sc.net_config ~gcs_config:sc.gcs_config
         ~num_servers:sc.n_servers engine
     in
-    let events = Events.make_sink () in
+    let events = Events.make_sink ~retain:sc.retain_events () in
     (* Every run is monitored: the checker subscribes before any process
        exists, so it sees the complete event stream. *)
     let monitor =
@@ -401,8 +401,6 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
   (* ---------------------------------------------------------------- *)
   (* Monitoring loop                                                   *)
 
-  let monitor_interval = 0.25
-
   (* A "legal configuration" in the self-stabilization sense: every live
      process passes its local audits (GCS per-group checks and the
      framework's unit-db checksums), no two mutually reachable servers
@@ -527,7 +525,7 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
                     | None -> Hashtbl.replace pending key now
                     | Some first when first = infinity -> ()  (* reported *)
                     | Some first ->
-                        if now -. first >= 2. *. monitor_interval then begin
+                        if now -. first >= 2. *. sc.Scenario.monitor_interval then begin
                           Monitor.report w.monitor ~now
                             ~invariant:Haf_stats.Metrics.Assignment_agreement
                             ~detail:
@@ -544,6 +542,7 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
 
   let start_monitor w =
     let pending = Hashtbl.create 16 in
+    let interval = w.scenario.Scenario.monitor_interval in
     let rec loop t =
       if t <= w.scenario.Scenario.duration then
         ignore
@@ -551,9 +550,9 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
                Monitor.pump w.monitor ~now:(Engine.now w.engine);
                probe_assignments w pending;
                probe_stabilizer w;
-               loop (t +. monitor_interval)))
+               loop (t +. interval)))
     in
-    loop monitor_interval
+    loop interval
 
   let violations w = Monitor.violations w.monitor
 

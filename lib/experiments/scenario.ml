@@ -13,6 +13,8 @@ type t = {
   store : Haf_store.Store.config option;
   warmup : float;
   duration : float;
+  monitor_interval : float;
+  retain_events : bool;
 }
 
 let default =
@@ -31,6 +33,8 @@ let default =
     store = None;
     warmup = 3.;
     duration = 120.;
+    monitor_interval = 0.25;
+    retain_events = true;
   }
 
 let unit_name k = Printf.sprintf "u%02d" k

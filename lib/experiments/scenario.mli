@@ -22,6 +22,18 @@ type t = {
           databases from snapshot+WAL instead of rejoining amnesiac. *)
   warmup : float;  (** Views settle before clients arrive. *)
   duration : float;  (** Total simulated seconds. *)
+  monitor_interval : float;
+      (** Simulated seconds between invariant-monitor probes (default
+          0.25).  The probes walk every session and every unit-db pair,
+          so huge-population benchmarks raise this to keep the monitor
+          from dominating the run — the checks are unchanged, just
+          sampled more coarsely. *)
+  retain_events : bool;
+      (** Default [true].  [false] runs the event sink tap-only
+          ({!Haf_core.Events.make_sink}): the monitor still sees every
+          event, but the timeline returned by {!Runner} stays empty —
+          required above ~10{^5} sessions, where retaining every event
+          would dominate memory. *)
 }
 
 val default : t

@@ -3,6 +3,7 @@ type t = {
   suspect_timeout : float;
   flush_timeout : float;
   open_send_ttl : int;
+  seq_batch_window : float;
 }
 
 let default =
@@ -11,6 +12,7 @@ let default =
     suspect_timeout = 0.35;
     flush_timeout = 0.6;
     open_send_ttl = 2;
+    seq_batch_window = 0.;
   }
 
 let validate t =
@@ -19,8 +21,10 @@ let validate t =
     Error "suspect_timeout must be at least two heartbeat intervals"
   else if t.flush_timeout <= 0. then Error "flush_timeout must be positive"
   else if t.open_send_ttl < 0 then Error "open_send_ttl must be non-negative"
+  else if t.seq_batch_window < 0. then Error "seq_batch_window must be non-negative"
   else Ok t
 
 let pp ppf t =
-  Format.fprintf ppf "hb=%gs suspect=%gs flush=%gs ttl=%d" t.heartbeat_interval
-    t.suspect_timeout t.flush_timeout t.open_send_ttl
+  Format.fprintf ppf "hb=%gs suspect=%gs flush=%gs ttl=%d batch=%gs"
+    t.heartbeat_interval t.suspect_timeout t.flush_timeout t.open_send_ttl
+    t.seq_batch_window

@@ -14,6 +14,15 @@ type t = {
   open_send_ttl : int;
       (** Relay hops allowed for open-group sends routed through
           non-member daemons. *)
+  seq_batch_window : float;
+      (** When positive, the sequencer buffers submissions and flushes
+          them every [seq_batch_window] seconds: one sequencer slot (one
+          Data_batch frame per member) carries the whole batch, with
+          consecutive sequence numbers in submission order — so the
+          total delivery order is {e identical} to the unbatched one
+          (qcheck-pinned), only the framing amortizes.  [0.] (the
+          default) disables batching entirely and takes exactly the
+          per-entry legacy path. *)
 }
 
 val default : t

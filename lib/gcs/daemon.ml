@@ -51,6 +51,11 @@ type gstate = {
          resubmitted after view changes — otherwise a request forwarded
          to a crashed, not-yet-suspected sequencer would vanish. *)
   mutable pending_open : Wire.entry list;  (* open sends held during flush *)
+  mutable seq_batch : Wire.entry list;
+      (* Newest first: submissions buffered at the sequencer between
+         batch flushes (Config.seq_batch_window > 0).  Dropped, not
+         sequenced, if a view change intervenes — the originators'
+         [outstanding]/[relayed] resubmission recovers every entry. *)
   mutable left : proc list;
 }
 
@@ -223,19 +228,65 @@ let deliver_contiguous t gs =
 (* ------------------------------------------------------------------ *)
 (* Sequencing (this daemon is the coordinator of the current view)     *)
 
-let sequence t gs (entry : Wire.entry) =
-  if not (Hashtbl.mem gs.seen_uids entry.uid) then begin
+(* Assign the next slot to an unseen entry: the one place sequence
+   numbers are minted, shared by the per-entry and the batched path so
+   both produce the same total order for the same submission order. *)
+let assign_seq t gs (entry : Wire.entry) =
+  if Hashtbl.mem gs.seen_uids entry.uid then None
+  else begin
     let seq = gs.next_seq in
     gs.next_seq <- seq + 1;
     Hashtbl.replace gs.log seq entry;
     note_logged t gs entry;
-    List.iter
-      (fun m ->
-        if m <> t.me then
-          send_reliable t m (Wire.Data { group = gs.group; vid = gs.view.View.id; seq; entry }))
-      gs.view.View.members;
-    match gs.mstate with Stable -> deliver_contiguous t gs | _ -> ()
+    Some (seq, entry)
   end
+
+let sequence_now t gs (entry : Wire.entry) =
+  match assign_seq t gs entry with
+  | None -> ()
+  | Some (seq, entry) -> (
+      List.iter
+        (fun m ->
+          if m <> t.me then
+            send_reliable t m (Wire.Data { group = gs.group; vid = gs.view.View.id; seq; entry }))
+        gs.view.View.members;
+      match gs.mstate with Stable -> deliver_contiguous t gs | _ -> ())
+
+let sequence t gs (entry : Wire.entry) =
+  if t.config.Config.seq_batch_window > 0. then
+    (* Buffered; the batch timer flushes in submission order, so the
+       total order is the one [sequence_now] would have produced. *)
+    gs.seq_batch <- entry :: gs.seq_batch
+  else sequence_now t gs entry
+
+(* One sequencer flush: number the whole batch consecutively and ship a
+   single frame per member.  Anything buffered across a view change or
+   a coordinator handoff is dropped here — never sequenced — and comes
+   back through the install path's resubmission. *)
+let flush_batch t gs =
+  let pending = List.rev gs.seq_batch in
+  gs.seq_batch <- [];
+  if pending <> [] then
+    match gs.mstate with
+    | Stable when View.coordinator gs.view = t.me -> (
+        match List.filter_map (fun e -> assign_seq t gs e) pending with
+        | [] -> ()
+        | entries ->
+            List.iter
+              (fun m ->
+                if m <> t.me then
+                  send_reliable t m
+                    (Wire.Data_batch
+                       { group = gs.group; vid = gs.view.View.id; entries }))
+              gs.view.View.members;
+            deliver_contiguous t gs)
+    | Stable | Proposing _ | Flushed _ -> ()
+
+let batch_tick t =
+  if t.is_alive then
+    Det_tbl.iter_sorted ~compare:String.compare
+      (fun _ gs -> flush_batch t gs)
+      t.gstates
 
 let submit t gs (entry : Wire.entry) =
   match gs.mstate with
@@ -488,6 +539,7 @@ let reset_group t gs =
   gs.next_seq <- 1;
   gs.mstate <- Stable;
   gs.max_epoch <- Int.max 0 gs.max_epoch;
+  gs.seq_batch <- [];
   gs.left <- [];
   let stale_keys =
     Det_tbl.fold_sorted ~compare:compare_gp
@@ -682,6 +734,19 @@ let handle_data t ~group ~vid ~seq ~entry =
         match gs.mstate with Stable -> deliver_contiguous t gs | _ -> ()
       end
 
+let handle_data_batch t ~group ~vid ~entries =
+  match Hashtbl.find_opt t.gstates group with
+  | None -> ()
+  | Some gs ->
+      if audit_group t gs && View.Id.equal vid gs.view.View.id then begin
+        List.iter
+          (fun (seq, entry) ->
+            if not (Hashtbl.mem gs.log seq) then Hashtbl.replace gs.log seq entry;
+            note_logged t gs entry)
+          entries;
+        match gs.mstate with Stable -> deliver_contiguous t gs | _ -> ()
+      end
+
 let handle_data_req t ~group ~entry =
   match Hashtbl.find_opt t.gstates group with
   | None -> ()
@@ -754,6 +819,8 @@ let on_reliable t ~src payload =
         handle_install t ~group ~epoch ~view_id ~members ~sync
     | Some (Wire.Data { group; vid; seq; entry }) ->
         handle_data t ~group ~vid ~seq ~entry
+    | Some (Wire.Data_batch { group; vid; entries }) ->
+        handle_data_batch t ~group ~vid ~entries
     | Some (Wire.Data_req { group; entry }) -> handle_data_req t ~group ~entry
     | Some (Wire.Open_send { group; entry; ttl }) ->
         handle_open_send t ~group ~entry ~ttl
@@ -775,8 +842,8 @@ let on_raw t ~src payload =
        message kind must decide its transport explicitly. *)
     | Some
         (Wire.Propose _ | Wire.Flush_reply _ | Wire.Nack _ | Wire.Install _
-        | Wire.Data _ | Wire.Data_req _ | Wire.Open_send _ | Wire.Leave _
-        | Wire.P2p _) -> ()
+        | Wire.Data _ | Wire.Data_batch _ | Wire.Data_req _ | Wire.Open_send _
+        | Wire.Leave _ | Wire.P2p _) -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Public operations                                                   *)
@@ -789,7 +856,15 @@ let start t =
   List.iter (fun c -> monitor_peer t c) t.contacts;
   let first = Haf_sim.Rng.float t.rng t.hb_interval in
   let timer = Engine.every t.engine ~first ~period:t.hb_interval (fun () -> heartbeat_tick t) in
-  t.timers <- timer :: t.timers
+  t.timers <- timer :: t.timers;
+  (* One batch timer per daemon, not per group: at session-shard scale a
+     daemon coordinates many groups, and per-group timers would put the
+     engine right back in the per-session hot loop batching removes. *)
+  let w = t.config.Config.seq_batch_window in
+  if w > 0. then begin
+    let bt = Engine.every t.engine ~first:w ~period:w (fun () -> batch_tick t) in
+    t.timers <- bt :: t.timers
+  end
 
 let stop t =
   t.is_alive <- false;
@@ -812,6 +887,7 @@ let join t group =
         outstanding = [];
         relayed = Hashtbl.create 16;
         pending_open = [];
+        seq_batch = [];
         left = [];
       }
     in

@@ -36,6 +36,10 @@ type msg =
     }
   | Data_req of { group : string; entry : entry }
   | Data of { group : string; vid : View.Id.t; seq : int; entry : entry }
+  | Data_batch of { group : string; vid : View.Id.t; entries : (int * entry) list }
+      (* One sequencer flush: consecutively numbered entries sharing one
+         frame.  Semantically identical to the same [Data] frames sent
+         back-to-back; only the framing is amortized. *)
   | Open_send of { group : string; entry : entry; ttl : int }
   | Leave of { group : string; who : proc }
   | P2p of { payload : string }
@@ -105,6 +109,11 @@ let validate = function
         (String.length group > 0 && valid_vid vid && seq >= 1
        && valid_entry entry)
         "malformed data"
+  | Data_batch { group; vid; entries } ->
+      check
+        (String.length group > 0 && valid_vid vid && entries <> []
+       && valid_log entries)
+        "malformed data_batch"
   | Open_send { group; entry; ttl } ->
       check
         (String.length group > 0 && valid_entry entry && ttl >= 0)
@@ -122,6 +131,8 @@ let describe = function
   | Install { group; epoch; _ } -> Printf.sprintf "install(%s,e%d)" group epoch
   | Data_req { group; _ } -> Printf.sprintf "data_req(%s)" group
   | Data { group; seq; _ } -> Printf.sprintf "data(%s,#%d)" group seq
+  | Data_batch { group; entries; _ } ->
+      Printf.sprintf "data_batch(%s,%d)" group (List.length entries)
   | Open_send { group; _ } -> Printf.sprintf "open_send(%s)" group
   | Leave { group; who } -> Printf.sprintf "leave(%s,%d)" group who
   | P2p _ -> "p2p"

@@ -50,6 +50,10 @@ type msg =
     }
   | Data_req of { group : string; entry : entry }
   | Data of { group : string; vid : View.Id.t; seq : int; entry : entry }
+  | Data_batch of { group : string; vid : View.Id.t; entries : (int * entry) list }
+      (** One sequencer flush ({!Config.t.seq_batch_window}): consecutively
+          numbered entries in one frame, semantically the same [Data]
+          frames back-to-back. *)
   | Open_send of { group : string; entry : entry; ttl : int }
   | Leave of { group : string; who : proc }
   | P2p of { payload : string }

@@ -15,7 +15,7 @@ type t = {
          drives them with {!run_due}/{!next_deadline}.  [clock] then
          caches the latest sample so time never goes backwards even if
          the source jitters. *)
-  queue : entry Heap.t;
+  queue : entry Wheel.t;
   root_rng : Rng.t;
   mutable next_seq : int;
   mutable fired : int;
@@ -48,14 +48,11 @@ and entry = {
   mutable consumed : bool;  (* fired out of heap order by the driven scheduler *)
 }
 
-let entry_leq a b =
-  a.fire_at < b.fire_at || (a.fire_at = b.fire_at && a.seq <= b.seq)
-
 let make ?(seed = 1) ext_now =
   {
     clock = (match ext_now with None -> 0. | Some f -> f ());
     ext_now;
-    queue = Heap.create ~leq:entry_leq;
+    queue = Wheel.create ~time:(fun e -> e.fire_at) ~seq:(fun e -> e.seq) ();
     root_rng = Rng.create seed;
     next_seq = 0;
     fired = 0;
@@ -96,15 +93,15 @@ let purge_threshold = 16
    component cancels timers far faster than their fire times arrive
    (e.g. transport acks cancelling retransmits). *)
 let maybe_purge t =
-  let size = Heap.length t.queue in
+  let size = Wheel.length t.queue in
   if size > purge_threshold && 2 * t.dead_in_heap > size then begin
-    let entries = Heap.to_list t.queue in
-    Heap.clear t.queue;
+    let entries = Wheel.to_list t.queue in
+    Wheel.clear t.queue;
     List.iter
       (fun e ->
         if e.consumed then ()
         else if e.timer.cancelled then e.timer.in_heap <- e.timer.in_heap - 1
-        else Heap.push t.queue e)
+        else Wheel.push t.queue e)
       entries;
     t.dead_in_heap <- 0
   end
@@ -113,7 +110,7 @@ let[@hot] push_entry t ~at ~label timer =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   timer.in_heap <- timer.in_heap + 1;
-  Heap.push t.queue { fire_at = at; seq; timer; label; consumed = false }
+  Wheel.push t.queue { fire_at = at; seq; timer; label; consumed = false }
 
 let schedule_at t ?(label = Internal) ~time f =
   let timer = { cancelled = false; action = f; owner = t; in_heap = 0 } in
@@ -164,7 +161,7 @@ let[@hot] fire t e =
 
 (* Seeded policy: pop strictly in (time, insertion) order. *)
 let[@hot] step t =
-  match Heap.pop t.queue with
+  match Wheel.pop t.queue with
   | None -> false
   | Some e ->
       if e.consumed then t.dead_in_heap <- t.dead_in_heap - 1
@@ -180,16 +177,16 @@ let[@hot] step t =
    whatever has come due.  Dead heap heads are popped on the way — the
    same bookkeeping [step] applies lazily. *)
 let rec next_deadline t =
-  match Heap.peek t.queue with
+  match Wheel.peek t.queue with
   | None -> None
   | Some e ->
       if e.consumed then begin
-        ignore (Heap.pop t.queue);
+        ignore (Wheel.pop t.queue);
         t.dead_in_heap <- t.dead_in_heap - 1;
         next_deadline t
       end
       else if e.timer.cancelled then begin
-        ignore (Heap.pop t.queue);
+        ignore (Wheel.pop t.queue);
         e.timer.in_heap <- e.timer.in_heap - 1;
         t.dead_in_heap <- t.dead_in_heap - 1;
         next_deadline t
@@ -224,7 +221,7 @@ let driven_step t pick ~limit =
   let live =
     List.filter
       (fun e -> not (e.consumed || e.timer.cancelled))
-      (Heap.to_list t.queue)
+      (Wheel.to_list t.queue)
   in
   if live = [] then `Empty
   else begin
@@ -295,7 +292,7 @@ let run ?until t =
       | Some limit ->
           let continue = ref true in
           while !continue do
-            match Heap.peek t.queue with
+            match Wheel.peek t.queue with
             | Some e when e.fire_at <= limit -> ignore (step t)
             | Some _ | None ->
                 t.clock <- Float.max t.clock limit;
@@ -343,8 +340,8 @@ let corruption t ~site ~proc =
 
 (* ---------------------------------------------------------------- *)
 
-let pending t = Heap.length t.queue - t.dead_in_heap
+let pending t = Wheel.length t.queue - t.dead_in_heap
 
-let heap_size t = Heap.length t.queue
+let heap_size t = Wheel.length t.queue
 
 let events_processed t = t.fired

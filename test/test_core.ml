@@ -181,7 +181,7 @@ let prop_selection_balanced =
 (* ------------------------------------------------------------------ *)
 (* Unit_db *)
 
-let mkdb () = Unit_db.create ~unit_id:"u"
+let mkdb () = Unit_db.create ~unit_id:"u" ()
 
 let test_db_add_idempotent () =
   let db = mkdb () in

@@ -243,6 +243,21 @@ let test_r9_violation () =
        [
          unit_ ~file:"lib/sim/fix.ml"
            "let[@hot] bad (xs : int list) = List.sort compare xs";
+       ]);
+  (* The framework's incremental-placement regression: a standalone
+     recursive scan whose load table is never annotated stays
+     polymorphic, so its compares are polymorphic too — even though
+     every caller passes floats. *)
+  check_rules "inferred type variable makes the compare polymorphic" [ "R9" ]
+    (analyze
+       [
+         unit_ ~file:"lib/sim/fix.ml"
+           "let[@hot] rec scan loads best = function\n\
+            \  | [] -> best\n\
+            \  | c :: rest ->\n\
+            \      if Hashtbl.find loads c < Hashtbl.find loads best then\n\
+            \        scan loads c rest\n\
+            \      else scan loads best rest";
        ])
 
 let test_r9_clean () =
@@ -260,6 +275,27 @@ let test_r9_clean () =
        [
          unit_ ~file:"lib/sim/fix.ml"
            "let cold xs ys = List.map (fun x -> x + 1) (xs @ ys)";
+       ]);
+  (* The two idioms the PR-9 hot paths rely on: annotating the table
+     pins the compares to floats, and a first-order module-level loop
+     replaces the closure-taking iterator (Events.emit's tap loop). *)
+  check_rules "annotated table makes the compares immediate" []
+    (analyze
+       [
+         unit_ ~file:"lib/sim/fix.ml"
+           "let[@hot] rec scan (loads : (int, float) Hashtbl.t) best = function\n\
+            \  | [] -> best\n\
+            \  | c :: rest ->\n\
+            \      if Hashtbl.find loads c < Hashtbl.find loads best then\n\
+            \        scan loads c rest\n\
+            \      else scan loads best rest";
+       ]);
+  check_rules "first-order loop instead of a closure-taking iterator" []
+    (analyze
+       [
+         unit_ ~file:"lib/sim/fix.ml"
+           "let rec run_all x = function [] -> () | f :: rest -> f x; run_all x rest\n\
+            let[@hot] fire fs (x : int) = run_all x fs";
        ])
 
 let test_r9_binding_pragma () =

@@ -146,6 +146,53 @@ let test_e9_runs () =
       check Alcotest.bool "has rows" true (String.length rendered > 200)
   | None -> Alcotest.fail "e9 missing"
 
+(* All four fast-path knobs at once — sharded session groups, batched
+   context propagation, incremental placement, batched sequencing —
+   plus a mid-run primary crash.  Each knob is equivalence-tested in
+   isolation elsewhere; this is the combined end-to-end check that the
+   monitored protocol still grants, streams, and takes over cleanly
+   with everything switched on. *)
+let test_fast_path_knobs_combined () =
+  let sc =
+    {
+      (small_scenario ~seed:11 ()) with
+      Scenario.policy =
+        {
+          Haf_core.Policy.default with
+          session_shards = 4;
+          batch_propagation = true;
+          incremental_assign = true;
+        };
+      gcs_config = { Haf_gcs.Config.default with seq_batch_window = 0.05 };
+    }
+  in
+  let tl, w =
+    R.run_scenario sc ~prepare:(fun w ->
+        ignore
+          (Haf_sim.Engine.schedule_at w.R.engine ~time:12. (fun () ->
+               R.crash_server w 0)))
+  in
+  (match R.violations w with
+  | [] -> ()
+  | vs ->
+      Alcotest.failf "monitor recorded %d violation(s), first: %s"
+        (List.length vs)
+        (Format.asprintf "%a" Haf_stats.Metrics.pp_violation (List.hd vs)));
+  let sids = Metrics.session_ids tl in
+  check Alcotest.int "two sessions granted" 2 (List.length sids);
+  List.iter
+    (fun sid ->
+      check Alcotest.bool
+        (Printf.sprintf "%s streams under knobs" sid)
+        true
+        (List.length (Metrics.responses_received tl ~sid) > 20))
+    sids;
+  let takeovers =
+    List.filter (fun (_, e) -> match e with Events.Takeover _ -> true | _ -> false) tl
+  in
+  check Alcotest.bool "crash triggered at least one takeover" true
+    (List.length takeovers >= 1)
+
 let suite =
   [
     ( "experiments.runner",
@@ -157,6 +204,8 @@ let suite =
         Alcotest.test_case "fault events emitted" `Quick test_crash_and_restart_emit_events;
         Alcotest.test_case "poisson crashes" `Quick test_poisson_crashes_eventually_fire;
         Alcotest.test_case "group wipes scoped" `Quick test_group_wipes_scoped;
+        Alcotest.test_case "fast-path knobs combined" `Quick
+          test_fast_path_knobs_combined;
       ] );
     ( "experiments.registry",
       [

@@ -459,7 +459,7 @@ module Unit_db = Haf_core.Unit_db
 (* A random healthy database: sanctioned mutations only, so [sound]
    holds and the checksum matches its own recomputation. *)
 let build_db rng =
-  let db = Unit_db.create ~unit_id:"u00" in
+  let db = Unit_db.create ~unit_id:"u00" () in
   let n = 1 + Haf_sim.Rng.int rng 6 in
   for i = 0 to n - 1 do
     let sid = Printf.sprintf "s%02d" i in
@@ -518,7 +518,7 @@ let prop_corruption_detected_and_reconciled =
     (fun seed ->
       let rng = Haf_sim.Rng.create (seed + 11) in
       let healthy = build_db rng in
-      let replica = Unit_db.create ~unit_id:"u00" in
+      let replica = Unit_db.create ~unit_id:"u00" () in
       Unit_db.merge_records replica (Unit_db.export healthy);
       let before = Unit_db.checksum replica in
       if not (Unit_db.equal_shape healthy replica) then false
@@ -535,7 +535,7 @@ let prop_corruption_detected_and_reconciled =
         in
         (* Reset-and-rejoin: throw the damaged copy away and merge the
            healthy peer's delta into an empty database. *)
-        let fresh = Unit_db.create ~unit_id:"u00" in
+        let fresh = Unit_db.create ~unit_id:"u00" () in
         Unit_db.merge_records fresh (Unit_db.export healthy);
         detected && Unit_db.equal_shape healthy fresh)
 
@@ -549,7 +549,7 @@ let prop_tombstone_survives_flag_corruption =
     QCheck.(int_bound 100_000)
     (fun seed ->
       let rng = Haf_sim.Rng.create (seed + 13) in
-      let db = Unit_db.create ~unit_id:"u00" in
+      let db = Unit_db.create ~unit_id:"u00" () in
       ignore (Unit_db.add_session db ~session_id:"s00" ~client:1 ~started_at:1.);
       Unit_db.end_session db "s00";
       let zombie =
@@ -579,6 +579,180 @@ let prop_tombstone_survives_flag_corruption =
       | Some s -> s.Unit_db.ended && s.Unit_db.propagated = None
       | None -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Batched sequencing: total order identical to the unbatched path     *)
+
+(* One run: 3 servers join a group, then bursts of multicasts — each
+   burst from a single sender, bursts spaced far enough apart that the
+   per-sender FIFO transport makes the sequencer's arrival order (and so
+   the total order) independent of latency jitter.  With a positive
+   batch window an entire burst rides one sequencer flush; the delivery
+   order per member must still be exactly the unbatched one. *)
+let deliveries_with ~window seed =
+  let engine = Engine.create ~seed:(seed + 77) () in
+  let cfg =
+    {
+      Config.default with
+      heartbeat_interval = 0.05;
+      suspect_timeout = 0.12;
+      flush_timeout = 0.3;
+      seq_batch_window = window;
+    }
+  in
+  let gcs = Gcs.create ~gcs_config:cfg ~num_servers:3 engine in
+  let delivered = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      Gcs.set_app gcs p
+        {
+          Haf_gcs.Daemon.on_view = (fun _ -> ());
+          on_message =
+            (fun ~group:_ ~sender:_ payload ->
+              let prev = Option.value (Hashtbl.find_opt delivered p) ~default:[] in
+              Hashtbl.replace delivered p (payload :: prev));
+          on_p2p = (fun ~sender:_ _ -> ());
+        })
+    (Gcs.servers gcs);
+  List.iter (fun p -> Gcs.join gcs p "g") (Gcs.servers gcs);
+  Engine.run engine ~until:1.5;
+  let rng = Haf_sim.Rng.create (seed + 79) in
+  let bursts = 3 + Haf_sim.Rng.int rng 6 in
+  let label = ref 0 in
+  for b = 0 to bursts - 1 do
+    let sender = Haf_sim.Rng.int rng 3 in
+    let size = 1 + Haf_sim.Rng.int rng 5 in
+    let at = 1.5 +. (0.3 *. float_of_int b) in
+    let msgs =
+      List.init size (fun _ ->
+          incr label;
+          Printf.sprintf "m%03d" !label)
+    in
+    ignore
+      (Engine.schedule_at engine ~time:at (fun () ->
+           List.iter (fun m -> Gcs.multicast gcs sender "g" m) msgs))
+  done;
+  Engine.run engine ~until:(1.5 +. (0.3 *. float_of_int bursts) +. 2.);
+  ( !label,
+    List.map
+      (fun p -> List.rev (Option.value (Hashtbl.find_opt delivered p) ~default:[]))
+      (Gcs.servers gcs) )
+
+let prop_batched_order_equals_unbatched =
+  QCheck.Test.make
+    ~name:"gcs: batched sequencing delivers the unbatched total order"
+    ~count:500
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let n_plain, plain = deliveries_with ~window:0. seed in
+      let n_batched, batched = deliveries_with ~window:0.11 seed in
+      (* every member delivered everything, in one agreed order, and the
+         batched order is the unbatched one *)
+      n_plain = n_batched
+      && List.for_all (fun d -> List.length d = n_plain) plain
+      && List.for_all (fun d -> d = List.nth plain 0) plain
+      && batched = plain)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded unit-db: layout-independence and per-shard reconciliation   *)
+
+(* The same sanctioned op stream, derived deterministically from a
+   seed, applied to any database — so two databases fed the same seed
+   have identical logical histories whatever their shard count. *)
+let apply_sanctioned seed db =
+  let rng = Haf_sim.Rng.create seed in
+  let nops = 30 + Haf_sim.Rng.int rng 40 in
+  for _ = 1 to nops do
+    let n = Haf_sim.Rng.int rng 20 in
+    let sid = Printf.sprintf "s%02d" n in
+    match Haf_sim.Rng.int rng 10 with
+    | 0 | 1 | 2 ->
+        (* Session identity is a function of the id: in the protocol one
+           Start_session multicast defines (client, started_at) for a
+           given session id, identically at every replica. *)
+        ignore
+          (Unit_db.add_session db ~session_id:sid ~client:(n mod 5)
+             ~started_at:(float_of_int n))
+    | 3 | 4 ->
+        let primary = Haf_sim.Rng.int rng 5 in
+        Unit_db.set_assignment db sid ~primary
+          ~backups:(List.filter (fun b -> b <> primary) [ (primary + 1) mod 5 ])
+    | 5 | 6 ->
+        Unit_db.set_propagated db sid
+          {
+            Unit_db.snap_ctx = Haf_sim.Rng.int rng 1000;
+            snap_req_seq = Haf_sim.Rng.int rng 50;
+            snap_applied = [];
+            snap_at = Haf_sim.Rng.float rng 100.;
+          }
+    | 7 -> Unit_db.end_session db sid
+    | 8 -> Unit_db.remove_session db sid
+    | _ -> ()
+  done
+
+let prop_sharded_equals_unsharded =
+  (* The shard count must be invisible: same op sequence, same shape,
+     same checksum — and the incremental cache must equal the full
+     recompute on both layouts after any sanctioned history. *)
+  QCheck.Test.make
+    ~name:"unit_db: sharded == unsharded on random op sequences" ~count:500
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let flat = Unit_db.create ~shards:1 ~unit_id:"u00" () in
+      let wide = Unit_db.create ~shards:16 ~unit_id:"u00" () in
+      apply_sanctioned seed flat;
+      apply_sanctioned seed wide;
+      Unit_db.equal_shape flat wide
+      && Unit_db.checksum flat = Unit_db.checksum wide
+      && Unit_db.cached_checksum flat = Unit_db.checksum flat
+      && Unit_db.cached_checksum wide = Unit_db.checksum wide
+      && Result.is_ok (Unit_db.sound flat)
+      && Result.is_ok (Unit_db.sound wide)
+      && Unit_db.size flat = Unit_db.size wide
+      &&
+      (* the shards partition the session-id space *)
+      let parts =
+        List.init (Unit_db.shard_count wide) (Unit_db.sessions_shard wide)
+      in
+      List.concat parts
+      |> List.map (fun s -> s.Unit_db.session_id)
+      |> List.sort String.compare
+      = (Unit_db.sessions wide |> List.map (fun s -> s.Unit_db.session_id)))
+
+let prop_shard_reconciliation_fixed_point =
+  (* Digest/delta reconciliation per shard, merged deterministically:
+     two divergent replicas' records, merged in a random order into a
+     randomly sharded database, reach exactly the fixed point the
+     unsharded in-order merge reaches — and tombstones win across
+     shard boundaries. *)
+  QCheck.Test.make
+    ~name:"unit_db: sharded reconciliation reaches the unsharded fixed point"
+    ~count:500
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Haf_sim.Rng.create (seed + 7) in
+      let a = Unit_db.create ~shards:1 ~unit_id:"u00" () in
+      let b = Unit_db.create ~shards:4 ~unit_id:"u00" () in
+      apply_sanctioned (seed * 2) a;
+      apply_sanctioned ((seed * 2) + 1) b;
+      let ra = Unit_db.export a and rb = Unit_db.export b in
+      let base = Unit_db.create ~shards:1 ~unit_id:"u00" () in
+      Unit_db.merge_records base ra;
+      Unit_db.merge_records base rb;
+      let shards = 2 + Haf_sim.Rng.int rng 15 in
+      let sharded = Unit_db.create ~shards ~unit_id:"u00" () in
+      Unit_db.merge_records sharded (Haf_sim.Rng.shuffle rng (ra @ rb));
+      Unit_db.equal_shape base sharded
+      && Unit_db.checksum base = Unit_db.checksum sharded
+      && Unit_db.cached_checksum sharded = Unit_db.checksum sharded
+      &&
+      (* a tombstone on either side is terminal on the merged copy,
+         whichever shard it hashes to *)
+      List.for_all
+        (fun (r : int Unit_db.record) ->
+          (not r.Unit_db.r_ended)
+          || not (Unit_db.live sharded r.Unit_db.r_session_id))
+        (ra @ rb))
+
 let suite =
   [
     ( "gcs.units",
@@ -604,10 +778,15 @@ let suite =
       ]
       @ List.map QCheck_alcotest.to_alcotest
           [ prop_random_partition_schedule; prop_virtual_synchrony_direct ] );
+    ( "gcs.batched_order",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_batched_order_equals_unbatched ] );
     ( "gcs.unit_db.self_check",
       List.map QCheck_alcotest.to_alcotest
         [
           prop_corruption_detected_and_reconciled;
           prop_tombstone_survives_flag_corruption;
+          prop_sharded_equals_unsharded;
+          prop_shard_reconciliation_fixed_point;
         ] );
   ]

@@ -44,7 +44,126 @@ let prop_heap_sorts =
       drain [] = List.sort compare xs)
 
 (* ------------------------------------------------------------------ *)
-(* RNG *)
+(* Timer wheel vs reference heap *)
+
+module Wheel = Haf_sim.Wheel
+
+type witem = { wtime : float; wseq : int }
+
+(* Model equivalence at the structure level: the wheel must pop the
+   exact (time, seq) order of the reference binary heap on arbitrary
+   interleavings of pushes (near, far, beyond-horizon, and behind the
+   cursor), pops and peeks. *)
+let prop_wheel_matches_heap =
+  QCheck.Test.make ~name:"sim: wheel pops exactly the heap's (time,seq) order"
+    ~count:600
+    QCheck.(list (pair (int_bound 5) (int_bound 1_000_000)))
+    (fun ops ->
+      let leq a b =
+        a.wtime < b.wtime || (a.wtime = b.wtime && a.wseq <= b.wseq)
+      in
+      let h = Heap.create ~leq in
+      let w = Wheel.create ~time:(fun i -> i.wtime) ~seq:(fun i -> i.wseq) () in
+      let seq = ref 0 in
+      let ok = ref true in
+      let push time =
+        let it = { wtime = time; wseq = !seq } in
+        incr seq;
+        Heap.push h it;
+        Wheel.push w it
+      in
+      List.iter
+        (fun (k, v) ->
+          match k with
+          | 0 | 1 ->
+              (* near: 0..1000s at 10ms steps — dense tick collisions *)
+              push (float_of_int (v mod 100_000) /. 100.)
+          | 2 ->
+              (* far: deep wheel levels *)
+              push (float_of_int v *. 997.)
+          | 3 ->
+              (* beyond the representable horizon: clamp path *)
+              push (1e12 +. (float_of_int v *. 1e9))
+          | 4 -> (
+              match (Heap.pop h, Wheel.pop w) with
+              | None, None -> ()
+              | Some a, Some b when a == b -> ()
+              | _ -> ok := false)
+          | _ -> (
+              match (Heap.peek h, Wheel.peek w) with
+              | None, None -> ()
+              | Some a, Some b when a == b -> ()
+              | _ -> ok := false))
+        ops;
+      let rec drain () =
+        match (Heap.pop h, Wheel.pop w) with
+        | None, None -> Wheel.length w = 0 && Wheel.is_empty w
+        | Some a, Some b when a == b -> drain ()
+        | _ -> false
+      in
+      !ok && drain ())
+
+(* Model equivalence at the engine level: arbitrary schedule / cancel /
+   advance interleavings on a wheel-backed engine fire in exactly the
+   order of a flat list model, [pending] stays a live-timer count, and
+   heavy cancellation exercises the >50%-dead compaction path. *)
+let prop_engine_wheel_model =
+  QCheck.Test.make
+    ~name:"sim: engine(wheel) fires like the flat model under insert/cancel/advance"
+    ~count:600
+    QCheck.(list (pair (int_bound 9) (int_bound 10_000)))
+    (fun ops ->
+      let e = Engine.create () in
+      let fired_real = ref [] in
+      let timers = Hashtbl.create 64 in
+      (* model: unfired live timers as (fire_at, id); cancel deletes,
+         advance fires due entries in (fire_at, id) order — id doubles
+         as the insertion seq, matching the engine's tie-break *)
+      let by_time (a, i) (b, j) =
+        match Float.compare a b with 0 -> Int.compare i j | c -> c
+      in
+      let expect = ref [] in
+      let pending = ref [] in
+      let mclock = ref 0. in
+      let next_id = ref 0 in
+      let model_fire until =
+        let due, rest = List.partition (fun (at, _) -> at <= until) !pending in
+        pending := rest;
+        List.iter (fun (_, i) -> expect := i :: !expect) (List.sort by_time due)
+      in
+      List.iter
+        (fun (k, v) ->
+          match k with
+          | 0 | 1 | 2 | 3 | 4 | 5 ->
+              (* schedule — weighted heavily so cancels bite *)
+              let delay = float_of_int v /. 1000. in
+              let id = !next_id in
+              incr next_id;
+              let tm =
+                Engine.schedule e ~delay (fun () ->
+                    fired_real := id :: !fired_real)
+              in
+              Hashtbl.replace timers id tm;
+              pending := (!mclock +. delay, id) :: !pending
+          | 6 | 7 ->
+              (* cancel a previously created timer (fired ones no-op) *)
+              if !next_id > 0 then begin
+                let id = v mod !next_id in
+                (match Hashtbl.find_opt timers id with
+                | Some tm -> Engine.cancel tm
+                | None -> ());
+                pending := List.filter (fun (_, i) -> i <> id) !pending
+              end
+          | _ ->
+              let until = !mclock +. (float_of_int v /. 2000.) in
+              Engine.run ~until e;
+              mclock := until;
+              model_fire until)
+        ops;
+      Engine.run e;
+      model_fire infinity;
+      List.rev !fired_real = List.rev !expect && Engine.pending e = 0)
+
 
 let test_rng_deterministic () =
   let a = Rng.create 42 and b = Rng.create 42 in
@@ -283,6 +402,7 @@ let suite =
         Alcotest.test_case "peek stable" `Quick test_heap_peek_stable;
       ]
       @ qsuite [ prop_heap_sorts ] );
+    ("sim.wheel", qsuite [ prop_wheel_matches_heap; prop_engine_wheel_model ]);
     ( "sim.rng",
       [
         Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
