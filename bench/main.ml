@@ -589,7 +589,27 @@ let () =
       ~ladder:[ 1_000; 10_000 ] ()
   in
   Haf_stats.Table.print Format.std_formatter engine_table;
+  (match engine_rungs with
+  | [] -> ()
+  | rungs ->
+      Haf_stats.Table.print Format.std_formatter
+        (Haf_experiments.E12_scale.profile_table (List.nth rungs (List.length rungs - 1))));
   let oc = open_out "BENCH_engine.json" in
   output_string oc (Haf_experiments.E12_scale.json_of_bench engine_rungs);
   close_out oc;
-  print_endline "wrote BENCH_engine.json"
+  print_endline "wrote BENCH_engine.json";
+  (* Throughput regression gate: compare each rung against the
+     checked-in floor (with tolerance) and fail the bench run on a
+     regression, so CI catches a slow engine even when every invariant
+     holds. *)
+  match Haf_experiments.E12_scale.below_floor engine_rungs with
+  | [] -> ()
+  | regressions ->
+      List.iter
+        (fun (s, rate, fl) ->
+          Printf.printf
+            "FLOOR REGRESSION: %d sessions ran at %.0f sim events/cpu-s, below \
+             the tolerated floor %.0f\n"
+            s rate fl)
+        regressions;
+      exit 1

@@ -86,11 +86,19 @@ let engine_bench =
 let engine_json =
   let doc =
     "With --engine-bench, also write the per-rung results (events/s, \
-     request rates, grant and takeover percentiles, max sessions under the \
-     takeover-latency threshold) as JSON to $(docv) — the BENCH_engine.json \
-     artifact the CI smoke job uploads."
+     request rates, grant and takeover percentiles, per-rung profile, max \
+     sessions under the takeover-latency threshold) as JSON to $(docv) — \
+     the BENCH_engine.json artifact the CI smoke job uploads."
   in
   Arg.(value & opt (some string) None & info [ "engine-json" ] ~docv:"PATH" ~doc)
+
+let profile_only =
+  let doc =
+    "With --engine-bench, skip the warm-up rung and run just the target \
+     rung with the self-profiler, printing the per-subsystem attribution \
+     table (allocation + cpu) — the fast CI smoke for the profiling layer."
+  in
+  Arg.(value & flag & info [ "profile-only" ] ~doc)
 
 let explore_flag =
   let doc =
@@ -120,7 +128,7 @@ let explore_bug =
 
 let run ids full list_flag csv_dir snapshot_period disk_faults chaos_seed
     chaos_intensity corruption_seed stabilize_json engine_bench engine_json
-    explore_flag explore_depth explore_procs explore_bug =
+    profile_only explore_flag explore_depth explore_procs explore_bug =
   let module Reg = Haf_experiments.Registry in
   if list_flag then begin
     List.iter (fun e -> Printf.printf "%-4s %s\n" e.Reg.id e.Reg.title) Reg.all;
@@ -132,7 +140,7 @@ let run ids full list_flag csv_dir snapshot_period disk_faults chaos_seed
     (* A warm-up rung an order of magnitude below the target makes the
        scaling visible in one artifact. *)
     let ladder =
-      if sessions <= 1_000 then [ sessions ]
+      if profile_only || sessions <= 1_000 then [ sessions ]
       else List.sort_uniq compare [ Int.max 1_000 (sessions / 10); sessions ]
     in
     let table, rungs =
@@ -141,6 +149,13 @@ let run ids full list_flag csv_dir snapshot_period disk_faults chaos_seed
       E12.run_bench ~clock:Sys.time ~ladder ()
     in
     Haf_stats.Table.print Format.std_formatter table;
+    (* The self-profile: always for the target rung, for every rung in
+       --profile-only mode. *)
+    List.iteri
+      (fun i r ->
+        if profile_only || i = List.length rungs - 1 then
+          Haf_stats.Table.print Format.std_formatter (E12.profile_table r))
+      rungs;
     (match engine_json with
     | Some path ->
         let oc = open_out path in
@@ -148,9 +163,20 @@ let run ids full list_flag csv_dir snapshot_period disk_faults chaos_seed
         close_out oc;
         Printf.printf "wrote %s\n" path
     | None -> ());
+    (* Throughput regression gate against the checked-in floors. *)
+    let regressions = E12.below_floor rungs in
+    List.iter
+      (fun (s, rate, fl) ->
+        Printf.printf
+          "FLOOR REGRESSION: %d sessions ran at %.0f sim events/cpu-s, below \
+           the tolerated floor %.0f\n"
+          s rate fl)
+      regressions;
     (* Nonzero on any invariant violation at any rung: the scale claim
        is "monitored and clean", not just "didn't crash". *)
-    if List.exists (fun r -> r.E12.br_violations > 0) rungs then 1 else 0
+    if List.exists (fun r -> r.E12.br_violations > 0) rungs || regressions <> []
+    then 1
+    else 0
   end
   else if explore_flag then begin
     let tables, failed =
@@ -282,7 +308,7 @@ let cmd =
     Term.(
       const run $ ids $ full $ list_flag $ csv_dir $ snapshot_period
       $ disk_faults $ chaos_seed $ chaos_intensity $ corruption_seed
-      $ stabilize_json $ engine_bench $ engine_json $ explore_flag
-      $ explore_depth $ explore_procs $ explore_bug)
+      $ stabilize_json $ engine_bench $ engine_json $ profile_only
+      $ explore_flag $ explore_depth $ explore_procs $ explore_bug)
 
 let () = exit (Cmd.eval' cmd)

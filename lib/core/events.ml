@@ -52,26 +52,27 @@ type t =
 
 type sink = {
   mutable items : (float * t) list;  (* newest first *)
-  mutable taps : (now:float -> t -> unit) list;  (* subscription order *)
+  mutable taps : (now:float -> t -> unit) array;
+      (* Preallocated dispatch table in subscription order: [emit] runs
+         on every simulated event, and indexing a flat array keeps the
+         dispatch free of per-event list-spine traffic.  Subscription is
+         rare (a handful per run), so rebuilding the array there is
+         cheap. *)
   retain : bool;  (* false: taps only, no timeline accumulation *)
   mutable n_emitted : int;
 }
 
-let make_sink ?(retain = true) () = { items = []; taps = []; retain; n_emitted = 0 }
+let make_sink ?(retain = true) () = { items = []; taps = [||]; retain; n_emitted = 0 }
 
-let subscribe sink f = sink.taps <- sink.taps @ [ f ]
-
-let rec run_taps taps ~now ev =
-  match taps with
-  | [] -> ()
-  | f :: rest ->
-      f ~now ev;
-      run_taps rest ~now ev
+let subscribe sink f = sink.taps <- Array.append sink.taps [| f |]
 
 let[@hot] emit sink ~now ev =
   sink.n_emitted <- sink.n_emitted + 1;
   if sink.retain then sink.items <- (now, ev) :: sink.items;
-  run_taps sink.taps ~now ev
+  let taps = sink.taps in
+  for i = 0 to Array.length taps - 1 do
+    (Array.unsafe_get taps i) ~now ev
+  done
 
 let total_emitted sink = sink.n_emitted
 

@@ -297,7 +297,13 @@ module Make (S : Service_intf.SERVICE) = struct
     (* -------------------------------------------------------------- *)
     (* Primary duties                                                  *)
 
-    let do_tick t sl =
+    (* Finer attribution inside the engine's [Internal] blob: the
+       per-session service tick is the highest-frequency timer in the
+       system (10^5 sessions x 5 ticks/sim-s at the bench's top rung),
+       so it gets its own inclusive profile slot. *)
+    let prof_tick = Haf_sim.Profile.slot "framework.tick"
+
+    let do_tick_body t sl =
       if t.running && sl.sl_role = Some Primary then begin
         let responses, ctx = S.tick sl.sl_ctx in
         sl.sl_ctx <- ctx;
@@ -319,6 +325,14 @@ module Make (S : Service_intf.SERVICE) = struct
           multicast_content t sl.sl_unit (End_session { session_id = sl.sl_session })
         end
       end
+
+    let do_tick t sl =
+      if Haf_sim.Profile.hit prof_tick then begin
+        let w0 = Haf_sim.Profile.words () and c0 = Haf_sim.Profile.cpu () in
+        do_tick_body t sl;
+        Haf_sim.Profile.leave prof_tick ~w0 ~c0
+      end
+      else do_tick_body t sl
 
     let snapshot_of t sl =
       let snap =
@@ -1458,6 +1472,7 @@ module Make (S : Service_intf.SERVICE) = struct
       mutable c_granted : bool;
       mutable c_next_seq : int;
       mutable c_received : (int * float) list;  (* response id, time; newest first *)
+      mutable c_n_received : int;  (* counted even when the list is off *)
       mutable c_grant_timer : Engine.timer option;
       mutable c_req_timer : Engine.timer option;
       mutable c_end_timer : Engine.timer option;
@@ -1474,13 +1489,18 @@ module Make (S : Service_intf.SERVICE) = struct
       events : Events.sink;
       rng : Rng.t;
       policy : Policy.t;
+      retain_responses : bool;
+          (* false: drop the per-session response list (the watchdog and
+             counters still see every delivery) — at 10^6 sessions the
+             retained (id, time) cells are the largest client-side
+             allocation, and nothing on the bench path reads them. *)
       sessions : (string, csession) Hashtbl.t;
       mutable serial : int;
       mutable on_units : (string list -> unit) option;
       mutable running : bool;
     }
 
-    let create gcs ~proc ~policy ~events =
+    let create ?(retain_responses = true) gcs ~proc ~policy ~events =
       let engine = Gcs.engine gcs in
       let t =
         {
@@ -1490,6 +1510,7 @@ module Make (S : Service_intf.SERVICE) = struct
           events;
           rng = Engine.fork_rng engine;
           policy;
+          retain_responses;
           sessions = Hashtbl.create 4;
           serial = 0;
           on_units = None;
@@ -1519,7 +1540,9 @@ module Make (S : Service_intf.SERVICE) = struct
           | Response { session_id; id; body } -> (
               match Hashtbl.find_opt t.sessions session_id with
               | Some cs when not cs.c_done ->
-                  cs.c_received <- (id, Engine.now engine) :: cs.c_received;
+                  if t.retain_responses then
+                    cs.c_received <- (id, Engine.now engine) :: cs.c_received;
+                  cs.c_n_received <- cs.c_n_received + 1;
                   cs.c_last_response <- Engine.now engine;
                   Events.emit t.events ~now:(Engine.now engine)
                     (Events.Response_received
@@ -1579,7 +1602,9 @@ module Make (S : Service_intf.SERVICE) = struct
           (encode_group (End_session { session_id = cs.c_session }))
       end
 
-    let start_session t ~unit_id ~duration ~request_interval =
+    let prof_admit = Haf_sim.Profile.slot "framework.admit"
+
+    let start_session_body t ~unit_id ~duration ~request_interval =
       let session_id = Printf.sprintf "c%03d-%d" t.proc t.serial in
       t.serial <- t.serial + 1;
       let cs =
@@ -1589,6 +1614,7 @@ module Make (S : Service_intf.SERVICE) = struct
           c_granted = false;
           c_next_seq = 1;
           c_received = [];
+          c_n_received = 0;
           c_grant_timer = None;
           c_req_timer = None;
           c_end_timer = None;
@@ -1642,6 +1668,15 @@ module Make (S : Service_intf.SERVICE) = struct
         Some (Engine.schedule t.engine ~delay:duration (fun () -> finish_session t cs));
       session_id
 
+    let start_session t ~unit_id ~duration ~request_interval =
+      if Haf_sim.Profile.hit prof_admit then begin
+        let w0 = Haf_sim.Profile.words () and c0 = Haf_sim.Profile.cpu () in
+        let sid = start_session_body t ~unit_id ~duration ~request_interval in
+        Haf_sim.Profile.leave prof_admit ~w0 ~c0;
+        sid
+      end
+      else start_session_body t ~unit_id ~duration ~request_interval
+
     let stop t =
       t.running <- false;
       Det_tbl.iter_sorted ~compare:String.compare
@@ -1656,6 +1691,11 @@ module Make (S : Service_intf.SERVICE) = struct
       match Hashtbl.find_opt t.sessions session_id with
       | Some cs -> List.rev cs.c_received
       | None -> []
+
+    let received_count t session_id =
+      match Hashtbl.find_opt t.sessions session_id with
+      | Some cs -> cs.c_n_received
+      | None -> 0
 
     let granted t session_id =
       match Hashtbl.find_opt t.sessions session_id with

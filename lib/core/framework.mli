@@ -194,10 +194,19 @@ module Make (S : Service_intf.SERVICE) : sig
     type t
 
     val create :
-      Haf_gcs.Gcs.t -> proc:int -> policy:Policy.t -> events:Events.sink -> t
+      ?retain_responses:bool ->
+      Haf_gcs.Gcs.t ->
+      proc:int ->
+      policy:Policy.t ->
+      events:Events.sink ->
+      t
     (** A client process (created on a {!Haf_gcs.Gcs.add_client}
         process).  [policy] supplies the grant timeout used for retries
-        and the silence watchdog. *)
+        and the silence watchdog.  [retain_responses] (default [true]):
+        keep the per-session (id, time) response list {!received}
+        serves; [false] keeps client memory flat at bench scale — the
+        stream still drives the watchdog and {!received_count}, but
+        {!received} answers []. *)
 
     val proc : t -> int
 
@@ -221,7 +230,11 @@ module Make (S : Service_intf.SERVICE) : sig
     val granted : t -> string -> bool
 
     val received : t -> string -> (int * float) list
-    (** (response id, arrival time) for a session, oldest first. *)
+    (** (response id, arrival time) for a session, oldest first.
+        Empty under [~retain_responses:false]. *)
+
+    val received_count : t -> string -> int
+    (** Responses delivered to a session, retained or not. *)
 
     val session_ids : t -> string list
   end

@@ -65,6 +65,21 @@ module Slow_synthetic = struct
 end
 
 module Rb = Runner.Make (Slow_synthetic)
+module Sketch = Haf_stats.Sketch
+module Profile = Haf_sim.Profile
+
+(* Per-rung self-profile: what the engine spent its time and allocation
+   on, from the opt-in {!Haf_sim.Profile} layer plus a 1 sim-s GC
+   sampler.  This is how the bench finds its own hot spots — the numbers
+   land in BENCH_engine.json next to the throughput they explain. *)
+type bench_profile = {
+  bpr_subsystems : Profile.entry list;
+  bpr_minor_words : float;  (** Minor-heap words allocated over the rung. *)
+  bpr_major_words : float;
+  bpr_minor_collections : int;
+  bpr_major_collections : int;
+  bpr_heap_words_peak : int;  (** Max major-heap size at any 1 sim-s sample. *)
+}
 
 type bench_rung = {
   br_target : int;  (** Sessions the ramp asked for. *)
@@ -78,6 +93,7 @@ type bench_rung = {
   br_requests : int;  (** Client requests: session starts + context updates. *)
   br_responses : int;  (** Responses that reached a client. *)
   br_violations : int;
+  br_profile : bench_profile;
 }
 
 let bench_n_clients = 20
@@ -107,6 +123,7 @@ let bench_scenario ~sessions =
     duration = bench_duration;
     monitor_interval = 2.5;
     retain_events = false;
+    retain_responses = false;  (* flat client memory: counts, not lists *)
     policy =
       {
         Policy.default with
@@ -121,15 +138,18 @@ let bench_scenario ~sessions =
   }
 
 (* Streaming probe: the sink retains nothing at this scale, so every
-   number comes from an online tap. *)
+   number comes from an online tap.  Latencies stream into fixed-memory
+   sketches (deterministic seeds, so artifacts replay identically) —
+   nothing here grows with the population or the event count. *)
 type bench_probe = {
   bp_req_at : (string, float) Hashtbl.t;  (* first ask, cleared on grant *)
   bp_granted : (string, unit) Hashtbl.t;
-  mutable bp_grant_lat : float list;
+  bp_grant : Sketch.t;
   mutable bp_requests : int;
   mutable bp_responses : int;
   mutable bp_crash_at : float option;
-  mutable bp_takeover_lat : float list;
+  mutable bp_takeovers : int;
+  bp_takeover : Sketch.t;
 }
 
 let bench_tap st ~now ev =
@@ -146,7 +166,7 @@ let bench_tap st ~now ev =
         match Hashtbl.find_opt st.bp_req_at session_id with
         | Some t0 ->
             Hashtbl.remove st.bp_req_at session_id;
-            st.bp_grant_lat <- (now -. t0) :: st.bp_grant_lat
+            Sketch.add st.bp_grant (now -. t0)
         | None -> ()
       end
   | Events.Request_sent _ -> st.bp_requests <- st.bp_requests + 1
@@ -155,7 +175,9 @@ let bench_tap st ~now ev =
       if st.bp_crash_at = None then st.bp_crash_at <- Some now
   | Events.Takeover { kind = Events.Crash; _ } -> (
       match st.bp_crash_at with
-      | Some t0 -> st.bp_takeover_lat <- (now -. t0) :: st.bp_takeover_lat
+      | Some t0 ->
+          st.bp_takeovers <- st.bp_takeovers + 1;
+          Sketch.add st.bp_takeover (now -. t0)
       | None -> ())
   | _ -> ()
 
@@ -205,32 +227,63 @@ let bench_rung ~clock ~sessions =
     {
       bp_req_at = Hashtbl.create 1024;
       bp_granted = Hashtbl.create 1024;
-      bp_grant_lat = [];
+      bp_grant = Sketch.create ~seed:((2 * sc.Scenario.seed) + 1) ();
       bp_requests = 0;
       bp_responses = 0;
       bp_crash_at = None;
-      bp_takeover_lat = [];
+      bp_takeovers = 0;
+      bp_takeover = Sketch.create ~seed:((2 * sc.Scenario.seed) + 2) ();
     }
   in
+  (* Self-profile the rung: subsystem slots sample 1-in-64 guarded
+     entries, a 1 sim-s engine tick tracks the major-heap peak.  The
+     injected clock keeps ambient time out of the library (R1). *)
+  Profile.reset ();
+  Profile.set_clock (Some clock);
+  Profile.enable ();
+  let g0 = Profile.gc_sample () in
+  let heap_peak = ref 0 in
   let t0 = clock () in
-  let _tl, w = Rb.run_scenario sc ~prepare:(bench_prepare ~sessions st) in
+  let _tl, w =
+    Rb.run_scenario sc ~prepare:(fun w ->
+        bench_prepare ~sessions st w;
+        ignore
+          (Haf_sim.Engine.every w.Rb.engine ~first:1.0 ~period:1.0 (fun () ->
+               let g = Profile.gc_sample () in
+               if g.Profile.g_heap_words > !heap_peak then
+                 heap_peak := g.Profile.g_heap_words)))
+  in
   let cpu = Float.max 1e-9 (clock () -. t0) in
-  let grants = Summary.of_list st.bp_grant_lat in
+  let g1 = Profile.gc_sample () in
+  let subsystems = Profile.snapshot () in
+  Profile.disable ();
+  Profile.set_clock None;
+  let profile =
+    {
+      bpr_subsystems = subsystems;
+      bpr_minor_words = g1.Profile.g_minor_words -. g0.Profile.g_minor_words;
+      bpr_major_words = g1.Profile.g_major_words -. g0.Profile.g_major_words;
+      bpr_minor_collections =
+        g1.Profile.g_minor_collections - g0.Profile.g_minor_collections;
+      bpr_major_collections =
+        g1.Profile.g_major_collections - g0.Profile.g_major_collections;
+      bpr_heap_words_peak = Int.max !heap_peak g1.Profile.g_heap_words;
+    }
+  in
   {
     br_target = sessions;
     br_peak = Hashtbl.length st.bp_granted;
-    br_grant_p50 = grants.Summary.p50;
-    br_grant_p95 = grants.Summary.p95;
-    br_takeovers = List.length st.bp_takeover_lat;
+    br_grant_p50 = Sketch.p50 st.bp_grant;
+    br_grant_p95 = Sketch.p95 st.bp_grant;
+    br_takeovers = st.bp_takeovers;
     br_takeover_p95 =
-      (match st.bp_takeover_lat with
-      | [] -> None
-      | ls -> Some (Summary.of_list ls).Summary.p95);
+      (if st.bp_takeovers = 0 then None else Some (Sketch.p95 st.bp_takeover));
     br_sim_events = Haf_sim.Engine.events_processed w.Rb.engine;
     br_cpu_s = cpu;
     br_requests = st.bp_requests;
     br_responses = st.bp_responses;
     br_violations = List.length (Rb.violations w);
+    br_profile = profile;
   }
 
 (* Highest concurrently granted population among rungs that kept
@@ -244,6 +297,77 @@ let max_sessions_at_threshold rungs =
           Int.max acc r.br_peak
       | Some _ | None -> acc)
     0 rungs
+
+(* ------------------------------------------------------------------ *)
+(* Throughput floors.  BENCH_engine.json is a generated artifact (not
+   tracked), so the regression gate lives here in source: the last
+   committed measurement per rung, compared with a wide tolerance
+   because CI machines vary.  Re-baseline by editing this table when a
+   deliberate change moves the numbers. *)
+
+let floor_events_per_cpu_s = [ (10_000, 128_930.); (100_000, 74_169.) ]
+
+let floor_tolerance = 0.5
+
+let floor_for sessions =
+  Option.map (fun f -> f *. floor_tolerance)
+    (List.assoc_opt sessions floor_events_per_cpu_s)
+
+let below_floor rungs =
+  List.filter_map
+    (fun r ->
+      let rate = float_of_int r.br_sim_events /. r.br_cpu_s in
+      match floor_for r.br_target with
+      | Some fl when rate < fl -> Some (r.br_target, rate, fl)
+      | Some _ | None -> None)
+    rungs
+
+(* The profile rendered for humans; the same numbers go to JSON. *)
+let profile_table r =
+  let p = r.br_profile in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E12 bench self-profile (%d sessions): per-subsystem attribution \
+            (1-in-64 sampled, scaled)"
+           r.br_target)
+      ~columns:
+        [
+          ("subsystem", Table.Left);
+          ("entries", Table.Right);
+          ("sampled", Table.Right);
+          ("minor words", Table.Right);
+          ("words/entry", Table.Right);
+          ("cpu s", Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun (e : Profile.entry) ->
+      Table.add_row table
+        [
+          e.Profile.e_name;
+          Table.fint e.Profile.e_count;
+          Table.fint e.Profile.e_sampled;
+          Table.ffloat ~prec:0 e.Profile.e_minor_words;
+          Table.ffloat ~prec:1
+            (if e.Profile.e_count = 0 then 0.
+             else e.Profile.e_minor_words /. float_of_int e.Profile.e_count);
+          Table.ffloat ~prec:3 e.Profile.e_cpu_s;
+        ])
+    p.bpr_subsystems;
+  Table.add_row table
+    [
+      "gc (whole rung)";
+      "-";
+      "-";
+      Table.ffloat ~prec:0 p.bpr_minor_words;
+      "-";
+      Printf.sprintf "minors=%d majors=%d heap-peak=%dw" p.bpr_minor_collections
+        p.bpr_major_collections p.bpr_heap_words_peak;
+    ];
+  table
 
 let run_bench ~clock ~ladder () =
   Runner.reset_observed ();
@@ -326,13 +450,52 @@ let json_of_bench rungs =
       Buffer.add_string b
         (Printf.sprintf "      \"responses_received\": %d,\n" r.br_responses);
       Buffer.add_string b
-        (Printf.sprintf "      \"monitor_violations\": %d\n" r.br_violations);
+        (Printf.sprintf "      \"monitor_violations\": %d,\n" r.br_violations);
+      let p = r.br_profile in
+      Buffer.add_string b "      \"profile\": {\n";
+      Buffer.add_string b "        \"gc\": {\n";
+      Buffer.add_string b
+        (Printf.sprintf "          \"minor_words\": %.0f,\n" p.bpr_minor_words);
+      Buffer.add_string b
+        (Printf.sprintf "          \"major_words\": %.0f,\n" p.bpr_major_words);
+      Buffer.add_string b
+        (Printf.sprintf "          \"minor_collections\": %d,\n"
+           p.bpr_minor_collections);
+      Buffer.add_string b
+        (Printf.sprintf "          \"major_collections\": %d,\n"
+           p.bpr_major_collections);
+      Buffer.add_string b
+        (Printf.sprintf "          \"heap_words_peak\": %d\n" p.bpr_heap_words_peak);
+      Buffer.add_string b "        },\n";
+      Buffer.add_string b "        \"subsystems\": [\n";
+      List.iteri
+        (fun j (e : Profile.entry) ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "          { \"name\": \"%s\", \"entries\": %d, \"sampled\": %d, \
+                \"minor_words\": %.0f, \"cpu_s\": %.4f }%s\n"
+               e.Profile.e_name e.Profile.e_count e.Profile.e_sampled
+               e.Profile.e_minor_words e.Profile.e_cpu_s
+               (if j = List.length p.bpr_subsystems - 1 then "" else ",")))
+        p.bpr_subsystems;
+      Buffer.add_string b "        ]\n";
+      Buffer.add_string b "      }\n";
       Buffer.add_string b
         (if i = List.length rungs - 1 then "    }\n" else "    },\n"))
     rungs;
   Buffer.add_string b "  ],\n";
   Buffer.add_string b
     (Printf.sprintf "  \"takeover_p95_threshold_s\": %.1f,\n" takeover_threshold);
+  Buffer.add_string b "  \"floors_events_per_cpu_s\": {\n";
+  List.iteri
+    (fun i (sessions, fl) ->
+      Buffer.add_string b
+        (Printf.sprintf "    \"%d\": %.0f%s\n" sessions fl
+           (if i = List.length floor_events_per_cpu_s - 1 then "" else ",")))
+    floor_events_per_cpu_s;
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"floor_tolerance\": %.2f,\n" floor_tolerance);
   Buffer.add_string b
     (Printf.sprintf "  \"max_sessions_at_threshold\": %d\n"
        (max_sessions_at_threshold rungs));

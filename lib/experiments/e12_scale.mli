@@ -17,6 +17,17 @@ val run : quick:bool -> Haf_stats.Table.t list
     monitor watching throughout.  Produces the BENCH_engine.json
     artifact. *)
 
+type bench_profile = {
+  bpr_subsystems : Haf_sim.Profile.entry list;
+      (** Per-subsystem attribution (engine dispatch, monitor event/pump,
+          ...), 1-in-64 sampled and scaled. *)
+  bpr_minor_words : float;  (** Minor-heap words allocated over the rung. *)
+  bpr_major_words : float;
+  bpr_minor_collections : int;
+  bpr_major_collections : int;
+  bpr_heap_words_peak : int;  (** Max major heap at any 1 sim-s sample. *)
+}
+
 type bench_rung = {
   br_target : int;  (** Sessions the ramp asked for. *)
   br_peak : int;  (** Concurrently granted when the crash hit. *)
@@ -29,6 +40,7 @@ type bench_rung = {
   br_requests : int;  (** Client requests: session starts + context updates. *)
   br_responses : int;
   br_violations : int;
+  br_profile : bench_profile;
 }
 
 val takeover_threshold : float
@@ -45,5 +57,22 @@ val run_bench :
     stays free of ambient time). *)
 
 val json_of_bench : bench_rung list -> string
-(** The BENCH_engine.json payload, rungs plus the headline
+(** The BENCH_engine.json payload: rungs (each with its [profile]
+    section), the checked-in floors, and the headline
     max-sessions-under-threshold figure. *)
+
+val floor_events_per_cpu_s : (int * float) list
+(** Checked-in [sim_events_per_cpu_s] baselines per rung size — the
+    artifact itself is generated, so the regression gate's reference
+    lives in source.  Re-baseline deliberately by editing this. *)
+
+val floor_tolerance : float
+(** Multiplier applied to a floor before gating (CI machines vary). *)
+
+val below_floor : bench_rung list -> (int * float * float) list
+(** Rungs whose throughput regressed: [(sessions, measured,
+    floor * tolerance)] for every rung below its tolerated floor.
+    Empty = gate passes. *)
+
+val profile_table : bench_rung -> Haf_stats.Table.t
+(** Human rendering of one rung's {!bench_profile}. *)

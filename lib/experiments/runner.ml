@@ -47,6 +47,17 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
     mutable stabilizer : Stabilize.t option;
         (* Convergence oracle, when an experiment attached one; probed
            from the monitor loop, told of injections by apply_schedule. *)
+    claims : (int, (string, unit) Hashtbl.t) Hashtbl.t;
+        (* server -> sessions it claims primary for, maintained by an
+           event tap.  The legality probe's dirty-set path asks this
+           index for sessions with >= 2 claims instead of scanning every
+           session id; each candidate is then verified against ground
+           truth ([Server.is_primary_of]). *)
+    claim_counts : (string, int) Hashtbl.t;
+        (* session -> live primary-claim count; absent = 0. *)
+    unit_ks : int list;
+        (* [0 .. n_units-1], hoisted: the monitor loop used to rebuild
+           this list on every tick. *)
   }
 
   let units_of_server sc p =
@@ -68,9 +79,49 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
        exists, so it sees the complete event stream. *)
     let monitor =
       Monitor.create
+        ~mode:(if sc.monitor_full_scan then Monitor.Full_scan else Monitor.Incremental)
         ~network:(Gcs.network gcs)
         ~servers:(Gcs.servers gcs) ~policy:sc.policy ~gcs:sc.gcs_config ~events ()
     in
+    (* Primary-claims index for the legality probe's dirty-set path:
+       mirrors role events into per-server claim sets, so the probe only
+       has to ground-truth sessions that could conceivably have two
+       primaries. *)
+    let claims = Hashtbl.create 16 in
+    let claim_counts = Hashtbl.create 64 in
+    let bump sid d =
+      let n = Option.value (Hashtbl.find_opt claim_counts sid) ~default:0 + d in
+      if n <= 0 then Hashtbl.remove claim_counts sid
+      else Hashtbl.replace claim_counts sid n
+    in
+    Events.subscribe events (fun ~now:_ ev ->
+        match (ev : Events.t) with
+        | Role_assumed { server; session_id; role = Primary } ->
+            let sub =
+              match Hashtbl.find_opt claims server with
+              | Some s -> s
+              | None ->
+                  let s = Hashtbl.create 32 in
+                  Hashtbl.replace claims server s;
+                  s
+            in
+            if not (Hashtbl.mem sub session_id) then begin
+              Hashtbl.replace sub session_id ();
+              bump session_id 1
+            end
+        | Role_dropped { server; session_id; role = Primary } -> (
+            match Hashtbl.find_opt claims server with
+            | Some sub when Hashtbl.mem sub session_id ->
+                Hashtbl.remove sub session_id;
+                bump session_id (-1)
+            | Some _ | None -> ())
+        | Server_crashed { server } -> (
+            match Hashtbl.find_opt claims server with
+            | Some sub ->
+                Hashtbl.iter (fun sid () -> bump sid (-1)) sub;
+                Hashtbl.remove claims server
+            | None -> ())
+        | _ -> ());
     let stores = Hashtbl.create 8 in
     (match sc.store with
     | Some cfg ->
@@ -95,7 +146,8 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
     let clients =
       List.init sc.n_clients (fun _ ->
           let proc = Gcs.add_client gcs in
-          Fw.Client.create gcs ~proc ~policy:sc.policy ~events)
+          Fw.Client.create ~retain_responses:sc.retain_responses gcs ~proc
+            ~policy:sc.policy ~events)
     in
     let corrupt_armed = Hashtbl.create 8 in
     let w =
@@ -111,6 +163,9 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
         rng;
         corrupt_armed;
         stabilizer = None;
+        claims;
+        claim_counts;
+        unit_ks = List.init sc.n_units (fun k -> k);
       }
     in
     (* The corruptor hook answers [true] once per armed (site, proc)
@@ -421,25 +476,36 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
           && Fw.Server.units_sound srv)
         live
     in
-    let unique_primaries =
+    let unique_ok sid =
+      let ps =
+        List.filter_map
+          (fun (p, srv) -> if Fw.Server.is_primary_of srv sid then Some p else None)
+          live
+      in
+      (* Two believed primaries are legal only while partitioned
+         apart — same component rule as the monitor's. *)
       List.for_all
-        (fun sid ->
-          let ps =
-            List.filter_map
-              (fun (p, srv) ->
-                if Fw.Server.is_primary_of srv sid then Some p else None)
-              live
-          in
-          (* Two believed primaries are legal only while partitioned
-             apart — same component rule as the monitor's. *)
+        (fun p ->
           List.for_all
-            (fun p ->
-              List.for_all
-                (fun q ->
-                  p >= q || not (Network.reachable net ~among:servers p q))
-                ps)
+            (fun q -> p >= q || not (Network.reachable net ~among:servers p q))
             ps)
-        (all_session_ids w)
+        ps
+    in
+    let unique_primaries =
+      if w.scenario.Scenario.monitor_full_scan then
+        List.for_all unique_ok (all_session_ids w)
+      else
+        (* Dirty-set path: only sessions with >= 2 event-level primary
+           claims can fail uniqueness; everything else has at most one
+           server whose role events say "primary", and role events are
+           emitted synchronously with the belief change, so the index
+           cannot under-count.  Each candidate is still judged against
+           ground truth, never against the index itself. *)
+        Hashtbl.fold
+          (fun sid n acc -> if n >= 2 then sid :: acc else acc)
+          w.claim_counts []
+        |> List.sort String.compare
+        |> List.for_all unique_ok
     in
     let assignments_agree =
       List.for_all
@@ -465,7 +531,7 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
                   || Haf_core.Unit_db.equal_assignments db db')
                 holders)
             holders)
-        (List.init w.scenario.Scenario.n_units (fun k -> k))
+        w.unit_ks
     in
     audits_ok && unique_primaries && assignments_agree
 
@@ -538,7 +604,7 @@ module Make (S : Haf_core.Service_intf.SERVICE) = struct
                         end)
               holders)
           holders)
-      (List.init sc.Scenario.n_units (fun k -> k))
+      w.unit_ks
 
   let start_monitor w =
     let pending = Hashtbl.create 16 in

@@ -35,6 +35,13 @@ module Make (S : Haf_core.Service_intf.SERVICE) : sig
             answer by the engine's corruptor hook. *)
     mutable stabilizer : Haf_monitor.Stabilize.t option;
         (** Convergence oracle, once {!track_stabilization} attached one. *)
+    claims : (int, (string, unit) Hashtbl.t) Hashtbl.t;
+        (** Event-maintained primary-claims index (server -> claimed
+            sessions), feeding {!legal_configuration}'s dirty-set path. *)
+    claim_counts : (string, int) Hashtbl.t;
+        (** Session -> live primary-claim count (absent = 0). *)
+    unit_ks : int list;
+        (** [0 .. n_units-1], hoisted out of the per-tick probes. *)
   }
 
   val setup : Scenario.t -> world

@@ -15,6 +15,8 @@ type t = {
   duration : float;
   monitor_interval : float;
   retain_events : bool;
+  retain_responses : bool;
+  monitor_full_scan : bool;
 }
 
 let default =
@@ -35,6 +37,8 @@ let default =
     duration = 120.;
     monitor_interval = 0.25;
     retain_events = true;
+    retain_responses = true;
+    monitor_full_scan = false;
   }
 
 let unit_name k = Printf.sprintf "u%02d" k

@@ -34,6 +34,18 @@ type t = {
           event, but the timeline returned by {!Runner} stays empty —
           required above ~10{^5} sessions, where retaining every event
           would dominate memory. *)
+  retain_responses : bool;
+      (** Default [true].  [false] creates clients with
+          [~retain_responses:false]: per-session response lists stay
+          empty (counts and the silence watchdog still work), keeping
+          client memory flat at bench scale. *)
+  monitor_full_scan : bool;
+      (** Default [false] (the monitor runs its incremental dirty-set
+          indices and the runner's legality probe consults the
+          event-maintained primary-claims index).  [true] forces the
+          reference whole-population scans in both — the
+          incremental-vs-full equivalence tests and legacy replays use
+          this. *)
 }
 
 val default : t

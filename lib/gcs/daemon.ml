@@ -282,11 +282,26 @@ let flush_batch t gs =
             deliver_contiguous t gs)
     | Stable | Proposing _ | Flushed _ -> ()
 
-let batch_tick t =
+(* Attribution slots for the two per-server periodic sweeps — together
+   with the per-session service tick these make up nearly all of the
+   engine's [Internal] firings at bench scale. *)
+let prof_batch = Haf_sim.Profile.slot "gcs.batch"
+
+let prof_heartbeat = Haf_sim.Profile.slot "gcs.heartbeat"
+
+let batch_tick_body t =
   if t.is_alive then
     Det_tbl.iter_sorted ~compare:String.compare
       (fun _ gs -> flush_batch t gs)
       t.gstates
+
+let batch_tick t =
+  if Haf_sim.Profile.hit prof_batch then begin
+    let w0 = Haf_sim.Profile.words () and c0 = Haf_sim.Profile.cpu () in
+    batch_tick_body t;
+    Haf_sim.Profile.leave prof_batch ~w0 ~c0
+  end
+  else batch_tick_body t
 
 let submit t gs (entry : Wire.entry) =
   match gs.mstate with
@@ -637,7 +652,7 @@ let record_adverts t sender advs =
         | None -> Hashtbl.remove t.vid_mismatch (g, sender))
       t.gstates
 
-let heartbeat_tick t =
+let heartbeat_tick_body t =
   if t.is_alive then begin
     (* Audit before consulting the corruptor: damage injected this tick
        is detected no earlier than the next one, so reconvergence time
@@ -651,6 +666,14 @@ let heartbeat_tick t =
       (fun _ gs -> sweep_group t gs)
       t.gstates
   end
+
+let heartbeat_tick t =
+  if Haf_sim.Profile.hit prof_heartbeat then begin
+    let w0 = Haf_sim.Profile.words () and c0 = Haf_sim.Profile.cpu () in
+    heartbeat_tick_body t;
+    Haf_sim.Profile.leave prof_heartbeat ~w0 ~c0
+  end
+  else heartbeat_tick_body t
 
 (* ------------------------------------------------------------------ *)
 (* Incoming protocol messages                                          *)

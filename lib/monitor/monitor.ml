@@ -1,6 +1,7 @@
 module Events = Haf_core.Events
 module Metrics = Haf_stats.Metrics
 module Det_tbl = Haf_sim.Det_tbl
+module Heap = Haf_sim.Heap
 module Network = Haf_net.Network
 
 type config = {
@@ -27,6 +28,8 @@ let make_config ~(policy : Haf_core.Policy.t) ~(gcs : Haf_gcs.Config.t) =
     ack_confirm_delay = slack;
   }
 
+type mode = Full_scan | Incremental
+
 type session_state = {
   ss_id : string;
   mutable ss_unit : string option;
@@ -51,15 +54,43 @@ type session_state = {
          promote to [ss_acked] once the window passes. *)
   mutable ss_last_activity : float;  (* staleness clock *)
   mutable ss_stale_flagged : bool;
+  mutable ss_stale_armed : bool;
+      (* An entry for this session sits in the staleness deadline queue
+         (incremental mode); at most one live entry per session. *)
+}
+
+(* Staleness deadline queue entry.  [sd_la] is the activity timestamp
+   the deadline was armed against: a mismatch with the session's current
+   clock means newer activity superseded this entry, and the pop re-arms
+   it at the live deadline instead of evaluating a stale one. *)
+type stale_entry = {
+  sd_deadline : float;
+  sd_la : float;
+  sd_ss : session_state;
 }
 
 type t = {
+  mode : mode;
   net : Network.t;
   servers : int list;
   cfg : config;
   sessions : (string, session_state) Hashtbl.t;
   views : (string, int list) Hashtbl.t;
       (* "<server>/<group>" -> members, per the server's latest view *)
+  by_primary : (int, (string, session_state) Hashtbl.t) Hashtbl.t;
+      (* server -> sessions that currently believe it primary.  Lets a
+         [Server_crashed] event touch exactly the crashed server's
+         sessions instead of scanning the whole population. *)
+  by_unit : (string, (string, session_state) Hashtbl.t) Hashtbl.t;
+      (* content unit -> its sessions, for [View_noted] fan-out. *)
+  dual_watch : (string, session_state) Hashtbl.t;
+      (* Sessions invariant (a) must re-examine every pump: >= 2
+         believed primaries now, or a dual episode still open.  Dual
+         primaries are anomalies, so this stays near-empty at scale. *)
+  stale_q : stale_entry Heap.t;
+      (* Min-heap on [sd_deadline]: the pump pops exactly the sessions
+         whose staleness bound may have expired, instead of asking every
+         session "are you stale yet?" on every tick. *)
   mutable crash_log : (float * int) list;  (* newest first *)
   mutable violations : Metrics.violation list;  (* newest first *)
   mutable events_seen : int;
@@ -96,6 +127,7 @@ let session t sid =
           ss_candidates = [];
           ss_last_activity = 0.;
           ss_stale_flagged = false;
+          ss_stale_armed = false;
         }
       in
       Hashtbl.replace t.sessions sid ss;
@@ -103,9 +135,32 @@ let session t sid =
 
 let view_key server group = string_of_int server ^ "/" ^ group
 
-let activity ss now =
+let sub_table tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some sub -> sub
+  | None ->
+      let sub = Hashtbl.create 16 in
+      Hashtbl.replace tbl key sub;
+      sub
+
+let[@hot] arm_staleness t ss =
+  if not ss.ss_stale_armed then begin
+    ss.ss_stale_armed <- true;
+    Heap.push t.stale_q
+      {
+        sd_deadline = ss.ss_last_activity +. t.cfg.staleness_bound;
+        sd_la = ss.ss_last_activity;
+        sd_ss = ss;
+      }
+  end
+
+let[@hot] activity t ss now =
   ss.ss_last_activity <- now;
-  ss.ss_stale_flagged <- false
+  ss.ss_stale_flagged <- false;
+  (* An already-armed entry re-keys itself lazily when popped (its
+     [sd_la] no longer matches), so activity stays O(1) amortized and
+     the queue holds at most one live entry per session. *)
+  arm_staleness t ss
 
 let crashed_within t server ~since ~until =
   List.exists (fun (at, s) -> s = server && at >= since && at <= until) t.crash_log
@@ -181,16 +236,25 @@ let check_acked_loss t ss ~now ~emitter ~applied =
       ss.ss_acked <- None;
       ss.ss_candidates <- []
 
+(* Profiling slot for the per-event tap: one branch per event while the
+   profiler is off. *)
+let prof_event = Haf_sim.Profile.slot "monitor.event"
+
+let prof_pump = Haf_sim.Profile.slot "monitor.pump"
+
 let on_event t ~now (ev : Events.t) =
   t.events_seen <- t.events_seen + 1;
   match ev with
   | Session_requested { session_id; unit_id; _ } ->
       let ss = session t session_id in
-      if ss.ss_unit = None then ss.ss_unit <- Some unit_id
+      if ss.ss_unit = None then begin
+        ss.ss_unit <- Some unit_id;
+        Hashtbl.replace (sub_table t.by_unit unit_id) session_id ss
+      end
   | Session_granted { session_id; _ } ->
       let ss = session t session_id in
       if ss.ss_granted = None then ss.ss_granted <- Some now;
-      activity ss now
+      activity t ss now
   | Session_ended { session_id } ->
       let ss = session t session_id in
       ss.ss_ended <- true;
@@ -202,68 +266,99 @@ let on_event t ~now (ev : Events.t) =
       ss.ss_candidates <- []
   | Role_assumed { server; session_id; role = Primary } ->
       let ss = session t session_id in
-      if not (Hashtbl.mem ss.ss_primaries server) then
+      if not (Hashtbl.mem ss.ss_primaries server) then begin
         Hashtbl.replace ss.ss_primaries server now;
+        Hashtbl.replace (sub_table t.by_primary server) session_id ss
+      end;
       if Hashtbl.length ss.ss_primaries >= 2 then begin
         ss.ss_acked <- None;
-        ss.ss_candidates <- []
+        ss.ss_candidates <- [];
+        (* invariant (a) must now track this session every pump until
+           the dual episode resolves *)
+        Hashtbl.replace t.dual_watch session_id ss
       end;
-      activity ss now
+      activity t ss now
   | Role_dropped { server; session_id; role = Primary } ->
       let ss = session t session_id in
       Hashtbl.remove ss.ss_primaries server;
-      activity ss now
+      (match Hashtbl.find_opt t.by_primary server with
+      | Some sub -> Hashtbl.remove sub session_id
+      | None -> ());
+      activity t ss now
   | Server_crashed { server } ->
       t.crash_log <- (now, server) :: t.crash_log;
-      Det_tbl.iter_sorted ~compare:String.compare
-        (fun _ ss ->
-          if Hashtbl.mem ss.ss_primaries server then begin
-            Hashtbl.remove ss.ss_primaries server;
-            activity ss now
-          end)
-        t.sessions
-  | Takeover { session_id; _ } -> activity (session t session_id) now
+      (* Touch exactly the sessions that believed the crashed server
+         primary — the [by_primary] index replaces the full-population
+         scan this handler used to do. *)
+      (match Hashtbl.find_opt t.by_primary server with
+      | Some sub ->
+          Det_tbl.iter_sorted ~compare:String.compare
+            (fun _ ss ->
+              if Hashtbl.mem ss.ss_primaries server then begin
+                Hashtbl.remove ss.ss_primaries server;
+                activity t ss now
+              end)
+            sub;
+          Hashtbl.remove t.by_primary server
+      | None -> ())
+  | Takeover { session_id; _ } -> activity t (session t session_id) now
   | View_noted { server; group; members } ->
       Hashtbl.replace t.views (view_key server group) members;
       (* A view change excuses a propagation gap and restarts the
          staleness clock for every session on that content unit; it also
          voids unconfirmed acked-loss candidates, since the in-flight
-         propagation they came from may have been dropped. *)
+         propagation they came from may have been dropped.  The
+         [by_unit] index bounds the fan-out to the unit's own sessions. *)
       (match Haf_core.Naming.content_unit_of group with
-      | Some u ->
-          Det_tbl.iter_sorted ~compare:String.compare
-            (fun _ ss ->
-              if ss.ss_unit = Some u then begin
-                activity ss now;
-                ss.ss_candidates <- []
-              end)
-            t.sessions
+      | Some u -> (
+          match Hashtbl.find_opt t.by_unit u with
+          | Some sub ->
+              Det_tbl.iter_sorted ~compare:String.compare
+                (fun _ ss ->
+                  activity t ss now;
+                  ss.ss_candidates <- [])
+                sub
+          | None -> ())
       | None -> ())
   | Propagated { server; session_id; applied; _ } ->
       let ss = session t session_id in
-      activity ss now;
+      activity t ss now;
       if not ss.ss_ended then check_acked_loss t ss ~now ~emitter:server ~applied
   | Role_assumed _ | Role_dropped _ | Server_restarted _ | Request_sent _
   | Request_applied _ | Response_sent _ | Response_received _ | Exchange_sent _
   | Store_recovered _ | Audit_failed _ | Server_reset _ ->
       ()
 
-let create ?config ~network ~servers ~policy ~gcs ~events () =
+let create ?(mode = Incremental) ?config ~network ~servers ~policy ~gcs ~events () =
   let cfg = match config with Some c -> c | None -> make_config ~policy ~gcs in
   let t =
     {
+      mode;
       net = network;
       servers = List.sort_uniq Int.compare servers;
       cfg;
       sessions = Hashtbl.create 32;
       views = Hashtbl.create 64;
+      by_primary = Hashtbl.create 16;
+      by_unit = Hashtbl.create 8;
+      dual_watch = Hashtbl.create 8;
+      stale_q =
+        Heap.create ~leq:(fun a b -> a.sd_deadline <= b.sd_deadline);
       crash_log = [];
       violations = [];
       events_seen = 0;
     }
   in
-  Events.subscribe events (fun ~now ev -> on_event t ~now ev);
+  Events.subscribe events (fun ~now ev ->
+      if Haf_sim.Profile.hit prof_event then begin
+        let w0 = Haf_sim.Profile.words () and c0 = Haf_sim.Profile.cpu () in
+        on_event t ~now ev;
+        Haf_sim.Profile.leave prof_event ~w0 ~c0
+      end
+      else on_event t ~now ev);
   t
+
+let mode t = t.mode
 
 (* Invariant (a): two live self-believed primaries violate uniqueness
    only when the GCS is {e obliged} to merge them into one view — their
@@ -298,47 +393,159 @@ let rec conflicting_pair t = function
       | Some q -> Some (p, q)
       | None -> conflicting_pair t rest)
 
-let pump t ~now =
-  Det_tbl.iter_sorted ~compare:String.compare
-    (fun _ ss ->
-      if not ss.ss_ended then begin
-        let prims = List.map fst (live_primaries t ss) in
-        (* (a) unique primary per partition component *)
-        (match (if List.length prims >= 2 then conflicting_pair t prims else None) with
-        | Some (p, q) ->
-            (match ss.ss_dual_since with
-            | None -> ss.ss_dual_since <- Some now
-            | Some since ->
-                if (not ss.ss_dual_flagged) && now -. since >= t.cfg.dual_primary_grace
-                then begin
-                  ss.ss_dual_flagged <- true;
-                  record t ~now ~invariant:Metrics.Unique_primary ~session:ss.ss_id
-                    ~detail:
-                      (Printf.sprintf
-                         "s%d and s%d both primary in one component for %.3fs" p q
-                         (now -. since))
-                    ()
-                end)
-        | None ->
-            ss.ss_dual_since <- None;
-            ss.ss_dual_flagged <- false);
-        (* (c) context staleness, suspended while no primary is up *)
-        match (prims, ss.ss_granted) with
-        | [], _ | _, None -> ss.ss_last_activity <- now
-        | _ :: _, Some _ ->
-            if
-              (not ss.ss_stale_flagged)
-              && now -. ss.ss_last_activity > t.cfg.staleness_bound
+(* One session's share of a pump, identical under both modes: the
+   incremental pump proves (see [pump_incremental]) that running this on
+   its candidate set records exactly the violations the full scan
+   records over everyone, because on every non-candidate this body is a
+   verdict-level no-op. *)
+let check_session t ~now ss =
+  if not ss.ss_ended then begin
+    let prims = List.map fst (live_primaries t ss) in
+    (* (a) unique primary per partition component *)
+    (match (if List.length prims >= 2 then conflicting_pair t prims else None) with
+    | Some (p, q) ->
+        (match ss.ss_dual_since with
+        | None -> ss.ss_dual_since <- Some now
+        | Some since ->
+            if (not ss.ss_dual_flagged) && now -. since >= t.cfg.dual_primary_grace
             then begin
-              ss.ss_stale_flagged <- true;
-              record t ~now ~invariant:Metrics.Staleness_bound ~session:ss.ss_id
+              ss.ss_dual_flagged <- true;
+              record t ~now ~invariant:Metrics.Unique_primary ~session:ss.ss_id
                 ~detail:
-                  (Printf.sprintf "no propagation for %.3fs (bound %.3fs)"
-                     (now -. ss.ss_last_activity) t.cfg.staleness_bound)
+                  (Printf.sprintf
+                     "s%d and s%d both primary in one component for %.3fs" p q
+                     (now -. since))
                 ()
-            end
-      end)
+            end)
+    | None ->
+        ss.ss_dual_since <- None;
+        ss.ss_dual_flagged <- false);
+    (* (c) context staleness, suspended while no primary is up *)
+    match (prims, ss.ss_granted) with
+    | [], _ | _, None -> ss.ss_last_activity <- now
+    | _ :: _, Some _ ->
+        if
+          (not ss.ss_stale_flagged)
+          && now -. ss.ss_last_activity > t.cfg.staleness_bound
+        then begin
+          ss.ss_stale_flagged <- true;
+          record t ~now ~invariant:Metrics.Staleness_bound ~session:ss.ss_id
+            ~detail:
+              (Printf.sprintf "no propagation for %.3fs (bound %.3fs)"
+                 (now -. ss.ss_last_activity) t.cfg.staleness_bound)
+            ()
+        end
+  end
+
+let pump_full t ~now =
+  Det_tbl.iter_sorted ~compare:String.compare
+    (fun _ ss -> check_session t ~now ss)
     t.sessions
+
+(* Incremental pump.  Equivalence with [pump_full] rests on two facts:
+
+   (1) For a session outside both indices, [check_session] is a
+       verdict-level no-op at every pump.  Staleness cannot fire: a
+       session enters the "primary up + granted" state only through an
+       event that calls [activity] (grant, role change, takeover,
+       propagation, crash fan-out), which arms a queue entry at
+       [last_activity + bound]; the full scan's strict
+       [now - la > bound] test is exactly the queue entry's
+       [deadline < now] pop condition.  Dual-primary cannot fire: the
+       conflict test needs >= 2 believed primaries, and the event that
+       created the second one put the session in [dual_watch], which
+       only [pump] itself vacates once the episode is fully reset.
+       The remaining full-scan effect on such sessions — resetting the
+       staleness clock while no primary is up — is invisible: the next
+       transition into a checkable state overwrites the clock via
+       [activity] before anything reads it.
+
+       The "only through an event" premise is the stream's
+       well-formedness contract (see the mli): beliefs are asserted by
+       live servers and crashes always emit [Server_crashed], so a
+       believed primary is alive by construction and liveness read at
+       pump time cannot flip a silent session checkable on its own.
+
+   (2) Candidates are visited in ascending session id, the same order
+       the full scan uses, so coincident violations land in the ledger
+       in the same order with identical timestamps and details.
+
+   The qcheck suite (test_monitor_incr) drives both modes over random
+   event streams and asserts the ledgers are equal element-wise. *)
+let pump_incremental t ~now =
+  (* Pop every deadline that has expired; entries superseded by newer
+     activity re-key themselves at the live deadline. *)
+  let due = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.stale_q with
+    (* The expiry test MUST be [now -. la > bound] — the exact
+       arithmetic [check_session] uses — not [la +. bound < now]: the
+       two can disagree by one ulp at the boundary (float addition and
+       subtraction round differently), which would defer a flag by one
+       pump relative to the full scan.  [sd_deadline] only orders the
+       heap, and with one shared bound that order equals la-order, so
+       the drain below still stops at the first non-expired entry. *)
+    | Some e when now -. e.sd_la > t.cfg.staleness_bound ->
+        ignore (Heap.pop t.stale_q);
+        let ss = e.sd_ss in
+        if ss.ss_last_activity <> e.sd_la then
+          Heap.push t.stale_q
+            {
+              sd_deadline = ss.ss_last_activity +. t.cfg.staleness_bound;
+              sd_la = ss.ss_last_activity;
+              sd_ss = ss;
+            }
+        else begin
+          ss.ss_stale_armed <- false;
+          due := ss :: !due
+        end
+    | Some _ | None -> continue := false
+  done;
+  (* Candidates = dual watch ∪ due staleness, in ascending session id. *)
+  let cands = Hashtbl.create 16 in
+  Det_tbl.iter_sorted ~compare:String.compare
+    (fun sid ss -> Hashtbl.replace cands sid ss)
+    t.dual_watch;
+  List.iter (fun ss -> Hashtbl.replace cands ss.ss_id ss) !due;
+  Det_tbl.iter_sorted ~compare:String.compare
+    (fun _ ss -> check_session t ~now ss)
+    cands;
+  (* Retire dual watches whose episode fully reset (the same state the
+     full scan leaves untouched sessions in). *)
+  let retire =
+    Det_tbl.fold_sorted ~compare:String.compare
+      (fun sid ss acc ->
+        match ss.ss_dual_since with
+        | None when Hashtbl.length ss.ss_primaries < 2 -> sid :: acc
+        | _ -> acc)
+      t.dual_watch []
+  in
+  List.iter (Hashtbl.remove t.dual_watch) retire;
+  (* Re-arm consumed entries still worth watching: a session that kept
+     its primary re-enters the queue after [check_session] above (no
+     activity happened, so the deadline advances only if the clock
+     reset), one whose clock the []-branch reset re-enters at
+     [now + bound], and a flagged or ended one stays out until a fresh
+     [activity] re-arms it. *)
+  List.iter
+    (fun ss ->
+      if (not ss.ss_stale_armed) && (not ss.ss_ended) && not ss.ss_stale_flagged
+      then arm_staleness t ss)
+    !due
+
+let pump t ~now =
+  if Haf_sim.Profile.hit prof_pump then begin
+    let w0 = Haf_sim.Profile.words () and c0 = Haf_sim.Profile.cpu () in
+    (match t.mode with
+    | Full_scan -> pump_full t ~now
+    | Incremental -> pump_incremental t ~now);
+    Haf_sim.Profile.leave prof_pump ~w0 ~c0
+  end
+  else
+    match t.mode with
+    | Full_scan -> pump_full t ~now
+    | Incremental -> pump_incremental t ~now
 
 let pp_summary ppf t =
   let vs = violations t in

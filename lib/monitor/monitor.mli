@@ -35,6 +35,28 @@
 
 type t
 
+type mode = Full_scan | Incremental
+(** How {!pump} finds the sessions to examine.
+
+    [Full_scan] visits every session on every pump — O(population) per
+    tick, the reference semantics.
+
+    [Incremental] (the default) maintains dirty-set indices as events
+    arrive — a staleness deadline min-heap keyed by
+    [last_activity + bound] and a watch set of sessions with >= 2
+    believed primaries — and each pump touches only the sessions whose
+    verdict could have changed since the last tick.  The two modes
+    record {e identical} violation ledgers (same order, timestamps and
+    details) on any {e well-formed} event stream — one where role
+    beliefs are only asserted by live servers and every crash fault is
+    mirrored as a [Server_crashed] event, both guaranteed by the
+    framework's emitters and fault injectors.  (Outside that contract —
+    say a grant naming an already-dead primary later resurrected by a
+    bare network recover — a session can turn checkable with no event
+    for the indices to observe, and the staleness clocks of the two
+    modes may drift by up to one bound.)  A qcheck suite asserts the
+    equivalence element-wise on random well-formed histories. *)
+
 type config = {
   dual_primary_grace : float;
       (** Same-component dual-primary overlap tolerated before flagging. *)
@@ -53,6 +75,7 @@ val make_config : policy:Haf_core.Policy.t -> gcs:Haf_gcs.Config.t -> config
 (** Derive the bounds the policy and GCS timing actually promise. *)
 
 val create :
+  ?mode:mode ->
   ?config:config ->
   network:Haf_net.Network.t ->
   servers:int list ->
@@ -63,7 +86,11 @@ val create :
   t
 (** Attach a monitor to the run: subscribes to [events] immediately.
     [servers] are the node ids eligible as partition-component hops and
-    endpoints (clients are excluded by construction). *)
+    endpoints (clients are excluded by construction).  [mode] defaults
+    to {!Incremental}; pass {!Full_scan} to force the reference
+    whole-population probe (equivalence tests, legacy replay). *)
+
+val mode : t -> mode
 
 val pump : t -> now:float -> unit
 (** Evaluate the time-based invariants (a) and (c) at virtual time

@@ -1,0 +1,62 @@
+(** Fixed-memory streaming aggregate: moments, a log-bucket quantile
+    sketch and a deterministic-seed reservoir sample.
+
+    Replaces retained latency vectors on the bench path — memory is
+    fixed at creation regardless of how many values stream in, and any
+    reported quantile is within relative [alpha] of the true order
+    statistic for values in
+    [[min_value, min_value * gamma^n_buckets)] where
+    [gamma = (1+alpha)/(1-alpha)]; values outside clamp to the edge
+    buckets.  With the defaults (alpha 1%, 2048 buckets, min 1 µs) the
+    accurate range spans 1 µs to over 10^11 s of latency.
+
+    The reservoir uses Vitter's algorithm R over an explicitly seeded
+    splitmix64 stream: same seed + same observations = the same sample,
+    so artifacts stay replayable. *)
+
+type t
+
+val create :
+  ?alpha:float ->
+  ?n_buckets:int ->
+  ?reservoir:int ->
+  ?min_value:float ->
+  seed:int ->
+  unit ->
+  t
+(** Defaults: [alpha = 0.01], [n_buckets = 2048], [reservoir = 512],
+    [min_value = 1e-6]. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+
+val stddev : t -> float
+(** Sample standard deviation (n-1), from streamed moments. *)
+
+val min_value : t -> float
+
+val max_value : t -> float
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0,1]; nearest-rank convention matching
+    {!Summary.percentile}, answered from the bucket histogram.  Exact
+    min/max clamp the answer into the observed range. *)
+
+val p50 : t -> float
+
+val p95 : t -> float
+
+val p99 : t -> float
+
+val alpha : t -> float
+(** The relative error bound this sketch was created with. *)
+
+val reservoir_sample : t -> float list
+(** The current reservoir contents (at most the creation-time capacity),
+    deterministic under a fixed seed. *)
+
+val to_summary : t -> Summary.t
+(** Bridge for report code that renders {!Summary.t} rows. *)

@@ -5,4 +5,5 @@ let () =
    @ Test_analysis.suite @ Test_experiments.suite @ Test_rsm.suite
    @ Test_gcs_units.suite @ Test_framework_more.suite @ Test_manager.suite
    @ Test_soak.suite @ Test_lint.suite @ Test_deep_lint.suite
-   @ Test_store.suite @ Test_chaos.suite @ Test_explore.suite)
+   @ Test_store.suite @ Test_chaos.suite @ Test_monitor_incr.suite
+   @ Test_explore.suite)

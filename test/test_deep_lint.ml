@@ -298,6 +298,43 @@ let test_r9_clean () =
             let[@hot] fire fs (x : int) = run_all x fs";
        ])
 
+(* The idioms the PR-10 hot paths rely on: the monitor's staleness
+   queue pushes a float-keyed record literal per activity (allocation
+   is fine under R9 — only the closure/append/poly-compare idioms cost
+   a dispatch or a megamorphic call), and the profiler's enter/leave
+   protocol threads plain floats through first-order calls instead of
+   wrapping the profiled body in a closure.  The violating shape both
+   replaced — an iterator taking a closure literal per event — stays
+   flagged. *)
+let test_r9_pr10_idioms () =
+  check_rules "record-literal deadline entry in a hot body passes" []
+    (analyze
+       [
+         unit_ ~file:"lib/monitor/fix.ml"
+           "type entry = { deadline : float; la : float }\n\
+            let[@hot] arm (push : entry -> unit) la bound =\n\
+            \  push { deadline = la +. bound; la }";
+       ]);
+  check_rules "first-order profile enter/leave protocol passes" []
+    (analyze
+       [
+         unit_ ~file:"lib/monitor/fix.ml"
+           "let[@hot] tap hit words leave (on_event : int -> unit) ev =\n\
+            \  if hit () then begin\n\
+            \    let w0 : float = words () in\n\
+            \    on_event ev;\n\
+            \    leave w0\n\
+            \  end\n\
+            \  else on_event ev";
+       ]);
+  check_rules "closure-per-event tap stays flagged" [ "R9" ]
+    (analyze
+       [
+         unit_ ~file:"lib/monitor/fix.ml"
+           "let[@hot] tap (fs : (int -> unit) list) ev =\n\
+            \  List.iter (fun f -> f ev) fs";
+       ])
+
 let test_r9_binding_pragma () =
   check_rules "binding-level attribute pragma suppresses R9" []
     (analyze
@@ -479,6 +516,7 @@ let suite =
         Alcotest.test_case "R7 clean" `Quick test_r7_clean;
         Alcotest.test_case "R9 violation" `Quick test_r9_violation;
         Alcotest.test_case "R9 clean" `Quick test_r9_clean;
+        Alcotest.test_case "R9 PR-10 idioms" `Quick test_r9_pr10_idioms;
         Alcotest.test_case "R9 binding pragma" `Quick test_r9_binding_pragma;
         Alcotest.test_case "R8 violation" `Quick test_r8_violation;
         Alcotest.test_case "R8 net_unix reach" `Quick test_r8_net_unix_reach;
